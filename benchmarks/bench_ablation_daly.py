@@ -1,0 +1,91 @@
+"""Ablation — encoding speed translated into end-to-end efficiency.
+
+§II-A motivates the whole paper with the extreme-scale squeeze: MTBF falls
+with node count while checkpoint cost grows. This bench plugs each
+clustering's encoding time (Table II) into the Young/Daly optimal-interval
+waste model and sweeps the machine size, showing where slow encoding makes
+periodic checkpointing stop paying.
+"""
+
+import pytest
+
+from repro.models import (
+    EncodingTimeModel,
+    WasteModel,
+    daly_interval,
+    young_interval,
+)
+from repro.util.tables import AsciiTable
+from repro.util.units import GiB, format_duration
+
+STRATEGY_L2 = [("naive-32", 32), ("distributed-16", 16),
+               ("size-guided-8", 8), ("hierarchical", 4)]
+NODE_COUNTS = (1_000, 10_000, 100_000)
+NODE_MTBF_S = 5 * 365 * 24 * 3600.0  # five node-years
+
+
+def _checkpoint_cost(l2_size: int) -> float:
+    ssd_write_s = GiB / 360e6  # 1 GiB per node at Table I SSD speed
+    return ssd_write_s + EncodingTimeModel().seconds_per_gb(l2_size)
+
+
+def bench_daly_waste_sweep(benchmark):
+    """Time the waste sweep over strategies x machine sizes."""
+
+    def sweep():
+        out = {}
+        for name, l2 in STRATEGY_L2:
+            cost = _checkpoint_cost(l2)
+            out[name] = [
+                WasteModel(cost, 2 * cost, NODE_MTBF_S / n).optimal_waste()
+                for n in NODE_COUNTS
+            ]
+        return out
+
+    waste = benchmark(sweep)
+    table = AsciiTable(
+        ["clustering", "ckpt cost"] + [f"waste @{n//1000}k" for n in NODE_COUNTS],
+        title="Daly-waste ablation (1 GiB/node checkpoints, 5 node-years MTBF)",
+    )
+    for name, l2 in STRATEGY_L2:
+        table.add_row(
+            [name, format_duration(_checkpoint_cost(l2))]
+            + [f"{100 * w:.1f}%" for w in waste[name]]
+        )
+    print("\n" + table.render())
+    # Fast encoding always wastes less, at every scale.
+    for i in range(len(NODE_COUNTS)):
+        column = [waste[name][i] for name, _ in STRATEGY_L2]
+        assert column == sorted(column, reverse=True)
+
+
+class TestShape:
+    def test_waste_grows_with_scale(self):
+        cost = _checkpoint_cost(4)
+        waste = [
+            WasteModel(cost, 2 * cost, NODE_MTBF_S / n).optimal_waste()
+            for n in NODE_COUNTS
+        ]
+        assert waste == sorted(waste)
+
+    def test_hierarchical_buys_efficiency_at_100k_nodes(self):
+        """At extreme scale the 8x encoding gap (Table II) becomes a
+        multi-point whole-machine efficiency gap."""
+        mtbf = NODE_MTBF_S / 100_000
+        slow = WasteModel(_checkpoint_cost(32), 2 * _checkpoint_cost(32), mtbf)
+        fast = WasteModel(_checkpoint_cost(4), 2 * _checkpoint_cost(4), mtbf)
+        assert slow.optimal_waste() - fast.optimal_waste() > 0.05
+
+    def test_daly_interval_bracket(self):
+        """Daly's refinement stays within a few percent of Young's root
+        in the small-cost regime the sweep lives in."""
+        cost = _checkpoint_cost(8)
+        mtbf = NODE_MTBF_S / 10_000
+        y, d = young_interval(cost, mtbf), daly_interval(cost, mtbf)
+        assert abs(d - y) / y < 0.2
+
+    def test_waste_is_convex_around_optimum(self):
+        wm = WasteModel(60.0, 120.0, 3600.0)
+        opt = wm.optimal_interval()
+        assert wm.waste(opt) <= wm.waste(opt / 3)
+        assert wm.waste(opt) <= wm.waste(opt * 3)

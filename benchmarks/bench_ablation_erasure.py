@@ -1,0 +1,107 @@
+"""Ablation — erasure-code choice: XOR vs. half-parity RS vs. FTI's m = k.
+
+§II-B1: "Several encoding techniques, such as bit-wise XOR or
+Reed-Solomon, exist and provide different encoding complexities and
+different reliability levels." This bench quantifies that trade-off on the
+hierarchical clustering: per-checkpoint byte operations (complexity) against
+the resulting catastrophic-failure probability (reliability).
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import PartitionCost, hierarchical_clustering
+from repro.commgraph import node_graph, paper_tsunami_matrix
+from repro.erasure import ReedSolomonCode, XorCode
+from repro.failures import CatastrophicModel, rs_half_tolerance, xor_tolerance
+from repro.machine import BlockPlacement
+from repro.util.tables import AsciiTable
+from repro.util.units import format_probability
+
+#: (name, byte-ops factory, node-loss tolerance for L2 clusters of size s).
+CODES = [
+    ("xor", lambda k: XorCode(k=k), xor_tolerance),
+    (
+        "rs-half (m=k/2)",
+        lambda k: ReedSolomonCode(k=k, m=max(1, k // 2)),
+        lambda s: s // 4,  # co-located data+parity: node loss costs 2 shards
+    ),
+    ("rs-fti (m=k)", lambda k: ReedSolomonCode(k=k, m=k), rs_half_tolerance),
+]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    placement = BlockPlacement(64, 16)
+    g = paper_tsunami_matrix(iterations=5)
+    ng = node_graph(g, placement)
+    clustering = hierarchical_clustering(
+        ng, placement, cost=PartitionCost(1.0, 8.0)
+    )
+    return placement, clustering
+
+
+def bench_erasure_tradeoff(benchmark, scenario):
+    """Time the reliability evaluation under all three codes."""
+    placement = scenario.placement
+    clustering = hierarchical_clustering(
+        scenario.node_comm_graph(), placement, cost=scenario.partition_cost
+    )
+    k = 4  # hierarchical L2 size
+    shard = 1 << 20
+
+    def evaluate():
+        rows = []
+        for name, code_factory, tolerance in CODES:
+            code = code_factory(k)
+            model = CatastrophicModel(placement, tolerance=tolerance)
+            rows.append(
+                (name, code.encoding_byte_ops(shard), model.probability(clustering))
+            )
+        return rows
+
+    rows = benchmark(evaluate)
+    table = AsciiTable(
+        ["code", "byte ops / 1 MiB shard", "P[catastrophic]"],
+        title="Erasure-code ablation (hierarchical clustering, L2 = 4)",
+    )
+    for name, ops, p in rows:
+        table.add_row([name, f"{ops:,}", format_probability(p)])
+    print("\n" + table.render())
+    # Cost ordering: xor < rs-half < rs-fti.
+    assert rows[0][1] < rows[1][1] < rows[2][1]
+    # Reliability ordering is the exact inverse.
+    assert rows[0][2] >= rows[1][2] >= rows[2][2]
+
+
+class TestShape:
+    def test_xor_cheapest_least_reliable(self, setup):
+        placement, clustering = setup
+        xor_p = CatastrophicModel(
+            placement, tolerance=xor_tolerance
+        ).probability(clustering)
+        fti_p = CatastrophicModel(
+            placement, tolerance=rs_half_tolerance
+        ).probability(clustering)
+        assert xor_p > fti_p
+        assert XorCode(k=4).encoding_byte_ops(100) < ReedSolomonCode(
+            k=4, m=4
+        ).encoding_byte_ops(100)
+
+    def test_all_codes_recover_single_node_loss(self, setup):
+        """Even XOR keeps the hierarchical clustering safe against the
+        dominant failure mode (one node)."""
+        placement, clustering = setup
+        for _, _, tolerance in CODES:
+            model = CatastrophicModel(placement, tolerance=tolerance)
+            assert model.breaking_run_fraction(clustering, 1) == 0.0
+
+    def test_only_fti_rs_survives_double_node_loss(self, setup):
+        placement, clustering = setup
+        frac = {
+            name: CatastrophicModel(placement, tolerance=tol)
+            .breaking_run_fraction(clustering, 2)
+            for name, _, tol in CODES
+        }
+        assert frac["xor"] > 0.0
+        assert frac["rs-fti (m=k)"] == 0.0

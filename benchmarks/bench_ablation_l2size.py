@@ -1,0 +1,108 @@
+"""Ablation — the L2 stripe width (§IV-B's 'clusters of 4 or 8 processes
+are already highly reliable if the processes are distributed').
+
+Sweeps the hierarchical clustering's ``l2_group_nodes`` parameter and
+evaluates the trade: wider stripes buy reliability (more simultaneous node
+losses tolerated) at linear encoding cost. The paper picks 4 because it is
+the narrowest width that keeps P[catastrophic] far below the baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import hierarchical_clustering, validate_clustering
+from repro.core import ClusteringEvaluator
+from repro.models import PAPER_BASELINE
+from repro.util.tables import AsciiTable
+from repro.util.units import format_probability
+
+WIDTHS = (2, 4, 8, 16)
+
+
+def bench_l2_width_sweep(benchmark, scenario, evaluator):
+    """Time the four-dimensional evaluation across L2 stripe widths."""
+
+    def sweep():
+        out = []
+        for width in WIDTHS:
+            clustering = hierarchical_clustering(
+                scenario.node_comm_graph(),
+                scenario.placement,
+                cost=scenario.partition_cost,
+                min_nodes_per_l1=max(4, width),
+                max_nodes_per_l1=max(4, width),
+                l2_group_nodes=width,
+            )
+            out.append((width, clustering, evaluator.evaluate(clustering)))
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = AsciiTable(
+        ["L2 width", "logged %", "recovery %", "encode s/GB", "P[cat]", "baseline"],
+        title="L2 stripe-width ablation (hierarchical clustering)",
+    )
+    for width, clustering, score in rows:
+        table.add_row(
+            [
+                width,
+                f"{100 * score.logging_fraction:.1f}",
+                f"{100 * score.recovery_fraction:.2f}",
+                f"{score.encoding_s_per_gb:.1f}",
+                format_probability(score.prob_catastrophic),
+                "yes" if PAPER_BASELINE.satisfied(score) else "NO",
+            ]
+        )
+    print("\n" + table.render())
+    # Encoding cost grows linearly with stripe width...
+    encodes = [score.encoding_s_per_gb for _, _, score in rows]
+    assert encodes == sorted(encodes)
+    # ...while reliability improves (more losses tolerated).
+    cats = [score.prob_catastrophic for _, _, score in rows]
+    assert cats == sorted(cats, reverse=True)
+    # The paper's width-4 point is compliant.
+    assert PAPER_BASELINE.satisfied(dict((w, s) for w, _, s in rows)[4])
+
+
+class TestL2WidthShape:
+    @pytest.fixture(scope="class")
+    def rows(self, scenario, evaluator):
+        out = []
+        for width in WIDTHS:
+            clustering = hierarchical_clustering(
+                scenario.node_comm_graph(),
+                scenario.placement,
+                cost=scenario.partition_cost,
+                min_nodes_per_l1=max(4, width),
+                max_nodes_per_l1=max(4, width),
+                l2_group_nodes=width,
+            )
+            out.append((width, clustering, evaluator.evaluate(clustering)))
+        return out
+
+    def test_structures_stay_valid(self, rows, scenario):
+        for width, clustering, _ in rows:
+            report = validate_clustering(
+                clustering,
+                scenario.placement,
+                require_node_aligned_l1=True,
+                require_l2_distinct_nodes=True,
+                homogeneous_l2=True,
+            )
+            assert report.ok, (width, report.violations)
+            assert (clustering.l2_sizes() == width).all()
+
+    def test_width_2_is_cheap_but_fragile(self, rows):
+        by_width = {w: s for w, _, s in rows}
+        assert by_width[2].encoding_s_per_gb < by_width[4].encoding_s_per_gb
+        assert by_width[2].prob_catastrophic > by_width[4].prob_catastrophic
+
+    def test_width_16_pays_too_much_encoding(self, rows):
+        by_width = {w: s for w, _, s in rows}
+        # Width 16 exceeds the 60 s/GB encoding budget (102 s/GB).
+        assert not PAPER_BASELINE.check(by_width[16])["encoding"]
+
+    def test_wider_l1_raises_logging_but_slowly(self, rows):
+        """Wider stripes force wider L1 clusters, which can only *reduce*
+        the logged fraction (bigger containment units)."""
+        logged = [s.logging_fraction for _, _, s in rows]
+        assert logged == sorted(logged, reverse=True)

@@ -1,0 +1,98 @@
+"""Ablation — the L1 partitioner's cost weights and refinement pass.
+
+DESIGN.md calls out two design choices in the [24]-style partitioner:
+the logging/restart weight ratio (which sets the equilibrium cluster size)
+and the boundary-refinement pass. This bench sweeps both on the paper's
+node graph and on random low-degree graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import PartitionCost, partition_node_graph
+from repro.commgraph import node_graph, paper_tsunami_matrix, random_sparse_matrix
+from repro.machine import BlockPlacement
+
+
+@pytest.fixture(scope="module")
+def paper_node_graph():
+    g = paper_tsunami_matrix(iterations=10)
+    return g, node_graph(g, BlockPlacement(64, 16))
+
+
+def bench_partitioner_weight_sweep(benchmark, scenario):
+    """Time the weight sweep over the §V node graph."""
+    ng = scenario.node_comm_graph()
+
+    def sweep():
+        out = {}
+        for w_rb in (1.0, 2.0, 4.0, 8.0, 16.0):
+            labels = partition_node_graph(
+                ng, min_cluster_nodes=4, cost=PartitionCost(1.0, w_rb)
+            )
+            out[w_rb] = np.bincount(labels)
+        return out
+
+    sizes_by_weight = benchmark(sweep)
+    print("\nAblation — L1 cluster sizes vs. restart weight:")
+    for w_rb, sizes in sizes_by_weight.items():
+        print(f"  w_restart={w_rb:>4}: {len(sizes)} clusters, "
+              f"sizes {sorted(set(sizes.tolist()))}")
+    # Heavier restart penalty -> never coarser partitions.
+    counts = [len(s) for s in sizes_by_weight.values()]
+    assert counts == sorted(counts)
+    # The calibrated point reproduces the paper's 16 x 4-node structure.
+    assert len(sizes_by_weight[8.0]) == 16
+    assert (sizes_by_weight[8.0] == 4).all()
+
+
+class TestWeightShape:
+    def test_logging_only_merges_everything(self, paper_node_graph):
+        _, ng = paper_node_graph
+        labels = partition_node_graph(
+            ng, min_cluster_nodes=1, cost=PartitionCost(1.0, 0.0)
+        )
+        assert len(np.unique(labels)) == 1
+
+    def test_restart_only_stays_at_minimum_size(self, paper_node_graph):
+        _, ng = paper_node_graph
+        labels = partition_node_graph(
+            ng, min_cluster_nodes=4, cost=PartitionCost(0.0, 1.0)
+        )
+        sizes = np.bincount(labels)
+        assert (sizes == 4).all()
+
+    def test_paper_point_is_stable_across_trace_lengths(self):
+        """The (1, 8) calibration does not depend on trace length (the
+        objective is scale-free in the traffic volume)."""
+        placement = BlockPlacement(64, 16)
+        for iterations in (1, 10, 100):
+            g = paper_tsunami_matrix(iterations=iterations)
+            ng = node_graph(g, placement)
+            labels = partition_node_graph(
+                ng, min_cluster_nodes=4, cost=PartitionCost(1.0, 8.0)
+            )
+            np.testing.assert_array_equal(labels, np.arange(64) // 4)
+
+
+class TestRefinementAblation:
+    @pytest.mark.parametrize("seed", [3, 7, 11, 19])
+    def test_refinement_never_hurts(self, seed):
+        g = random_sparse_matrix(40, degree=4, rng=seed)
+        cost = PartitionCost()
+        rough = partition_node_graph(g, min_cluster_nodes=3, refine=False)
+        refined = partition_node_graph(g, min_cluster_nodes=3, refine=True)
+        assert cost.evaluate(g, refined) <= cost.evaluate(g, rough) + 1e-12
+
+    def test_refinement_helps_some_graph(self):
+        """On at least one random graph the refinement strictly improves
+        the objective (the pass is not dead code)."""
+        cost = PartitionCost()
+        improved = 0
+        for seed in range(20):
+            g = random_sparse_matrix(30, degree=4, rng=seed)
+            rough = partition_node_graph(g, min_cluster_nodes=2, refine=False)
+            refined = partition_node_graph(g, min_cluster_nodes=2, refine=True)
+            if cost.evaluate(g, refined) < cost.evaluate(g, rough) - 1e-12:
+                improved += 1
+        assert improved > 0

@@ -1,0 +1,121 @@
+"""Capstone — month-long failure campaigns: the four dimensions composed.
+
+The paper's conclusion promises "a complete CR solution that minimizes
+both the checkpointing overhead and the recovery cost". This bench checks
+the composition: simulate month-long campaigns of MTBF-distributed
+failures against each clustering's concrete checkpoint, restore, and
+catastrophic-rollback costs, and report the end-to-end machine efficiency.
+The hierarchical clustering must waste the least — and for the reasons the
+paper gives (cheap encoding every interval, contained recoveries, no
+catastrophic rollbacks).
+"""
+
+import pytest
+
+from repro.clustering import (
+    distributed_clustering,
+    hierarchical_clustering,
+    naive_clustering,
+    size_guided_clustering,
+)
+from repro.models import CampaignConfig, CampaignSimulator
+from repro.util.tables import AsciiTable
+from repro.util.units import format_duration
+
+CONFIG = CampaignConfig(
+    horizon_s=30 * 24 * 3600.0,
+    checkpoint_interval_s=1800.0,
+    node_mtbf_s=0.25 * 365 * 24 * 3600.0,  # a stressed machine
+)
+
+
+def _strategies(scenario):
+    return [
+        naive_clustering(1024, 32),
+        size_guided_clustering(1024, 8),
+        distributed_clustering(scenario.placement, 16),
+        hierarchical_clustering(
+            scenario.node_comm_graph(),
+            scenario.placement,
+            cost=scenario.partition_cost,
+        ),
+    ]
+
+
+def bench_campaign_month(benchmark, scenario):
+    """Time 4 strategies × 3 sampled month-long campaigns."""
+    simulator = CampaignSimulator(scenario.machine, CONFIG)
+    strategies = _strategies(scenario)
+
+    def run():
+        results = {}
+        for i, clustering in enumerate(strategies):
+            runs = [
+                simulator.run(clustering, rng=100 * i + k) for k in range(3)
+            ]
+            results[clustering.name] = runs
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = AsciiTable(
+        [
+            "clustering",
+            "failures",
+            "catastrophic",
+            "ckpt overhead",
+            "rework+restore",
+            "waste %",
+        ],
+        title="Month-long campaign (half-hour checkpoints, stressed MTBF)",
+    )
+    mean_waste = {}
+    for name, runs in results.items():
+        waste = sum(r.waste_fraction for r in runs) / len(runs)
+        mean_waste[name] = waste
+        table.add_row(
+            [
+                name,
+                sum(r.n_failures for r in runs),
+                sum(r.n_catastrophic for r in runs),
+                format_duration(sum(r.checkpoint_overhead_s for r in runs) / 3),
+                format_duration(
+                    sum(r.rework_s + r.restore_s for r in runs) / 3
+                ),
+                f"{100 * waste:.2f}",
+            ]
+        )
+    print("\n" + table.render())
+    assert min(mean_waste, key=mean_waste.get) == "hierarchical-64-4"
+    # The composed gap is material: hierarchical halves naive's waste.
+    assert mean_waste["hierarchical-64-4"] < mean_waste["naive-32"] / 2
+
+
+class TestCampaignShape:
+    @pytest.fixture(scope="class")
+    def results(self, scenario):
+        simulator = CampaignSimulator(scenario.machine, CONFIG)
+        return {
+            c.name: [simulator.run(c, rng=7 * k) for k in range(3)]
+            for c in _strategies(scenario)
+        }
+
+    def test_hierarchical_never_catastrophic(self, results):
+        assert all(
+            r.n_catastrophic == 0 for r in results["hierarchical-64-4"]
+        )
+
+    def test_size_guided_catastrophes_dominate_its_waste(self, results):
+        runs = results["size-guided-8"]
+        assert sum(r.n_catastrophic for r in runs) > 0
+        penalized = [r for r in runs if r.n_catastrophic]
+        for r in penalized:
+            assert r.catastrophic_penalty_s > r.rework_s
+
+    def test_naive_pays_in_checkpoint_overhead(self, results):
+        naive = results["naive-32"][0]
+        hier = results["hierarchical-64-4"][0]
+        assert naive.checkpoint_overhead_s > 4 * hier.checkpoint_overhead_s
+
+    def test_every_campaign_saw_failures(self, results):
+        for runs in results.values():
+            assert sum(r.n_failures for r in runs) > 0

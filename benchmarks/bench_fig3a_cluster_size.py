@@ -1,0 +1,54 @@
+"""Fig. 3a — recovery cost vs. message-logging overhead vs. cluster size.
+
+Paper series: consecutive-rank clusters over the 1024-process tsunami
+trace; logging falls with cluster size while recovery cost rises, with a
+sweet spot at 32 processes (< 4 % logged, ~3 % restarted).
+"""
+
+import pytest
+
+from repro.core import experiment_fig3
+
+SIZES = (2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def study(scenario):
+    return experiment_fig3(scenario, sizes=SIZES)
+
+
+def bench_fig3a(benchmark, scenario):
+    """Time the full Fig. 3a sweep (8 clusterings over the 1024² matrix)."""
+    result = benchmark(experiment_fig3, scenario, sizes=SIZES)
+    print("\n" + result.render(which="3a"))
+    # Shape claims (also verified under --benchmark-only):
+    assert result.sweet_spot_3a() == 32
+    i = result.sizes.index(32)
+    assert result.logged_fraction[i] <= 0.04 + 1e-9
+    assert result.restart_fraction[i] == pytest.approx(0.031, abs=0.002)
+
+
+class TestShape:
+    def test_logging_monotonically_decreases(self, study):
+        assert study.logged_fraction == sorted(
+            study.logged_fraction, reverse=True
+        )
+
+    def test_recovery_monotonically_increases(self, study):
+        assert study.restart_fraction == sorted(study.restart_fraction)
+
+    def test_sweet_spot_at_32(self, study):
+        """'there is a sweet spot for clusters of 32 processes' (§III-A)."""
+        assert study.sweet_spot_3a() == 32
+
+    def test_paper_values_at_32(self, study):
+        """'less than 4% of the messages are logged and only 3% of the
+        processes needs to restart' at 32."""
+        i = study.sizes.index(32)
+        assert study.logged_fraction[i] <= 0.04 + 1e-9
+        assert study.restart_fraction[i] == pytest.approx(0.031, abs=0.002)
+
+    def test_small_clusters_log_too_much(self, study):
+        """Fig. 3a's left side: clusters of 4 log ~25 %."""
+        i = study.sizes.index(4)
+        assert study.logged_fraction[i] == pytest.approx(0.25, abs=0.03)

@@ -1,0 +1,80 @@
+"""Fig. 3b — encoding time vs. message-logging overhead vs. cluster size.
+
+Paper series: encoding time per GB grows ~linearly with the encoding
+cluster size (log-scale axis in the paper): ~one order of magnitude from
+4 to 32 processes; 32-process clusters take > 3 min/GB while 4-process
+clusters stay under 30 s/GB. The real Reed–Solomon encoder is benchmarked
+too, to show the same linear-in-k growth on this host.
+"""
+
+import pytest
+
+from repro.core import experiment_fig3
+from repro.models import EncodingTimeModel, measure_throughput
+
+SIZES = (4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def study(scenario):
+    return experiment_fig3(scenario, sizes=SIZES)
+
+
+def bench_fig3b_model(benchmark, scenario):
+    """Time the Fig. 3b sweep (model-side)."""
+    result = benchmark(experiment_fig3, scenario, sizes=SIZES)
+    print("\n" + result.render(which="3b"))
+    model = dict(zip(result.sizes, result.encoding_s_per_gb))
+    assert model[32] > 180.0 and model[4] < 30.0  # 3 min vs half-minute
+    assert model[32] / model[4] == pytest.approx(8.0)
+
+
+@pytest.mark.parametrize("cluster_size", [4, 8, 16])
+def bench_fig3b_real_rs_encoding(benchmark, cluster_size):
+    """Measure real RS encoding throughput at each cluster size."""
+    from repro.util.rng import resolve_rng
+    import numpy as np
+
+    from repro.erasure import ReedSolomonCode
+
+    rng = resolve_rng(0)
+    shard_bytes = 1 << 16
+    code = ReedSolomonCode(k=cluster_size, m=cluster_size)
+    data = rng.integers(0, 256, size=(cluster_size, shard_bytes), dtype=np.uint8)
+    parity = benchmark(code.encode, data)
+    assert parity.shape == (cluster_size, shard_bytes)
+
+
+class TestShape:
+    def test_linear_growth_matches_table2(self, study):
+        """204 s at 32, 51 s at 8 — and 32 is ~8x slower than 4."""
+        model = dict(zip(study.sizes, study.encoding_s_per_gb))
+        assert model[32] == pytest.approx(204.0)
+        assert model[8] == pytest.approx(51.0)
+        assert model[32] / model[4] == pytest.approx(8.0)
+
+    def test_order_of_magnitude_claim(self, study):
+        """'from 4 to 32 processes, the encoding time increases by almost
+        one order of magnitude' (§III-B)."""
+        ratio = study.encoding_s_per_gb[-1] / study.encoding_s_per_gb[0]
+        assert 6.0 <= ratio <= 10.0
+
+    def test_three_minutes_vs_half_minute(self, study):
+        """'encoding 1GB ... more than three minutes [at 32] while it could
+        take less than half-minute with clusters of 4'."""
+        model = dict(zip(study.sizes, study.encoding_s_per_gb))
+        assert model[32] > 180.0
+        assert model[4] < 30.0
+
+    def test_size_8_meets_baseline(self, study):
+        """'Clusters of size 8 ... encoding at a 1GB/50s rate' ≤ 60 s budget."""
+        model = dict(zip(study.sizes, study.encoding_s_per_gb))
+        assert model[8] <= 60.0
+        assert model[16] > 60.0  # 'clusters of size 16 would take almost 2 min'
+
+    def test_real_encoder_grows_linearly(self):
+        """Measured RS throughput shows the same linear-in-k cost shape."""
+        small = measure_throughput(4, shard_bytes=1 << 15, repeats=2, rng=0)
+        large = measure_throughput(16, shard_bytes=1 << 15, repeats=2, rng=0)
+        ratio = large["seconds_per_gb"] / small["seconds_per_gb"]
+        assert 2.0 < ratio < 9.0  # ideal byte-ops ratio is 4x per GB

@@ -1,0 +1,61 @@
+"""Fig. 4a — reliability level, distributed vs. non-distributed clustering.
+
+Paper setting: 128 nodes × 8 processes, cluster sizes 4/8/16, catastrophic
+failure model of FTI [3]. Claims under test: non-distributed clustering is
+orders of magnitude less reliable; for non-distributed clusters of 4 or 8
+a single node failure can already be unrecoverable; distributed
+reliability improves with cluster size.
+"""
+
+import pytest
+
+from repro.core import experiment_fig4a
+
+SIZES = (4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return experiment_fig4a(sizes=SIZES)
+
+
+def bench_fig4a(benchmark):
+    """Time the reliability sweep (6 exact catastrophic-model evaluations)."""
+    result = benchmark(experiment_fig4a, sizes=SIZES)
+    print("\n" + result.render())
+    for non, dist in zip(
+        result.reliability_non_distributed, result.reliability_distributed
+    ):
+        assert non > dist * 1e3  # orders-of-magnitude gap
+
+
+class TestShape:
+    def test_small_nondistributed_die_on_single_node(self, study):
+        """'For non-distributed clusters of 4 or 8 processes, one single
+        node failure could lead to an unrecoverable failure.'"""
+        for size, p in zip(study.sizes, study.reliability_non_distributed):
+            if size in (4, 8):
+                assert p == pytest.approx(0.95, abs=0.01)
+
+    def test_distributed_orders_of_magnitude_better(self, study):
+        for non, dist in zip(
+            study.reliability_non_distributed, study.reliability_distributed
+        ):
+            assert non / max(dist, 1e-300) > 1e3
+
+    def test_distributed_reliability_improves_with_size(self, study):
+        ps = study.reliability_distributed
+        assert ps[0] > ps[1] > ps[2]
+
+    def test_monte_carlo_agrees_with_closed_form(self):
+        """Cross-validate the analytic model by sampling (fragile case)."""
+        from repro.clustering import size_guided_clustering
+        from repro.failures import CatastrophicModel, MonteCarloEstimator
+        from repro.machine import BlockPlacement
+
+        placement = BlockPlacement(128, 8)
+        model = CatastrophicModel(placement)
+        clustering = size_guided_clustering(1024, 8)
+        exact = model.probability(clustering)
+        mc = MonteCarloEstimator(model, rng=42).estimate(clustering, 2000)
+        assert mc == pytest.approx(exact, abs=0.02)

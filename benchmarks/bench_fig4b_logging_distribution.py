@@ -1,0 +1,48 @@
+"""Fig. 4b — message-logging overhead, distributed vs. non-distributed.
+
+Paper claim: combining distributed clustering with topology-aware
+placement logs nearly everything — "the size of the clusters lose all
+their influence in the performance trade-off" — while non-distributed
+clusters keep logging low and size-sensitive.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import experiment_fig4bc
+
+SIZES = (4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def study(scenario):
+    return experiment_fig4bc(scenario, sizes=SIZES)
+
+
+def bench_fig4b(benchmark, scenario):
+    """Time the distribution sweep (8 clusterings, logging + restart)."""
+    result = benchmark(experiment_fig4bc, scenario, sizes=SIZES)
+    print("\n" + result.render())
+    assert min(result.logging_distributed) > 0.9
+    assert max(result.logging_non_distributed) < 0.3
+
+
+class TestShape:
+    def test_distributed_logs_nearly_everything(self, study):
+        for frac in study.logging_distributed:
+            assert frac > 0.9  # paper plots ~100 %
+
+    def test_size_loses_influence_under_distribution(self, study):
+        """Distributed curve is flat; non-distributed falls with size."""
+        spread_dist = max(study.logging_distributed) - min(
+            study.logging_distributed
+        )
+        spread_non = max(study.logging_non_distributed) - min(
+            study.logging_non_distributed
+        )
+        assert spread_dist < 0.05
+        assert spread_non > 0.15
+
+    def test_non_distributed_decreases_with_size(self, study):
+        non = study.logging_non_distributed
+        assert non == sorted(non, reverse=True)

@@ -1,0 +1,49 @@
+"""Fig. 4c — restart cost, distributed vs. non-distributed (64 × 16).
+
+Paper claim: "one single node failure forces 16 nodes to restart" under
+16-wide distribution; at 32-process clusters the recovery cost grows from
+3 % (non-distributed) to 50 % (distributed).
+"""
+
+import pytest
+
+from repro.core import experiment_fig4bc
+
+SIZES = (4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def study(scenario):
+    return experiment_fig4bc(scenario, sizes=SIZES)
+
+
+def bench_fig4c(benchmark, scenario):
+    """Time the restart-cost sweep."""
+    result = benchmark(experiment_fig4bc, scenario, sizes=SIZES)
+    print("\n" + result.render())
+    i = result.sizes.index(32)
+    assert result.restart_non_distributed[i] == pytest.approx(0.031, abs=0.002)
+    assert result.restart_distributed[i] == pytest.approx(0.50)
+
+
+class TestShape:
+    def test_headline_3_vs_50_percent(self, study):
+        i = study.sizes.index(32)
+        assert study.restart_non_distributed[i] == pytest.approx(
+            0.031, abs=0.002
+        )
+        assert study.restart_distributed[i] == pytest.approx(0.50)
+
+    def test_one_node_failure_forces_16_nodes(self, study):
+        """At size 16: the restarted set spans a full 16-node band = 25 %."""
+        i = study.sizes.index(16)
+        assert study.restart_distributed[i] == pytest.approx(0.25)
+
+    def test_distribution_always_worse(self, study):
+        for non, dist in zip(
+            study.restart_non_distributed, study.restart_distributed
+        ):
+            assert dist >= non
+
+    def test_distributed_restart_grows_with_size(self, study):
+        assert study.restart_distributed == sorted(study.restart_distributed)

@@ -1,0 +1,62 @@
+"""Fig. 5a — the 1088-rank communication matrix of the traced §V execution.
+
+Runs the full application + encoder-process execution through the
+discrete-event MPI simulator (64 nodes × 17 ranks) and regenerates the
+communication heat map. Claims under test: the east-west stencil exchange
+dominates (the dark double diagonal), traffic is sparse (low-degree
+communication graph), and intra-L1-cluster traffic dwarfs the logged
+remainder.
+
+This is the heaviest bench (a full 1088-rank simulated execution); the
+benchmark runs one round.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import FIG5_RUN_KW
+from repro.core import experiment_fig5ab
+
+
+@pytest.fixture(scope="module")
+def study(fig5_study):
+    return fig5_study
+
+
+def bench_fig5a_full_trace(benchmark):
+    """Time the full 1088-rank traced execution (50 iterations)."""
+    result = benchmark.pedantic(
+        experiment_fig5ab, kwargs=FIG5_RUN_KW, rounds=1, iterations=1
+    )
+    print("\n" + result.render_full(max_size=64))
+    assert result.nranks == 1088
+    halo = result.kind_matrices["halo"]
+    assert halo.sum() / result.bytes_matrix.sum() > 0.8
+
+
+class TestShape:
+    def test_double_diagonal_dominates(self, study):
+        """East-west (±1 app-rank) traffic carries most bytes."""
+        halo = study.kind_matrices["halo"]
+        ew = sum(
+            halo[i, j]
+            for i in range(study.nranks)
+            for j in (i - 1, i + 1)
+            if 0 <= j < study.nranks
+        )
+        assert ew / halo.sum() > 0.85
+
+    def test_matrix_is_sparse_low_degree(self, study):
+        """HPC communication graphs have low connectivity [15]."""
+        partners = (study.bytes_matrix > 0).sum(axis=0)
+        assert np.median(partners) <= 16
+
+    def test_encoder_rows_carry_only_fti_traffic(self, study):
+        halo = study.kind_matrices["halo"]
+        for enc in study.encoder_ranks:
+            assert halo[enc, :].sum() == 0
+            assert halo[:, enc].sum() == 0
+
+    def test_symmetric_stencil_traffic(self, study):
+        halo = study.kind_matrices["halo"]
+        np.testing.assert_allclose(halo, halo.T)

@@ -1,0 +1,82 @@
+"""Fig. 5b — zoom on the first 68 ranks of the traced execution.
+
+Every structural feature the paper narrates must be present:
+
+* the blue double diagonal (boundary exchange) interrupted at ranks
+  0, 17, 34, 51 — the four encoding processes of the first 4 nodes;
+* light horizontal lines at the encoder rows (app→encoder checkpoint
+  notifications);
+* isolated points at encoder-row × encoder-column intersections (the
+  Reed–Solomon exchange between encoders);
+* light diagonals starting at power-of-two ranks (MPICH2's
+  ``MPI_Allgather`` during FTI initialization).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import FIG5_RUN_KW
+from repro.core import experiment_fig5ab
+
+
+@pytest.fixture(scope="module")
+def study(fig5_study):
+    return fig5_study
+
+
+def bench_fig5b_zoom(benchmark):
+    """Time trace + zoom extraction, and render the 68-rank corner."""
+    result = benchmark.pedantic(
+        experiment_fig5ab, kwargs=FIG5_RUN_KW, rounds=1, iterations=1
+    )
+    result.zoom_size = 68
+    print("\n" + result.render_zoom())
+    assert result.zoom.shape == (68, 68)
+    assert result.encoder_ranks[:4] == [0, 17, 34, 51]
+
+
+class TestFig5bFeatures:
+    def test_encoder_ranks_are_0_17_34_51(self, study):
+        assert study.encoder_ranks[:4] == [0, 17, 34, 51]
+
+    def test_diagonals_interrupted_at_encoders(self, study):
+        """'the diagonals get interrupted for ranks 0, 17, 34 and 51'."""
+        halo = study.kind_matrices["halo"][:68, :68]
+        for enc in (0, 17, 34, 51):
+            assert halo[enc, :].sum() == 0
+            assert halo[:, enc].sum() == 0
+        # ... but present between adjacent app ranks.
+        assert halo[1, 2] > 0 and halo[2, 1] > 0
+
+    def test_horizontal_lines_at_encoder_rows(self, study):
+        """'four short horizontal lines ... at 0, 17, 34 and 51 (y axis)
+        which correspond to the few communications done between the
+        application processes and the encoding process'."""
+        ready = study.kind_matrices["fti-ready"][:68, :68]
+        for enc, apps in ((0, range(1, 17)), (17, range(18, 34))):
+            for app in apps:
+                assert ready[enc, app] > 0
+        # Ready traffic is tiny next to the stencil exchange.
+        halo = study.kind_matrices["halo"]
+        assert ready.sum() < 0.01 * halo.sum()
+
+    def test_isolated_points_between_encoders(self, study):
+        """'isolated points at the intersections of processes 0, 17, 34
+        and 51 ... communications done between the encoding processes'."""
+        ring = study.kind_matrices["fti-encode"][:68, :68]
+        assert ring.sum() > 0
+        nz = np.transpose(np.nonzero(ring))
+        for dst, src in nz:
+            assert dst in (0, 17, 34, 51) and src in (0, 17, 34, 51)
+
+    def test_allgather_power_of_two_diagonals(self, study):
+        """'diagonals in light blue starting ... from processes with a
+        power-of-two rank ... MPI_Allgather ... during initialization'."""
+        ag = study.kind_matrices["allgather"]
+        distances = set()
+        nz = np.transpose(np.nonzero(ag))
+        for dst, src in nz:
+            distances.add((src - dst) % study.nranks)
+        # Bruck over 1088 ranks: all ring distances are powers of two.
+        for d in distances:
+            assert d & (d - 1) == 0, f"non power-of-two distance {d}"

@@ -1,0 +1,40 @@
+"""Fig. 5c — overall clustering comparison against the §III baseline.
+
+The paper normalizes each strategy's four scores to the baseline polygon
+("any clustering going outside the area delimited by the baseline is not
+suitable for FT in future large scale HPC systems") and shows that only
+the hierarchical clustering stays inside on all four axes.
+"""
+
+import pytest
+
+from repro.core import experiment_table2, radar_table
+
+
+def bench_fig5c(benchmark, scenario):
+    """Time the full 4-strategy, 4-dimension evaluation + normalization."""
+
+    def run():
+        report = experiment_table2(scenario)
+        return report, report.normalized()
+
+    report, normalized = benchmark(run)
+    print("\n" + radar_table(normalized))
+    assert report.satisfying() == ["hierarchical-64-4"]
+
+
+class TestShape:
+    def test_only_hierarchical_inside(self, table2_report):
+        assert table2_report.satisfying() == ["hierarchical-64-4"]
+
+    def test_each_flat_strategy_breaks_its_axis(self, table2_report):
+        norm = table2_report.normalized()
+        assert norm["naive-32"]["encoding"] > 1.0  # too slow to encode
+        assert norm["size-guided-8"]["reliability"] > 1.0  # unreliable
+        assert norm["distributed-16"]["logging"] > 1.0  # logs everything
+        assert norm["distributed-16"]["recovery"] > 1.0  # restarts too much
+
+    def test_hierarchical_inside_on_every_axis(self, table2_report):
+        norm = table2_report.normalized()["hierarchical-64-4"]
+        for axis, value in norm.items():
+            assert value <= 1.0, f"{axis} outside baseline"

@@ -1,0 +1,107 @@
+"""End-to-end protocol benchmark: checkpoint, fail, recover, verify.
+
+Times the complete FTI+HydEE pipeline on a simulated 8-node machine —
+protocol-supervised execution (coordinated checkpoints, RS encoding,
+message logging), a node failure with SSD loss, erasure-decode restore,
+log replay, and bit-exact verification — the mechanism behind the paper's
+recovery-cost dimension, exercised for real rather than modeled.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import TsunamiConfig, TsunamiSimulation
+from repro.clustering import Clustering
+from repro.failures import FailureEvent
+from repro.hydee import RecoveryManager, run_with_protocol
+from repro.machine import Machine
+from repro.simmpi import run_program
+
+
+def build_setup(iterations=16):
+    cfg = TsunamiConfig(px=4, py=4, nx=32, ny=32, iterations=iterations,
+                        allreduce_every=5)
+    sim = TsunamiSimulation(cfg)
+    machine = Machine(8, 2)
+    l1 = np.array([0] * 8 + [1] * 8)
+    l2 = np.array([(r // 2 // 4) * 2 + (r % 2) for r in range(16)])
+    clustering = Clustering("hier-8-4", l1, l2)
+    return sim, machine, clustering
+
+
+def bench_protocol_run(benchmark):
+    """Time a 16-iteration protocol-supervised run (16 ranks, ckpt every 6)."""
+
+    def run():
+        sim, machine, clustering = build_setup()
+        return run_with_protocol(
+            sim, machine, clustering, iterations=16, checkpoint_every=6
+        )
+
+    result = benchmark(run)
+    assert result.checkpointer.stats.local_writes == 16 * 3  # v0, v6, v12
+    assert result.log.logged_messages > 0
+
+
+def bench_contained_recovery(benchmark):
+    """Time restore + replay after a node failure (decode path included)."""
+
+    def run():
+        sim, machine, clustering = build_setup()
+        protocol_run = run_with_protocol(
+            sim, machine, clustering, iterations=16, checkpoint_every=6
+        )
+        manager = RecoveryManager(sim, machine, protocol_run)
+        result = manager.recover(
+            FailureEvent(kind="node", nodes=(1,)), failure_iteration=16
+        )
+        return sim, result
+
+    sim, result = benchmark(run)
+    assert result.rollback_iteration == 12
+    assert sorted(result.decoded_ranks()) == [2, 3]
+    reference = run_program(sim.make_program(iterations=16), 16)
+    for rank in result.restarted_ranks:
+        np.testing.assert_array_equal(
+            result.recovered_states[rank]["eta"], reference[rank]["eta"]
+        )
+
+
+class TestEndToEndProperties:
+    def test_protocol_overhead_accounted_in_virtual_time(self):
+        sim, machine, clustering = build_setup()
+        with_ft = run_with_protocol(
+            sim, machine, clustering, iterations=16, checkpoint_every=6
+        )
+        assert with_ft.checkpointer.stats.total_encode_time_s > 0
+        assert with_ft.engine.max_time > 0
+
+    def test_recovery_restart_fraction_matches_model(self):
+        """The protocol's actual restart set equals the analytic
+        recovery-cost model's prediction."""
+        from repro.models import restart_set_for_nodes
+
+        sim, machine, clustering = build_setup()
+        protocol_run = run_with_protocol(
+            sim, machine, clustering, iterations=16, checkpoint_every=6
+        )
+        manager = RecoveryManager(sim, machine, protocol_run)
+        result = manager.recover(
+            FailureEvent(kind="node", nodes=(3,)), failure_iteration=16
+        )
+        predicted = restart_set_for_nodes(clustering, machine.placement, [3])
+        assert sorted(result.restarted_ranks) == sorted(predicted.tolist())
+
+    def test_logged_fraction_matches_graph_model(self):
+        """Observed protocol logging equals the CommGraph prediction."""
+        from repro.commgraph import graph_from_trace
+
+        sim, machine, clustering = build_setup()
+        protocol_run = run_with_protocol(
+            sim, machine, clustering, iterations=16, checkpoint_every=6,
+            trace=True,
+        )
+        graph = graph_from_trace(protocol_run.engine.tracer)
+        assert protocol_run.logged_fraction_observed == pytest.approx(
+            graph.logged_fraction(clustering.l1_labels)
+        )

@@ -1,0 +1,103 @@
+"""Sensitivity analysis — is Table II's reliability ordering calibration-proof?
+
+The catastrophic-failure probabilities depend on the failure-taxonomy
+parameters we calibrated (DESIGN.md §5). This bench perturbs every
+parameter over an order of magnitude in each direction and checks that the
+*qualitative* result — distributed ≪ hierarchical ≪ naive ≪ size-guided,
+and only the hierarchical clustering inside the 1e-3 baseline among
+non-distributed options — survives any calibration within the swept range.
+"""
+
+import itertools
+
+import pytest
+
+from repro.clustering import (
+    PartitionCost,
+    distributed_clustering,
+    hierarchical_clustering,
+    naive_clustering,
+    size_guided_clustering,
+)
+from repro.failures import CatastrophicModel, FailureTaxonomy
+from repro.machine import BlockPlacement
+from repro.util.tables import AsciiTable
+from repro.util.units import format_probability
+
+P_MULTI = (2e-5, 2e-4, 2e-3)
+ESCALATION = (0.01, 0.03, 0.1)
+
+
+def _strategies(scenario):
+    placement = scenario.placement
+    return [
+        naive_clustering(1024, 32),
+        size_guided_clustering(1024, 8),
+        distributed_clustering(placement, 16),
+        hierarchical_clustering(
+            scenario.node_comm_graph(), placement, cost=scenario.partition_cost
+        ),
+    ]
+
+
+def bench_taxonomy_sensitivity(benchmark, scenario):
+    """Time the 9-point taxonomy sweep over all four strategies."""
+    strategies = _strategies(scenario)
+    placement = scenario.placement
+
+    def sweep():
+        rows = []
+        for p_multi, escalation in itertools.product(P_MULTI, ESCALATION):
+            taxonomy = FailureTaxonomy(p_multi=p_multi, escalation=escalation)
+            model = CatastrophicModel(placement, taxonomy=taxonomy)
+            rows.append(
+                (
+                    p_multi,
+                    escalation,
+                    [model.probability(c) for c in strategies],
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = AsciiTable(
+        ["p_multi", "escalation"] + [c.name for c in strategies],
+        title="Taxonomy sensitivity — P[catastrophic] per calibration",
+    )
+    for p_multi, escalation, probs in rows:
+        table.add_row(
+            [f"{p_multi:g}", f"{escalation:g}"]
+            + [format_probability(p) for p in probs]
+        )
+    print("\n" + table.render())
+    for _, _, (p_naive, p_sg, p_dist, p_hier) in rows:
+        # The ordering is invariant over the whole calibration range.
+        assert p_dist < p_hier < p_naive < p_sg
+        # The headline verdicts are too.
+        assert p_hier <= 1e-3      # hierarchical always meets the baseline
+        assert p_sg > 1e-3         # size-guided never does
+
+
+class TestRobustness:
+    def test_soft_error_share_only_scales_everything(self, scenario):
+        """p_soft rescales all node-failure-driven probabilities equally;
+        the size-guided entry is pinned at 1 - p_soft."""
+        placement = scenario.placement
+        sg = size_guided_clustering(1024, 8)
+        for p_soft in (0.01, 0.05, 0.2):
+            taxonomy = FailureTaxonomy(p_soft=p_soft)
+            model = CatastrophicModel(placement, taxonomy=taxonomy)
+            assert model.probability(sg) == pytest.approx(1 - p_soft, abs=1e-3)
+
+    def test_extreme_correlation_still_orders_correctly(self, scenario):
+        """Even with cascades 100x more likely, hierarchical stays orders
+        of magnitude safer than naive."""
+        placement = scenario.placement
+        taxonomy = FailureTaxonomy(p_multi=2e-2, escalation=0.1)
+        model = CatastrophicModel(placement, taxonomy=taxonomy)
+        hier = hierarchical_clustering(
+            scenario.node_comm_graph(), placement, cost=scenario.partition_cost
+        )
+        p_hier = model.probability(hier)
+        p_naive = model.probability(naive_clustering(1024, 32))
+        assert p_hier < p_naive / 5

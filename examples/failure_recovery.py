@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""End-to-end failure containment: checkpoint, kill a node, recover, verify.
+
+Runs the tsunami application under the hybrid protocol (cluster-coordinated
+checkpoints + Reed–Solomon encoding + inter-cluster message logging) on a
+simulated 8-node machine, then:
+
+1. kills a node (its SSD — checkpoints included — is wiped);
+2. recovers *only* the failed L1 cluster: co-members reload local
+   checkpoints, the dead node's ranks are rebuilt by erasure decoding;
+3. replays the window since the checkpoint from the sender-based log;
+4. verifies the recovered states match the failure-free execution **bit
+   for bit**, then resumes the run to completion.
+
+Run:
+    python examples/failure_recovery.py
+"""
+
+import numpy as np
+
+from repro.apps import TsunamiConfig, TsunamiSimulation
+from repro.clustering import Clustering
+from repro.failures import FailureEvent
+from repro.hydee import RecoveryManager, run_with_protocol
+from repro.machine import Machine
+from repro.simmpi import run_program
+
+
+def main() -> None:
+    # 16 application ranks on 8 nodes; two L1 clusters of 4 nodes each,
+    # L2 encoding stripes of 4 across each cluster's nodes (§IV-B).
+    cfg = TsunamiConfig(px=4, py=4, nx=32, ny=32, iterations=20, allreduce_every=6)
+    sim = TsunamiSimulation(cfg)
+    machine = Machine(8, 2)
+    l1 = np.array([0] * 8 + [1] * 8)
+    l2 = np.array([(r // 2 // 4) * 2 + (r % 2) for r in range(16)])
+    clustering = Clustering("hierarchical-8-4", l1, l2)
+
+    print("Running 20 iterations under the hybrid protocol (checkpoint every 8)…")
+    run = run_with_protocol(
+        sim, machine, clustering, iterations=20, checkpoint_every=8
+    )
+    ck = run.checkpointer.stats
+    print(f"  checkpoints written: {ck.local_writes} "
+          f"({ck.local_bytes / 1024:.0f} KiB), encodings: {ck.encodings}")
+    print(f"  inter-cluster messages logged: {run.log.logged_messages} "
+          f"({run.log.logged_bytes / 1024:.0f} KiB)")
+
+    failure_iteration = 20
+    victim_node = 1
+    print(f"\nInjecting a failure of node {victim_node} at iteration "
+          f"{failure_iteration} (SSD wiped)…")
+    manager = RecoveryManager(sim, machine, run)
+    result = manager.recover(
+        FailureEvent(kind="node", nodes=(victim_node,)),
+        failure_iteration=failure_iteration,
+    )
+    print(f"  rolled back L1 cluster(s): {result.restarted_clusters} "
+          f"({len(result.restarted_ranks)} of 16 ranks = "
+          f"{100 * result.restart_fraction:.0f} %)")
+    print(f"  rollback to checkpoint of iteration {result.rollback_iteration}")
+    print(f"  erasure-decoded ranks (node lost): {result.decoded_ranks()}")
+
+    print("\nVerifying against the failure-free execution…")
+    reference = run_program(sim.make_program(iterations=failure_iteration), 16)
+    for rank in result.restarted_ranks:
+        np.testing.assert_array_equal(
+            result.recovered_states[rank]["eta"], reference[rank]["eta"]
+        )
+    manager.verify_send_determinism(result)
+    print("  recovered states are bit-identical; send-determinism verified.")
+
+    print("\nResuming the application to iteration 28…")
+    final = manager.resume(result, iterations=28)
+    reference_full = run_program(sim.make_program(iterations=28), 16)
+    for rank in range(16):
+        np.testing.assert_array_equal(
+            final[rank]["eta"], reference_full[rank]["eta"]
+        )
+    print("  resumed run matches the failure-free run to the last bit.")
+    print("\nFailure containment demonstrated: the second cluster never "
+          "rolled back, and the application state is exact.")
+
+
+if __name__ == "__main__":
+    main()

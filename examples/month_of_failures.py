@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""A month of failures: the four dimensions composed into one number.
+
+Table II scores clusterings along four separate axes; an operator cares
+about a single one — how much machine time fault tolerance eats. This
+example simulates month-long campaigns of MTBF-distributed failures
+against each clustering's concrete costs (checkpoint writes + encoding,
+contained restores with erasure decode, catastrophic PFS rollbacks) and
+prints the end-to-end efficiency, decomposed by cause.
+
+Run:
+    python examples/month_of_failures.py
+"""
+
+from repro.clustering import (
+    distributed_clustering,
+    hierarchical_clustering,
+    naive_clustering,
+    size_guided_clustering,
+)
+from repro.core import paper_scenario
+from repro.models import CampaignConfig, CampaignSimulator
+from repro.util import AsciiTable, format_duration
+
+
+def main() -> None:
+    scenario = paper_scenario(iterations=100)
+    config = CampaignConfig(
+        horizon_s=30 * 24 * 3600.0,
+        checkpoint_interval_s=1800.0,
+        node_mtbf_s=0.25 * 365 * 24 * 3600.0,
+    )
+    simulator = CampaignSimulator(scenario.machine, config)
+    strategies = [
+        naive_clustering(1024, 32),
+        size_guided_clustering(1024, 8),
+        distributed_clustering(scenario.placement, 16),
+        hierarchical_clustering(
+            scenario.node_comm_graph(),
+            scenario.placement,
+            cost=scenario.partition_cost,
+        ),
+    ]
+
+    print("Simulating a month on a stressed 64-node machine "
+          "(system MTBF ≈ 34 h, checkpoints every 30 min)…\n")
+    table = AsciiTable(
+        ["clustering", "failures", "catastrophic", "ckpt overhead",
+         "rework", "restore", "efficiency"],
+        title="One-month campaign, per clustering (mean of 5 samples)",
+    )
+    best_name, best_eff = None, -1.0
+    for i, clustering in enumerate(strategies):
+        runs = [simulator.run(clustering, rng=1000 + 31 * i + k) for k in range(5)]
+        eff = sum(r.efficiency for r in runs) / len(runs)
+        if eff > best_eff:
+            best_name, best_eff = clustering.name, eff
+        table.add_row(
+            [
+                clustering.name,
+                sum(r.n_failures for r in runs),
+                sum(r.n_catastrophic for r in runs),
+                format_duration(sum(r.checkpoint_overhead_s for r in runs) / 5),
+                format_duration(sum(r.rework_s for r in runs) / 5),
+                format_duration(sum(r.restore_s for r in runs) / 5),
+                f"{100 * eff:.2f}%",
+            ]
+        )
+    print(table.render())
+    print(f"\nBest end-to-end efficiency: {best_name} ({100 * best_eff:.2f}%).")
+    print("Each flat strategy loses through its weak dimension — naive to "
+          "slow encoding\nevery checkpoint, size-guided to catastrophic PFS "
+          "rollbacks, distributed to\nwide restarts — while the hierarchical "
+          "clustering pays none of them:\nthe paper's 'complete CR solution' "
+          "claim, composed and measured.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""§IV-A revisited: the brain-network analogy, measured on real workloads.
+
+The paper justifies hierarchical clustering with neuroscience: functional
+segregation (modular communities), degree distributions, and hierarchical
+modularity. This example computes those measures on the actual workload
+graphs and shows:
+
+1. the tsunami node graph is strongly modular — and three *independent*
+   partitioning methods (the [24]-style greedy optimizer, spectral
+   bisection, Newman modularity) all discover the same 16 × 4-node L1
+   structure;
+2. the hierarchical clustering exhibits exactly the designed modularity
+   profile: segregated at L1, deliberately de-segregated at L2;
+3. the all-to-all spectral workload has *no* community structure — the
+   §V caveat, quantified.
+
+Run:
+    python examples/network_analysis.py
+"""
+
+import numpy as np
+
+from repro.apps import SpectralConfig, SpectralSimulation
+from repro.clustering import (
+    PartitionCost,
+    hierarchical_clustering,
+    modularity_partition,
+    partition_node_graph,
+    spectral_partition,
+)
+from repro.commgraph import (
+    degree_statistics,
+    graph_from_trace,
+    hierarchical_modularity_profile,
+    modularity,
+    node_graph,
+    paper_tsunami_matrix,
+)
+from repro.machine import BlockPlacement
+from repro.simmpi import Engine, TraceRecorder
+
+
+def main() -> None:
+    g = paper_tsunami_matrix(iterations=100)
+    placement = BlockPlacement(64, 16)
+    ng = node_graph(g, placement)
+
+    print("Degree distribution of the 1024-process tsunami graph "
+          "(the 'low degree of connectivity' of [15]):")
+    for key, value in degree_statistics(g).items():
+        print(f"  {key:>5}: {value:.2f}")
+
+    print("\nThree independent partitioners on the node graph:")
+    greedy = partition_node_graph(
+        ng, min_cluster_nodes=4, cost=PartitionCost(1.0, 8.0)
+    )
+    spectral = spectral_partition(ng, min_cluster_nodes=4, max_cluster_nodes=4)
+    newman = modularity_partition(ng, min_cluster_nodes=4, max_cluster_nodes=4)
+    for name, labels in [
+        ("greedy [24]-style", greedy),
+        ("spectral bisection", spectral),
+        ("Newman modularity", newman),
+    ]:
+        sizes = sorted(set(np.bincount(labels).tolist()))
+        print(f"  {name:>20}: {labels.max() + 1} clusters of {sizes} nodes, "
+              f"Q = {modularity(ng, labels):.3f}")
+    assert (greedy == spectral).all() and (spectral == newman).all()
+    print("  -> all three agree exactly: the paper's 16 x 4-node L1 "
+          "structure is a property of the workload, not of the optimizer.")
+
+    clustering = hierarchical_clustering(
+        ng, placement, cost=PartitionCost(1.0, 8.0)
+    )
+    profile = hierarchical_modularity_profile(
+        g, clustering.l1_labels, clustering.l2_labels
+    )
+    print("\nHierarchical modularity profile (process graph):")
+    print(f"  L1 (containment) Q = {profile['l1_modularity']:.3f}  "
+          "<- segregation kept: little to log")
+    print(f"  L2 (encoding)    Q = {profile['l2_modularity']:.3f}  "
+          "<- segregation sacrificed for node-distribution")
+
+    print("\nThe §V caveat — an all-to-all workload has no communities:")
+    cfg = SpectralConfig(nranks=16, n=32, iterations=2, synthetic=True)
+    tracer = TraceRecorder(16)
+    Engine(16, tracer=tracer).run(SpectralSimulation(cfg).make_program())
+    a2a = graph_from_trace(tracer)
+    best_q = max(
+        modularity(a2a, np.arange(16) // s) for s in (2, 4, 8)
+    )
+    print(f"  best modularity over balanced partitions: Q = {best_q:.3f} "
+          "(~0: nothing to exploit)")
+    print("  -> 'applications using collective communication patterns' "
+          "need the partitioning treatment of [24] instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Reproduce the Fig. 5a/5b communication-matrix views as ASCII heatmaps.
+
+Runs the §V execution shape — tsunami application ranks plus one dedicated
+FTI encoder process per node — through the discrete-event MPI simulator and
+renders the traced byte matrix, pointing out each structure the paper
+identifies in the zoomed view.
+
+By default uses a scaled-down 16-node execution so it finishes in seconds;
+pass ``--full`` for the paper's 64 x 17 = 1088-rank shape.
+
+Run:
+    python examples/trace_gallery.py [--full]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import experiment_fig5ab
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    if full:
+        print("Running the full 1088-rank traced execution (~1 min)…")
+        study = experiment_fig5ab(
+            nodes=64, app_per_node=16, iterations=50, checkpoint_every=25
+        )
+    else:
+        print("Running a scaled-down 16-node traced execution…")
+        study = experiment_fig5ab(
+            nodes=16, app_per_node=4, iterations=24, checkpoint_every=8
+        )
+
+    print()
+    print(study.render_full(max_size=64))
+    print()
+    print(study.render_zoom())
+
+    print()
+    print("Annotations (cf. §V):")
+    enc = study.encoder_ranks[:4]
+    print(f"  * encoder processes at world ranks {enc} … — the app stencil")
+    print("    diagonals are interrupted exactly there;")
+    halo = study.kind_matrices["halo"]
+    ready = study.kind_matrices["fti-ready"]
+    ring = study.kind_matrices["fti-encode"]
+    ag = study.kind_matrices["allgather"]
+    total = study.bytes_matrix.sum()
+    print(f"  * stencil ghost exchange: {100 * halo.sum() / total:.1f} % of bytes"
+          " (the dark double diagonal);")
+    print(f"  * checkpoint-ready notifications into encoder rows: "
+          f"{int(ready.sum() / max(1, ready[ready > 0].size)) if ready.sum() else 0} B avg per link "
+          "(light horizontal lines);")
+    print(f"  * encoder Reed–Solomon ring: {np.count_nonzero(ring)} links "
+          "(isolated points at encoder intersections);")
+    print(f"  * FTI_Init MPI_Allgather: {np.count_nonzero(ag)} links on "
+          "power-of-two diagonals.")
+
+
+if __name__ == "__main__":
+    main()

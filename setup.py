@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline CI image has setuptools but no ``wheel``, which breaks PEP-517
+editable installs; keeping a setup.py lets ``pip install -e .`` fall back to
+``setup.py develop``. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

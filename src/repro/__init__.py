@@ -1,0 +1,33 @@
+"""repro — reproduction of *Hierarchical Clustering Strategies for Fault
+Tolerance in Large Scale HPC Systems* (Bautista-Gomez et al., CLUSTER 2012).
+
+The package provides:
+
+* :mod:`repro.simmpi` — a deterministic discrete-event MPI simulator;
+* :mod:`repro.machine` — machine/topology models (TSUBAME2 preset);
+* :mod:`repro.apps` — the tsunami shallow-water stencil and other workloads;
+* :mod:`repro.commgraph` — communication graphs and matrices;
+* :mod:`repro.clustering` — the paper's four clustering strategies and the
+  node-graph partitioner;
+* :mod:`repro.erasure` — GF(2^8) Reed–Solomon and XOR erasure codes;
+* :mod:`repro.ftilib` — FTI-style multilevel checkpointing;
+* :mod:`repro.hydee` — HydEE-style hybrid protocol (cluster-coordinated
+  checkpointing + inter-cluster message logging + contained recovery);
+* :mod:`repro.failures` — failure and reliability models;
+* :mod:`repro.models` — the four-dimensional analytic evaluation;
+* :mod:`repro.core` — the high-level framework, evaluator and experiment
+  drivers reproducing every figure and table of the paper.
+
+Quickstart::
+
+    from repro.core import ClusteringEvaluator, default_tsunami_scenario
+
+    scenario = default_tsunami_scenario(nodes=64, procs_per_node=16)
+    evaluator = ClusteringEvaluator.from_scenario(scenario)
+    report = evaluator.evaluate_all()
+    print(report.to_table())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

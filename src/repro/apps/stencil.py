@@ -1,0 +1,224 @@
+"""Generic 2-D domain decomposition and halo exchange.
+
+Both workloads (tsunami shallow-water, heat diffusion) are stencil codes:
+each rank owns a rectangular tile of a global grid and exchanges ghost
+(halo) rows/columns with its 4 neighbors every iteration — "processes
+communicate with their neighbors to share ghosts regions" (§III). This
+module holds the decomposition arithmetic and the exchange coroutine; the
+physics lives in the per-application modules.
+
+Rank numbering is **row-major**: rank = row · Px + col. With the paper's
+placement (consecutive ranks per node), east/west neighbors are ±1 — mostly
+intra-node — and north/south neighbors are ±Px — inter-node. That is what
+produces the "blue double diagonal" of Fig. 5a/5b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Direction indices, clockwise from north.
+NORTH, EAST, SOUTH, WEST = 0, 1, 2, 3
+_DIR_NAMES = ("north", "east", "south", "west")
+
+#: Base tag for halo messages; direction is encoded in the low bits.
+HALO_TAG_BASE = 1000
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A ``py × px`` grid of ranks over a ``ny × nx`` global cell grid.
+
+    ``px`` counts ranks along x (columns / width), ``py`` along y (rows /
+    height). Tiles must divide evenly — the paper's runs are powers of two.
+    """
+
+    px: int
+    py: int
+    nx: int
+    ny: int
+
+    def __post_init__(self) -> None:
+        if self.px <= 0 or self.py <= 0:
+            raise ValueError(f"process grid must be positive, got {self.px}x{self.py}")
+        if self.nx % self.px or self.ny % self.py:
+            raise ValueError(
+                f"grid {self.nx}x{self.ny} not divisible by process grid "
+                f"{self.px}x{self.py}"
+            )
+
+    @property
+    def nranks(self) -> int:
+        """Total rank count ``px · py``."""
+        return self.px * self.py
+
+    @property
+    def tile_nx(self) -> int:
+        """Tile width in cells."""
+        return self.nx // self.px
+
+    @property
+    def tile_ny(self) -> int:
+        """Tile height in cells."""
+        return self.ny // self.py
+
+    def coords_of(self, rank: int) -> tuple[int, int]:
+        """(row, col) of ``rank`` (row-major numbering)."""
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        return divmod(rank, self.px)
+
+    def rank_at(self, row: int, col: int) -> int:
+        """Rank at grid position (row, col)."""
+        if not (0 <= row < self.py and 0 <= col < self.px):
+            raise ValueError(f"coords ({row}, {col}) outside {self.py}x{self.px}")
+        return row * self.px + col
+
+    def neighbors_of(self, rank: int) -> tuple[int | None, int | None, int | None, int | None]:
+        """(north, east, south, west) neighbor ranks, ``None`` at walls."""
+        row, col = self.coords_of(rank)
+        return (
+            self.rank_at(row - 1, col) if row > 0 else None,
+            self.rank_at(row, col + 1) if col < self.px - 1 else None,
+            self.rank_at(row + 1, col) if row < self.py - 1 else None,
+            self.rank_at(row, col - 1) if col > 0 else None,
+        )
+
+    def tile_slices(self, rank: int) -> tuple[slice, slice]:
+        """Global (y, x) index slices of ``rank``'s tile."""
+        row, col = self.coords_of(rank)
+        ty, tx = self.tile_ny, self.tile_nx
+        return (slice(row * ty, (row + 1) * ty), slice(col * tx, (col + 1) * tx))
+
+
+def halo_exchange(
+    comm,
+    grid: ProcessGrid,
+    fields: list[np.ndarray],
+    *,
+    synthetic: bool = False,
+    tag_base: int = HALO_TAG_BASE,
+    kind: str = "halo",
+):
+    """Exchange 1-cell-deep ghost layers of padded tiles with 4 neighbors.
+
+    Every array in ``fields`` must be a padded tile of shape
+    ``(tile_ny + 2, tile_nx + 2)``; ghost layers of all fields travel in one
+    message per direction (as real stencil codes pack them).
+
+    In ``synthetic`` mode no data moves — messages carry only the byte count
+    — which is how 1024-rank traces stay cheap; the engine and tracer see
+    exactly the same messages either way.
+
+    This is a generator coroutine: call with ``yield from`` inside a rank
+    program. Message tags encode the direction so the four concurrent
+    exchanges never cross-match.
+    """
+    rank = comm.rank
+    neighbors = grid.neighbors_of(rank)
+    ty, tx = grid.tile_ny, grid.tile_nx
+    for f in fields:
+        if f.shape != (ty + 2, tx + 2):
+            raise ValueError(
+                f"field shape {f.shape} != padded tile ({ty + 2}, {tx + 2})"
+            )
+
+    # Interior slices sent to each direction, ghost slices filled from it.
+    send_slices = {
+        NORTH: (slice(1, 2), slice(1, -1)),
+        SOUTH: (slice(-2, -1), slice(1, -1)),
+        WEST: (slice(1, -1), slice(1, 2)),
+        EAST: (slice(1, -1), slice(-2, -1)),
+    }
+    recv_slices = {
+        NORTH: (slice(0, 1), slice(1, -1)),
+        SOUTH: (slice(-1, None), slice(1, -1)),
+        WEST: (slice(1, -1), slice(0, 1)),
+        EAST: (slice(1, -1), slice(-1, None)),
+    }
+    opposite = {NORTH: SOUTH, SOUTH: NORTH, EAST: WEST, WEST: EAST}
+    itemsize = fields[0].itemsize
+    edge_bytes = {
+        NORTH: len(fields) * tx * itemsize,
+        SOUTH: len(fields) * tx * itemsize,
+        EAST: len(fields) * ty * itemsize,
+        WEST: len(fields) * ty * itemsize,
+    }
+
+    recv_reqs: list[tuple[int, object]] = []
+    for direction in (NORTH, EAST, SOUTH, WEST):
+        neighbor = neighbors[direction]
+        if neighbor is None:
+            continue
+        # My message toward `direction` arrives at the neighbor labeled as
+        # coming from the opposite direction.
+        send_tag = tag_base + direction
+        recv_tag = tag_base + opposite[direction]
+        if synthetic:
+            payload = None
+        else:
+            payload = np.concatenate(
+                [f[send_slices[direction]].ravel() for f in fields]
+            )
+        yield from comm.isend(
+            payload,
+            dest=neighbor,
+            tag=send_tag,
+            nbytes=edge_bytes[direction],
+            kind=kind,
+        )
+        req = yield from comm.irecv(source=neighbor, tag=recv_tag)
+        recv_reqs.append((direction, req))
+
+    for direction, req in recv_reqs:
+        payload = yield from comm.wait(req)
+        if synthetic:
+            continue
+        sl = recv_slices[direction]
+        n = fields[0][sl].size
+        for i, f in enumerate(fields):
+            f[sl] = payload[i * n : (i + 1) * n].reshape(f[sl].shape)
+
+
+def synthetic_halo_exchange(
+    comm,
+    grid: ProcessGrid,
+    *,
+    nfields: int = 1,
+    itemsize: int = 8,
+    tag_base: int = HALO_TAG_BASE,
+    kind: str = "halo",
+):
+    """Metadata-only halo exchange: same messages and byte counts as
+    :func:`halo_exchange`, no arrays. Used for large-scale trace collection
+    where only the communication matrix matters.
+    """
+    rank = comm.rank
+    neighbors = grid.neighbors_of(rank)
+    opposite = {NORTH: SOUTH, SOUTH: NORTH, EAST: WEST, WEST: EAST}
+    edge_cells = {
+        NORTH: grid.tile_nx,
+        SOUTH: grid.tile_nx,
+        EAST: grid.tile_ny,
+        WEST: grid.tile_ny,
+    }
+    recv_reqs = []
+    for direction in (NORTH, EAST, SOUTH, WEST):
+        neighbor = neighbors[direction]
+        if neighbor is None:
+            continue
+        yield from comm.isend(
+            None,
+            dest=neighbor,
+            tag=tag_base + direction,
+            nbytes=nfields * edge_cells[direction] * itemsize,
+            kind=kind,
+        )
+        req = yield from comm.irecv(
+            source=neighbor, tag=tag_base + opposite[direction]
+        )
+        recv_reqs.append(req)
+    for req in recv_reqs:
+        yield from comm.wait(req)

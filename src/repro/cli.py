@@ -1,0 +1,216 @@
+"""Command-line interface: regenerate any exhibit of the paper from a shell.
+
+Examples::
+
+    python -m repro table2                 # the four-strategy comparison
+    python -m repro fig3 --sizes 4 8 32    # cluster-size study
+    python -m repro fig4a                  # reliability distribution study
+    python -m repro fig5 --nodes 16 --app-per-node 4   # traced heatmaps
+    python -m repro radar                  # Fig. 5c normalized comparison
+    python -m repro table1                 # platform parameters
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=100,
+        help="trace length in application iterations (default 100)",
+    )
+    parser.add_argument(
+        "--traced",
+        action="store_true",
+        help="run the discrete-event engine for the matrix instead of the "
+        "closed-form synthesis (slower, byte-identical)",
+    )
+
+
+def _scenario(args):
+    from repro.core import paper_scenario
+
+    return paper_scenario(iterations=args.iterations, traced=args.traced)
+
+
+def cmd_table1(args) -> int:
+    from repro.core import experiment_table1
+
+    print(experiment_table1())
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.core import experiment_table2
+
+    report = experiment_table2(_scenario(args))
+    print(report.to_table())
+    print(f"\nstrategies meeting the baseline: {report.satisfying()}")
+    return 0
+
+
+def cmd_fig3(args) -> int:
+    from repro.core import experiment_fig3
+
+    study = experiment_fig3(_scenario(args), sizes=tuple(args.sizes))
+    print(study.render())
+    print(f"\nFig. 3a sweet spot: {study.sweet_spot_3a()} processes")
+    return 0
+
+
+def cmd_fig4a(args) -> int:
+    from repro.core import experiment_fig4a
+
+    print(experiment_fig4a(sizes=tuple(args.sizes)).render())
+    return 0
+
+
+def cmd_fig4bc(args) -> int:
+    from repro.core import experiment_fig4bc
+
+    print(experiment_fig4bc(_scenario(args), sizes=tuple(args.sizes)).render())
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    from repro.core import experiment_fig5ab
+
+    study = experiment_fig5ab(
+        nodes=args.nodes,
+        app_per_node=args.app_per_node,
+        iterations=args.iterations,
+        checkpoint_every=args.checkpoint_every,
+    )
+    print(study.render_full(max_size=args.max_size))
+    print()
+    print(study.render_zoom())
+    return 0
+
+
+def cmd_radar(args) -> int:
+    from repro.core import experiment_fig5c
+
+    print(experiment_fig5c(_scenario(args)))
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from repro.clustering import (
+        distributed_clustering,
+        hierarchical_clustering,
+        naive_clustering,
+        size_guided_clustering,
+    )
+    from repro.models import CampaignConfig, CampaignSimulator
+    from repro.util import AsciiTable
+
+    scenario = _scenario(args)
+    simulator = CampaignSimulator(
+        scenario.machine,
+        CampaignConfig(
+            horizon_s=args.days * 24 * 3600.0,
+            checkpoint_interval_s=args.checkpoint_minutes * 60.0,
+            node_mtbf_s=args.node_mtbf_years * 365 * 24 * 3600.0,
+        ),
+    )
+    strategies = [
+        naive_clustering(scenario.placement.nranks, 32),
+        size_guided_clustering(scenario.placement.nranks, 8),
+        distributed_clustering(scenario.placement, 16),
+        hierarchical_clustering(
+            scenario.node_comm_graph(),
+            scenario.placement,
+            cost=scenario.partition_cost,
+        ),
+    ]
+    table = AsciiTable(
+        ["clustering", "failures", "catastrophic", "waste %", "efficiency %"],
+        title=f"{args.days}-day failure campaign",
+    )
+    for i, clustering in enumerate(strategies):
+        result = simulator.run(clustering, rng=args.seed + i)
+        table.add_row(
+            [
+                clustering.name,
+                result.n_failures,
+                result.n_catastrophic,
+                f"{100 * result.waste_fraction:.2f}",
+                f"{100 * result.efficiency:.2f}",
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of 'Hierarchical "
+        "Clustering Strategies for Fault Tolerance in Large Scale HPC "
+        "Systems' (CLUSTER 2012).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table I — platform parameters")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("table2", help="Table II — clustering comparison")
+    _add_scenario_args(p)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("fig3", help="Fig. 3 — cluster-size study")
+    _add_scenario_args(p)
+    p.add_argument(
+        "--sizes", type=int, nargs="+",
+        default=[2, 4, 8, 16, 32, 64, 128, 256],
+    )
+    p.set_defaults(func=cmd_fig3)
+
+    p = sub.add_parser("fig4a", help="Fig. 4a — reliability (128x8)")
+    p.add_argument("--sizes", type=int, nargs="+", default=[4, 8, 16])
+    p.set_defaults(func=cmd_fig4a)
+
+    p = sub.add_parser("fig4bc", help="Fig. 4b/4c — logging & restart (64x16)")
+    _add_scenario_args(p)
+    p.add_argument("--sizes", type=int, nargs="+", default=[4, 8, 16, 32])
+    p.set_defaults(func=cmd_fig4bc)
+
+    p = sub.add_parser("fig5", help="Fig. 5a/5b — traced heat maps")
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--app-per-node", type=int, default=4)
+    p.add_argument("--iterations", type=int, default=24)
+    p.add_argument("--checkpoint-every", type=int, default=8)
+    p.add_argument("--max-size", type=int, default=64)
+    p.set_defaults(func=cmd_fig5)
+
+    p = sub.add_parser("radar", help="Fig. 5c — normalized comparison")
+    _add_scenario_args(p)
+    p.set_defaults(func=cmd_radar)
+
+    p = sub.add_parser(
+        "campaign", help="long-run failure campaign (4 dims composed)"
+    )
+    _add_scenario_args(p)
+    p.add_argument("--days", type=float, default=30.0)
+    p.add_argument("--checkpoint-minutes", type=float, default=30.0)
+    p.add_argument("--node-mtbf-years", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=2012)
+    p.set_defaults(func=cmd_campaign)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

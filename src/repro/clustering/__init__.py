@@ -1,0 +1,34 @@
+"""Clustering strategies for coupled fast-checkpointing + failure containment.
+
+Implements all four strategies the paper studies — naïve, size-guided,
+distributed (§III) and the contributed hierarchical clustering (§IV) — plus
+the node-graph partitioner with the [24]-style cost function they build on.
+"""
+
+from repro.clustering.alternatives import modularity_partition, spectral_partition
+from repro.clustering.base import Clustering
+from repro.clustering.hierarchical import hierarchical_clustering, l2_striping
+from repro.clustering.partition import PartitionCost, partition_node_graph
+from repro.clustering.strategies import (
+    consecutive_clustering,
+    distributed_clustering,
+    naive_clustering,
+    size_guided_clustering,
+)
+from repro.clustering.validate import ValidationReport, validate_clustering
+
+__all__ = [
+    "Clustering",
+    "PartitionCost",
+    "ValidationReport",
+    "consecutive_clustering",
+    "distributed_clustering",
+    "hierarchical_clustering",
+    "modularity_partition",
+    "l2_striping",
+    "naive_clustering",
+    "partition_node_graph",
+    "size_guided_clustering",
+    "spectral_partition",
+    "validate_clustering",
+]

@@ -1,0 +1,165 @@
+"""Clustering representation shared by all four strategies.
+
+A :class:`Clustering` assigns every application process to
+
+* an **L1 cluster** — the failure-containment unit: checkpoints are
+  coordinated inside it, messages leaving it are logged, and a failure of
+  any member rolls the whole cluster back; and
+* an **L2 cluster** — the erasure-encoding unit: its members checkpoint
+  together and their checkpoint data is Reed–Solomon-encoded across them.
+
+The paper's flat strategies (naïve, size-guided, distributed) use the same
+clusters for both roles ("we use the same clustering for both", §III); the
+hierarchical strategy nests small L2 clusters inside large L1 clusters
+(§IV-B). Nesting — every L2 cluster fully contained in one L1 cluster — is
+an invariant validated at construction, because members of an encoding
+cluster must checkpoint and restart together (§III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _normalize_labels(labels: np.ndarray, what: str) -> np.ndarray:
+    """Validate and densify a label vector (ids become 0 … k-1, stable order)."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1 or labels.size == 0:
+        raise ValueError(f"{what} labels must be a non-empty 1-D array")
+    if not np.issubdtype(labels.dtype, np.integer):
+        raise ValueError(f"{what} labels must be integers, got {labels.dtype}")
+    if (labels < 0).any():
+        raise ValueError(f"{what} labels must be non-negative")
+    uniq, dense = np.unique(labels, return_inverse=True)
+    return dense.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class Clustering:
+    """Two-level cluster assignment over ``n`` application processes."""
+
+    name: str
+    l1_labels: np.ndarray
+    l2_labels: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        l1 = _normalize_labels(self.l1_labels, "L1")
+        object.__setattr__(self, "l1_labels", l1)
+        if self.l2_labels is None:
+            object.__setattr__(self, "l2_labels", l1.copy())
+        else:
+            l2 = _normalize_labels(self.l2_labels, "L2")
+            if l2.shape != l1.shape:
+                raise ValueError(
+                    f"L2 labels cover {l2.size} processes, L1 covers {l1.size}"
+                )
+            object.__setattr__(self, "l2_labels", l2)
+            self._check_nesting()
+
+    def _check_nesting(self) -> None:
+        """Every L2 cluster must live inside exactly one L1 cluster."""
+        for l2_id in range(self.n_l2_clusters):
+            members = np.flatnonzero(self.l2_labels == l2_id)
+            owners = np.unique(self.l1_labels[members])
+            if owners.size != 1:
+                raise ValueError(
+                    f"L2 cluster {l2_id} spans L1 clusters {owners.tolist()}: "
+                    "encoding clusters must checkpoint/restart as one unit"
+                )
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processes covered."""
+        return self.l1_labels.size
+
+    @property
+    def n_l1_clusters(self) -> int:
+        """Number of L1 (containment) clusters."""
+        return int(self.l1_labels.max()) + 1
+
+    @property
+    def n_l2_clusters(self) -> int:
+        """Number of L2 (encoding) clusters."""
+        return int(self.l2_labels.max()) + 1
+
+    @property
+    def is_hierarchical(self) -> bool:
+        """True when L2 is a strict refinement of L1."""
+        return self.n_l2_clusters > self.n_l1_clusters
+
+    # -- membership ----------------------------------------------------------
+
+    def l1_members(self, cluster: int) -> np.ndarray:
+        """Process indices of L1 cluster ``cluster``."""
+        self._check_cluster(cluster, self.n_l1_clusters)
+        return np.flatnonzero(self.l1_labels == cluster)
+
+    def l2_members(self, cluster: int) -> np.ndarray:
+        """Process indices of L2 cluster ``cluster``."""
+        self._check_cluster(cluster, self.n_l2_clusters)
+        return np.flatnonzero(self.l2_labels == cluster)
+
+    def l1_clusters(self) -> list[np.ndarray]:
+        """All L1 clusters as member arrays (ordered by cluster id)."""
+        return [self.l1_members(c) for c in range(self.n_l1_clusters)]
+
+    def l2_clusters(self) -> list[np.ndarray]:
+        """All L2 clusters as member arrays (ordered by cluster id)."""
+        return [self.l2_members(c) for c in range(self.n_l2_clusters)]
+
+    def l1_of(self, process: int) -> int:
+        """L1 cluster of ``process``."""
+        return int(self.l1_labels[self._check_proc(process)])
+
+    def l2_of(self, process: int) -> int:
+        """L2 cluster of ``process``."""
+        return int(self.l2_labels[self._check_proc(process)])
+
+    def l2_within_l1(self, l1_cluster: int) -> list[int]:
+        """L2 cluster ids nested inside ``l1_cluster``."""
+        members = self.l1_members(l1_cluster)
+        return sorted(int(c) for c in np.unique(self.l2_labels[members]))
+
+    # -- statistics -------------------------------------------------------------
+
+    def l1_sizes(self) -> np.ndarray:
+        """Member counts per L1 cluster."""
+        return np.bincount(self.l1_labels, minlength=self.n_l1_clusters)
+
+    def l2_sizes(self) -> np.ndarray:
+        """Member counts per L2 cluster."""
+        return np.bincount(self.l2_labels, minlength=self.n_l2_clusters)
+
+    def l2_node_spread(self, node_of) -> np.ndarray:
+        """Distinct node count per L2 cluster under mapping ``node_of``.
+
+        ``node_of`` maps a process index to its node; the reliability of the
+        erasure code is entirely determined by this spread (§II-C1).
+        """
+        spreads = np.empty(self.n_l2_clusters, dtype=np.int64)
+        for c in range(self.n_l2_clusters):
+            members = self.l2_members(c)
+            spreads[c] = len({node_of(int(p)) for p in members})
+        return spreads
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_proc(self, process: int) -> int:
+        if not 0 <= process < self.n:
+            raise ValueError(f"process {process} out of range [0, {self.n})")
+        return process
+
+    @staticmethod
+    def _check_cluster(cluster: int, count: int) -> None:
+        if not 0 <= cluster < count:
+            raise ValueError(f"cluster {cluster} out of range [0, {count})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Clustering({self.name!r}, n={self.n}, "
+            f"L1={self.n_l1_clusters}, L2={self.n_l2_clusters})"
+        )

@@ -1,0 +1,116 @@
+"""Structural validation of clusterings against the paper's requirements.
+
+The constraints come straight from §III/§IV: encoding clusters must nest
+inside containment clusters (enforced at construction), hierarchical L1
+clusters must be node-aligned and ≥ 4 nodes, L2 members must sit on
+pairwise-distinct nodes for the erasure code to survive node failures, and
+L2 sizes should be small and homogeneous for fast, balanced encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clustering.base import Clustering
+from repro.machine.placement import Placement
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_clustering`."""
+
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was found."""
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        """Raise ``ValueError`` listing all violations, if any."""
+        if self.violations:
+            raise ValueError(
+                "clustering validation failed:\n- " + "\n- ".join(self.violations)
+            )
+
+
+def validate_clustering(
+    clustering: Clustering,
+    placement: Placement | None = None,
+    *,
+    require_node_aligned_l1: bool = False,
+    require_l2_distinct_nodes: bool = False,
+    min_nodes_per_l1: int | None = None,
+    max_l2_size: int | None = None,
+    homogeneous_l2: bool = False,
+) -> ValidationReport:
+    """Check structural invariants; returns a report (never raises itself).
+
+    Placement-dependent checks require ``placement``; asking for one
+    without it is reported as a violation (misconfigured call sites should
+    not silently pass).
+    """
+    report = ValidationReport()
+    need_placement = (
+        require_node_aligned_l1
+        or require_l2_distinct_nodes
+        or min_nodes_per_l1 is not None
+    )
+    if need_placement and placement is None:
+        report.violations.append("placement required for the requested checks")
+        return report
+    if placement is not None and clustering.n != placement.nranks:
+        report.violations.append(
+            f"clustering covers {clustering.n} processes, placement "
+            f"{placement.nranks}"
+        )
+        return report
+
+    if require_node_aligned_l1:
+        for node in range(placement.nnodes):
+            ranks = placement.ranks_of_node(node)
+            owners = {clustering.l1_of(r) for r in ranks}
+            if len(owners) > 1:
+                report.violations.append(
+                    f"node {node} split across L1 clusters {sorted(owners)}"
+                )
+
+    if min_nodes_per_l1 is not None:
+        for c in range(clustering.n_l1_clusters):
+            nodes = {
+                placement.node_of_rank(int(r)) for r in clustering.l1_members(c)
+            }
+            if len(nodes) < min_nodes_per_l1:
+                report.violations.append(
+                    f"L1 cluster {c} spans {len(nodes)} nodes "
+                    f"(minimum {min_nodes_per_l1})"
+                )
+
+    if require_l2_distinct_nodes:
+        for c in range(clustering.n_l2_clusters):
+            members = clustering.l2_members(c)
+            nodes = [placement.node_of_rank(int(r)) for r in members]
+            if len(set(nodes)) != len(nodes):
+                report.violations.append(
+                    f"L2 cluster {c} has co-located members (nodes {nodes})"
+                )
+
+    if max_l2_size is not None:
+        sizes = clustering.l2_sizes()
+        for c in np.flatnonzero(sizes > max_l2_size):
+            report.violations.append(
+                f"L2 cluster {int(c)} has {int(sizes[c])} members "
+                f"(maximum {max_l2_size})"
+            )
+
+    if homogeneous_l2:
+        sizes = clustering.l2_sizes()
+        if sizes.size and sizes.max() - sizes.min() > 1:
+            report.violations.append(
+                f"L2 sizes not homogeneous: min {int(sizes.min())}, "
+                f"max {int(sizes.max())}"
+            )
+
+    return report

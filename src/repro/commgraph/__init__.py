@@ -1,0 +1,37 @@
+"""Communication graphs: construction from traces, synthesis, analysis.
+
+The bridge between application execution (:mod:`repro.apps` on
+:mod:`repro.simmpi`) and clustering decisions (:mod:`repro.clustering`).
+"""
+
+from repro.commgraph.analysis import (
+    degree_statistics,
+    hierarchical_modularity_profile,
+    modularity,
+    weighted_clustering_coefficient,
+)
+from repro.commgraph.builder import (
+    app_graph_from_trace,
+    graph_from_trace,
+    node_graph,
+)
+from repro.commgraph.graph import CommGraph
+from repro.commgraph.synthetic import (
+    paper_tsunami_matrix,
+    random_sparse_matrix,
+    synthetic_stencil_matrix,
+)
+
+__all__ = [
+    "CommGraph",
+    "app_graph_from_trace",
+    "degree_statistics",
+    "graph_from_trace",
+    "hierarchical_modularity_profile",
+    "modularity",
+    "node_graph",
+    "paper_tsunami_matrix",
+    "random_sparse_matrix",
+    "synthetic_stencil_matrix",
+    "weighted_clustering_coefficient",
+]

@@ -1,0 +1,57 @@
+"""High-level public API: scenarios, the four-dimensional evaluator, and
+experiment drivers reproducing every figure and table of the paper."""
+
+from repro.core.evaluator import ClusteringEvaluator, EvaluationReport
+from repro.core.experiments import (
+    ClusterSizeStudy,
+    DistributionStudy,
+    TraceStudy,
+    experiment_fig3,
+    experiment_fig4a,
+    experiment_fig4bc,
+    experiment_fig5ab,
+    experiment_fig5c,
+    experiment_table1,
+    experiment_table2,
+)
+from repro.core.montecarlo import (
+    MonteCarloScores,
+    montecarlo_scores,
+    validate_against_analytic,
+)
+from repro.core.plotting import ascii_bars, ascii_heatmap, radar_table
+from repro.core.scenario import (
+    PAPER_PARTITION_COST,
+    Scenario,
+    paper_scenario,
+    reliability_scenario,
+)
+
+#: Backwards-friendly alias used in the README quickstart.
+default_tsunami_scenario = paper_scenario
+
+__all__ = [
+    "ClusterSizeStudy",
+    "ClusteringEvaluator",
+    "DistributionStudy",
+    "EvaluationReport",
+    "MonteCarloScores",
+    "PAPER_PARTITION_COST",
+    "Scenario",
+    "TraceStudy",
+    "ascii_bars",
+    "ascii_heatmap",
+    "default_tsunami_scenario",
+    "experiment_fig3",
+    "experiment_fig4a",
+    "experiment_fig4bc",
+    "experiment_fig5ab",
+    "experiment_fig5c",
+    "experiment_table1",
+    "experiment_table2",
+    "montecarlo_scores",
+    "paper_scenario",
+    "radar_table",
+    "reliability_scenario",
+    "validate_against_analytic",
+]

@@ -1,0 +1,177 @@
+"""Four-dimensional clustering evaluation — the machinery behind Table II.
+
+Given a :class:`~repro.core.scenario.Scenario`, the evaluator scores any
+clustering along the paper's four axes:
+
+1. message-logging overhead — fraction of application bytes crossing L1
+   boundaries (:mod:`repro.models.logging_overhead`);
+2. recovery cost — expected fraction of processes rolled back by a
+   uniformly random single-node failure (:mod:`repro.models.recovery_cost`);
+3. encoding time — s/GB for the clustering's L2 size, from the calibrated
+   linear law (:mod:`repro.models.encoding_time`);
+4. reliability — P[catastrophic] from the failure taxonomy
+   (:mod:`repro.failures.catastrophic`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.base import Clustering
+from repro.clustering.hierarchical import hierarchical_clustering
+from repro.clustering.strategies import (
+    distributed_clustering,
+    naive_clustering,
+    size_guided_clustering,
+)
+from repro.core.scenario import Scenario
+from repro.failures.catastrophic import CatastrophicModel
+from repro.models.baseline import PAPER_BASELINE, BaselineRequirements, FourDimScore
+from repro.models.encoding_time import EncodingTimeModel
+from repro.models.recovery_cost import expected_restart_fraction
+from repro.util.tables import AsciiTable
+
+
+@dataclass
+class EvaluationReport:
+    """Scores for a set of clusterings plus baseline verdicts."""
+
+    scores: list[FourDimScore]
+    baseline: BaselineRequirements
+
+    def satisfying(self) -> list[str]:
+        """Names of clusterings inside the baseline polygon on all axes."""
+        return [s.name for s in self.scores if self.baseline.satisfied(s)]
+
+    def score_named(self, name: str) -> FourDimScore:
+        """Look up one clustering's score."""
+        for s in self.scores:
+            if s.name == name:
+                return s
+        raise KeyError(f"no score named {name!r}")
+
+    def normalized(self) -> dict[str, dict[str, float]]:
+        """Fig. 5c radar data: per clustering, per axis, score/baseline."""
+        return {s.name: self.baseline.normalized(s) for s in self.scores}
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for CI artifacts and regression diffs)."""
+        return {
+            "baseline": {
+                "max_logging_fraction": self.baseline.max_logging_fraction,
+                "max_encoding_s_per_gb": self.baseline.max_encoding_s_per_gb,
+                "max_prob_catastrophic": self.baseline.max_prob_catastrophic,
+                "max_recovery_fraction": self.baseline.max_recovery_fraction,
+            },
+            "scores": [
+                {
+                    "name": s.name,
+                    "logging_fraction": s.logging_fraction,
+                    "recovery_fraction": s.recovery_fraction,
+                    "encoding_s_per_gb": s.encoding_s_per_gb,
+                    "prob_catastrophic": s.prob_catastrophic,
+                    "satisfies_baseline": self.baseline.satisfied(s),
+                }
+                for s in self.scores
+            ],
+        }
+
+    def save_json(self, path) -> None:
+        """Write :meth:`to_dict` to ``path`` as indented JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    def to_table(self, *, title: str = "Clustering comparison (Table II)") -> str:
+        """Render the Table II-style comparison."""
+        table = AsciiTable(
+            [
+                "Clustering method",
+                "Msg.Log. overhead",
+                "Recovery cost",
+                "Encoding time (1GB)",
+                "Prob. cat. failure",
+                "meets baseline",
+            ],
+            title=title,
+        )
+        for s in self.scores:
+            table.add_row(s.as_row() + ["yes" if self.baseline.satisfied(s) else "NO"])
+        return table.render()
+
+
+class ClusteringEvaluator:
+    """Scores clusterings on one scenario; builds the paper's strategy set."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        baseline: BaselineRequirements = PAPER_BASELINE,
+        encoding_model: EncodingTimeModel | None = None,
+    ):
+        self.scenario = scenario
+        self.baseline = baseline
+        self.encoding_model = encoding_model or EncodingTimeModel()
+        self.catastrophic = CatastrophicModel(
+            scenario.placement, taxonomy=scenario.taxonomy
+        )
+
+    @classmethod
+    def from_scenario(cls, scenario: Scenario) -> "ClusteringEvaluator":
+        """Alias constructor matching the README quickstart."""
+        return cls(scenario)
+
+    # -- scoring --------------------------------------------------------------
+
+    def typical_l2_size(self, clustering: Clustering) -> int:
+        """Median L2 cluster size (the encoding-time driver)."""
+        return int(np.median(clustering.l2_sizes()))
+
+    def evaluate(self, clustering: Clustering) -> FourDimScore:
+        """Score one clustering along all four dimensions."""
+        scenario = self.scenario
+        return FourDimScore(
+            name=clustering.name,
+            logging_fraction=scenario.graph.logged_fraction(
+                clustering.l1_labels
+            ),
+            recovery_fraction=expected_restart_fraction(
+                clustering, scenario.placement
+            ),
+            encoding_s_per_gb=self.encoding_model.seconds_per_gb(
+                self.typical_l2_size(clustering)
+            ),
+            prob_catastrophic=self.catastrophic.probability(clustering),
+        )
+
+    # -- the paper's strategy set -------------------------------------------------
+
+    def paper_strategies(self) -> list[Clustering]:
+        """The four Table II rows: naïve-32, size-guided-8, distributed-16,
+        hierarchical (L1 ≥ 4 nodes, L2 stripes of 4)."""
+        scenario = self.scenario
+        n = scenario.placement.nranks
+        return [
+            naive_clustering(n, 32),
+            size_guided_clustering(n, 8),
+            distributed_clustering(scenario.placement, 16),
+            hierarchical_clustering(
+                scenario.node_comm_graph(),
+                scenario.placement,
+                cost=scenario.partition_cost,
+            ),
+        ]
+
+    def evaluate_all(
+        self, clusterings: list[Clustering] | None = None
+    ) -> EvaluationReport:
+        """Score a set of clusterings (default: the paper's four)."""
+        clusterings = clusterings or self.paper_strategies()
+        return EvaluationReport(
+            scores=[self.evaluate(c) for c in clusterings],
+            baseline=self.baseline,
+        )

@@ -1,0 +1,136 @@
+"""Monte-Carlo validation of the analytic four-dimensional scores.
+
+The Table II pipeline computes the recovery and reliability columns from
+closed-form models. This module re-derives both *empirically*: sample
+failure events from the same taxonomy, apply each to the clustering, and
+measure the restart fraction and catastrophic rate directly. The analytic
+and sampled values must agree within sampling error — a cross-validation
+that guards the whole evaluation against model-implementation drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.base import Clustering
+from repro.core.scenario import Scenario
+from repro.failures.catastrophic import CatastrophicModel, MonteCarloEstimator
+from repro.models.recovery_cost import restart_set_for_nodes
+from repro.util.rng import resolve_rng
+
+
+@dataclass(frozen=True)
+class MonteCarloScores:
+    """Empirical counterparts of two FourDimScore columns."""
+
+    name: str
+    n_samples: int
+    restart_fraction_mean: float
+    restart_fraction_p95: float
+    catastrophic_rate: float
+    soft_error_share: float
+
+    def summary(self) -> str:
+        """One-line report for benches and examples."""
+        return (
+            f"{self.name}: restart mean {100 * self.restart_fraction_mean:.2f}% "
+            f"(p95 {100 * self.restart_fraction_p95:.2f}%), "
+            f"catastrophic rate {self.catastrophic_rate:.3g} "
+            f"over {self.n_samples} sampled failures"
+        )
+
+
+def montecarlo_scores(
+    scenario: Scenario,
+    clustering: Clustering,
+    *,
+    n_samples: int = 2000,
+    rng=None,
+) -> MonteCarloScores:
+    """Sample failures and measure restart fraction + catastrophic rate.
+
+    Soft errors roll back the process's own L1 cluster; node events roll
+    back the union of the affected clusters (exactly the protocol's
+    restart-set rule, :func:`repro.models.restart_set_for_nodes`).
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    gen = resolve_rng(rng)
+    model = CatastrophicModel(scenario.placement, taxonomy=scenario.taxonomy)
+    sampler = MonteCarloEstimator(model, rng=gen)
+
+    restart_fractions = np.empty(n_samples)
+    catastrophic = 0
+    soft = 0
+    n = clustering.n
+    for i in range(n_samples):
+        event = sampler.sample_event()
+        if event.kind == "soft":
+            soft += 1
+            members = clustering.l1_members(clustering.l1_of(event.process))
+            restart_fractions[i] = members.size / n
+        else:
+            restart = restart_set_for_nodes(
+                clustering, scenario.placement, event.nodes
+            )
+            restart_fractions[i] = restart.size / n
+        if model.event_is_catastrophic(clustering, event):
+            catastrophic += 1
+
+    return MonteCarloScores(
+        name=clustering.name,
+        n_samples=n_samples,
+        restart_fraction_mean=float(restart_fractions.mean()),
+        restart_fraction_p95=float(np.quantile(restart_fractions, 0.95)),
+        catastrophic_rate=catastrophic / n_samples,
+        soft_error_share=soft / n_samples,
+    )
+
+
+def validate_against_analytic(
+    scenario: Scenario,
+    clustering: Clustering,
+    *,
+    n_samples: int = 2000,
+    rng=None,
+    restart_tolerance: float = 0.02,
+) -> dict[str, float]:
+    """Run the Monte Carlo and compare with the analytic models.
+
+    Returns the absolute deviations; raises ``AssertionError`` when the
+    sampled restart fraction strays beyond ``restart_tolerance`` of the
+    analytic node-failure expectation (adjusted for the soft-error mix).
+    """
+    from repro.models.recovery_cost import expected_restart_fraction
+
+    mc = montecarlo_scores(
+        scenario, clustering, n_samples=n_samples, rng=rng
+    )
+    analytic_node = expected_restart_fraction(clustering, scenario.placement)
+    model = CatastrophicModel(scenario.placement, taxonomy=scenario.taxonomy)
+    analytic_cat = model.probability(clustering)
+
+    # Analytic expectation under the event mixture: soft errors restart one
+    # cluster (size of the process's own cluster), node events ~ the
+    # single-node expectation (multi-node cascades are vanishingly rare).
+    p_soft = scenario.taxonomy.p_soft
+    mean_cluster = float(
+        (clustering.l1_sizes() ** 2).sum() / clustering.n**2
+    )
+    analytic_mixture = p_soft * mean_cluster + (1 - p_soft) * analytic_node
+
+    deviation = abs(mc.restart_fraction_mean - analytic_mixture)
+    if deviation > restart_tolerance:
+        raise AssertionError(
+            f"Monte-Carlo restart {mc.restart_fraction_mean:.4f} deviates "
+            f"{deviation:.4f} from analytic {analytic_mixture:.4f}"
+        )
+    return {
+        "restart_deviation": deviation,
+        "analytic_restart": analytic_mixture,
+        "mc_restart": mc.restart_fraction_mean,
+        "analytic_catastrophic": analytic_cat,
+        "mc_catastrophic": mc.catastrophic_rate,
+    }

@@ -1,0 +1,118 @@
+"""Terminal rendering of the paper's figures: heatmaps, bars, radar.
+
+The benchmark harness reproduces figures as text so results are reviewable
+in CI logs without a display: Fig. 5a/5b as log-scale ASCII heatmaps,
+Fig. 3/4 as labeled bar charts, Fig. 5c as a normalized radar table.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+#: Density ramp for heatmaps, darkest last (matches "dark blue = high").
+HEAT_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    *,
+    max_size: int = 64,
+    log_scale: bool = True,
+    ramp: str = HEAT_RAMP,
+) -> str:
+    """Render a byte matrix like Fig. 5a/5b (sender on x, receiver on y).
+
+    Matrices larger than ``max_size`` are block-reduced (sums) first, which
+    is what a pixel-downsampled scatter plot of the full 1024² matrix shows.
+    """
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"heatmap needs a square matrix, got {m.shape}")
+    n = m.shape[0]
+    if n > max_size:
+        factor = -(-n // max_size)
+        padded_n = factor * max_size
+        padded = np.zeros((padded_n, padded_n))
+        padded[:n, :n] = m
+        m = padded.reshape(max_size, factor, max_size, factor).sum(axis=(1, 3))
+    values = m.copy()
+    if log_scale:
+        with np.errstate(divide="ignore"):
+            values = np.where(values > 0, np.log10(values), -np.inf)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        lo, hi = 0.0, 1.0
+    else:
+        lo, hi = float(finite.min()), float(finite.max())
+        if hi <= lo:
+            hi = lo + 1.0
+    lines = []
+    for row in values:
+        chars = []
+        for v in row:
+            if not math.isfinite(v):
+                chars.append(ramp[0])
+            else:
+                level = (v - lo) / (hi - lo)
+                idx = 1 + int(level * (len(ramp) - 2))
+                chars.append(ramp[min(idx, len(ramp) - 1)])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 48,
+    unit: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Horizontal bar chart with aligned labels (Fig. 3/4-style series)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return ""
+    vals = np.asarray(values, dtype=np.float64)
+    if log_scale:
+        positive = vals[vals > 0]
+        floor = math.log10(positive.min()) if positive.size else 0.0
+        scaled = np.where(
+            vals > 0, np.log10(np.maximum(vals, 1e-300)) - floor + 1e-9, 0.0
+        )
+    else:
+        scaled = vals
+    peak = scaled.max() if scaled.max() > 0 else 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value, s in zip(labels, vals, scaled):
+        bar = "#" * max(0, int(round(width * s / peak)))
+        lines.append(f"{str(label).rjust(label_w)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def radar_table(
+    normalized: dict[str, dict[str, float]],
+    *,
+    axes: Sequence[str] = ("logging", "recovery", "encoding", "reliability"),
+) -> str:
+    """Fig. 5c as text: normalized scores, ≤ 1.0 means inside the baseline."""
+    from repro.util.tables import AsciiTable
+
+    table = AsciiTable(
+        ["clustering"] + [f"{a} (≤1)" for a in axes] + ["inside baseline"],
+        title="Fig. 5c — overall clustering comparison vs. baseline",
+    )
+    for name, scores in normalized.items():
+        cells = [name]
+        inside = True
+        for axis in axes:
+            v = scores[axis]
+            cells.append("inf" if math.isinf(v) else f"{v:.3f}")
+            inside = inside and v <= 1.0
+        cells.append("yes" if inside else "NO")
+        table.add_row(cells)
+    return table.render()

@@ -1,0 +1,35 @@
+"""Erasure codes for diskless checkpointing: GF(2^8), Reed–Solomon, XOR."""
+
+from repro.erasure.gf256 import (
+    EXP_TABLE,
+    LOG_TABLE,
+    PRIMITIVE_POLY,
+    cauchy_matrix,
+    gf_div,
+    gf_inv,
+    gf_mat_inv,
+    gf_matmul,
+    gf_mul,
+    gf_mul_scalar_vec,
+    gf_pow,
+)
+from repro.erasure.reed_solomon import DecodeError, ReedSolomonCode
+from repro.erasure.xor_code import XorCode, XorDecodeError
+
+__all__ = [
+    "DecodeError",
+    "EXP_TABLE",
+    "LOG_TABLE",
+    "PRIMITIVE_POLY",
+    "ReedSolomonCode",
+    "XorCode",
+    "XorDecodeError",
+    "cauchy_matrix",
+    "gf_div",
+    "gf_inv",
+    "gf_mat_inv",
+    "gf_matmul",
+    "gf_mul",
+    "gf_mul_scalar_vec",
+    "gf_pow",
+]

@@ -1,0 +1,161 @@
+"""Vectorized GF(2^8) arithmetic — the substrate of Reed–Solomon encoding.
+
+FTI encodes checkpoints with Reed–Solomon over the byte field GF(2^8)
+(§II-B1). This module implements the field with the classic log/antilog
+tables over the AES-adjacent primitive polynomial ``x^8+x^4+x^3+x^2+1``
+(0x11d), fully vectorized with NumPy so encoding throughput is measured in
+hundreds of MB/s rather than bytes/s — the guides' "vectorize the hot loop"
+rule applied to the innermost kernel of the library.
+
+All public functions accept scalars or ``uint8`` arrays and broadcast like
+normal NumPy ufuncs. Addition in GF(2^8) is XOR; use ``^`` directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The primitive polynomial generating the field (0x11d).
+PRIMITIVE_POLY: int = 0x11D
+
+# Build exp/log tables. EXP is doubled so EXP[LOG[a] + LOG[b]] never needs a
+# modulo — the index stays below 510.
+_EXP = np.zeros(512, dtype=np.uint8)
+_LOG = np.zeros(256, dtype=np.int32)
+_x = 1
+for _i in range(255):
+    _EXP[_i] = _x
+    _LOG[_x] = _i
+    _x <<= 1
+    if _x & 0x100:
+        _x ^= PRIMITIVE_POLY
+_EXP[255:510] = _EXP[:255]
+_LOG[0] = 0  # convention; multiplication masks zeros explicitly
+
+EXP_TABLE = _EXP
+LOG_TABLE = _LOG
+
+
+def _as_u8(a) -> np.ndarray:
+    arr = np.asarray(a)
+    if arr.dtype != np.uint8:
+        if np.issubdtype(arr.dtype, np.integer) and arr.min(initial=0) >= 0 and arr.max(initial=0) <= 255:
+            arr = arr.astype(np.uint8)
+        else:
+            raise ValueError("GF(2^8) elements must be integers in [0, 255]")
+    return arr
+
+
+def gf_mul(a, b) -> np.ndarray:
+    """Elementwise product in GF(2^8) (broadcasts like ``np.multiply``)."""
+    a = _as_u8(a)
+    b = _as_u8(b)
+    result = EXP_TABLE[LOG_TABLE[a] + LOG_TABLE[b]]
+    zero = (a == 0) | (b == 0)
+    return np.where(zero, np.uint8(0), result)
+
+
+def gf_inv(a) -> np.ndarray:
+    """Elementwise multiplicative inverse; raises on zero."""
+    a = _as_u8(a)
+    if np.any(a == 0):
+        raise ZeroDivisionError("0 has no inverse in GF(2^8)")
+    return EXP_TABLE[255 - LOG_TABLE[a]]
+
+
+def gf_div(a, b) -> np.ndarray:
+    """Elementwise ``a / b``; raises when ``b`` has zeros."""
+    b = _as_u8(b)
+    if np.any(b == 0):
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    a = _as_u8(a)
+    result = EXP_TABLE[LOG_TABLE[a] - LOG_TABLE[b] + 255]
+    return np.where(a == 0, np.uint8(0), result)
+
+
+def gf_pow(a, n: int) -> np.ndarray:
+    """Elementwise ``a ** n`` (``n`` may be negative for nonzero bases)."""
+    a = _as_u8(a)
+    if n == 0:
+        return np.ones_like(a)
+    if np.any(a == 0) and n < 0:
+        raise ZeroDivisionError("0 cannot be raised to a negative power")
+    exponent = (LOG_TABLE[a] * n) % 255
+    result = EXP_TABLE[exponent]
+    if n > 0:
+        return np.where(a == 0, np.uint8(0), result)
+    return result
+
+
+def gf_mul_scalar_vec(c: int, v: np.ndarray) -> np.ndarray:
+    """Scalar × vector product — the encoding hot path, one table gather."""
+    v = _as_u8(v)
+    if c == 0:
+        return np.zeros_like(v)
+    lc = LOG_TABLE[c]
+    out = EXP_TABLE[lc + LOG_TABLE[v]]
+    out[v == 0] = 0
+    return out
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2^8): ``(m,k) @ (k,L) -> (m,L)``.
+
+    Row-accumulation with XOR; each coefficient costs one vectorized gather
+    over the data row, so the work is ``O(m·k·L)`` byte ops.
+    """
+    a = _as_u8(np.atleast_2d(a))
+    b = _as_u8(np.atleast_2d(b))
+    m, k = a.shape
+    k2, ell = b.shape
+    if k != k2:
+        raise ValueError(f"shape mismatch: ({m},{k}) @ ({k2},{ell})")
+    out = np.zeros((m, ell), dtype=np.uint8)
+    for i in range(m):
+        acc = out[i]
+        row = a[i]
+        for j in range(k):
+            c = int(row[j])
+            if c:
+                acc ^= gf_mul_scalar_vec(c, b[j])
+    return out
+
+
+def gf_mat_inv(a: np.ndarray) -> np.ndarray:
+    """Matrix inverse over GF(2^8) by Gauss–Jordan elimination.
+
+    Raises ``np.linalg.LinAlgError`` on singular input.
+    """
+    a = _as_u8(np.atleast_2d(a))
+    n, n2 = a.shape
+    if n != n2:
+        raise ValueError(f"matrix must be square, got {a.shape}")
+    aug = np.concatenate([a.copy(), np.eye(n, dtype=np.uint8)], axis=1)
+    for col in range(n):
+        pivot_rows = np.flatnonzero(aug[col:, col]) + col
+        if pivot_rows.size == 0:
+            raise np.linalg.LinAlgError("singular matrix over GF(2^8)")
+        pivot = pivot_rows[0]
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        inv_p = int(gf_inv(aug[col, col]))
+        aug[col] = gf_mul_scalar_vec(inv_p, aug[col])
+        for row in range(n):
+            if row != col and aug[row, col]:
+                aug[row] ^= gf_mul_scalar_vec(int(aug[row, col]), aug[col])
+    return aug[:, n:].copy()
+
+
+def cauchy_matrix(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Cauchy matrix ``C[i,j] = 1 / (x_i ^ y_j)`` over GF(2^8).
+
+    ``xs`` and ``ys`` must be disjoint element sets; every square submatrix
+    of a Cauchy matrix is invertible, which is exactly the property that
+    makes any-k-of-n Reed–Solomon recovery work.
+    """
+    xs = _as_u8(np.asarray(xs))
+    ys = _as_u8(np.asarray(ys))
+    if np.intersect1d(xs, ys).size:
+        raise ValueError("xs and ys must be disjoint for a Cauchy matrix")
+    denom = xs[:, None] ^ ys[None, :]
+    return gf_inv(denom)

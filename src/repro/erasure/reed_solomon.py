@@ -1,0 +1,141 @@
+"""Systematic Reed–Solomon erasure code over GF(2^8).
+
+FTI's L3 checkpoint level encodes the checkpoints of an encoding cluster
+with Reed–Solomon so the cluster survives up to ``m`` member losses
+(§II-B1: "several encoding techniques, such as bit-wise XOR or
+Reed-Solomon, exist and provide different encoding complexities and
+different reliability levels").
+
+The code is *systematic*: the ``k`` data shards are stored as-is and ``m``
+parity shards are appended, generated with a Cauchy matrix — every square
+submatrix of which is invertible, so **any** ``k`` surviving shards
+reconstruct the data regardless of which ``m`` were lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.erasure.gf256 import cauchy_matrix, gf_mat_inv, gf_matmul
+
+
+class DecodeError(Exception):
+    """Raised when reconstruction is impossible (too few shards, bad input)."""
+
+
+@dataclass(frozen=True)
+class ReedSolomonCode:
+    """An ``(k + m, k)`` systematic Reed–Solomon erasure code.
+
+    Parameters
+    ----------
+    k:
+        Number of data shards (checkpoints in the encoding cluster).
+    m:
+        Number of parity shards; the code tolerates any ``m`` erasures.
+    """
+
+    k: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1 or self.m < 0:
+            raise ValueError(f"need k >= 1 and m >= 0, got k={self.k}, m={self.m}")
+        if self.k + self.m > 256:
+            raise ValueError(
+                f"k + m = {self.k + self.m} exceeds the GF(2^8) limit of 256"
+            )
+
+    @property
+    def n(self) -> int:
+        """Total shard count ``k + m``."""
+        return self.k + self.m
+
+    def parity_matrix(self) -> np.ndarray:
+        """The ``(m, k)`` Cauchy generator of the parity shards."""
+        xs = np.arange(self.k, self.k + self.m, dtype=np.uint8)
+        ys = np.arange(self.k, dtype=np.uint8)
+        return cauchy_matrix(xs, ys)
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Compute the ``(m, L)`` parity shards of ``(k, L)`` data shards."""
+        data = self._check_data(data)
+        if self.m == 0:
+            return np.zeros((0, data.shape[1]), dtype=np.uint8)
+        return gf_matmul(self.parity_matrix(), data)
+
+    def encode_shards(self, data: np.ndarray) -> np.ndarray:
+        """Full ``(k + m, L)`` shard array: data stacked over parity."""
+        data = self._check_data(data)
+        return np.concatenate([data, self.encode(data)], axis=0)
+
+    # -- decoding ---------------------------------------------------------------
+
+    def decode(self, shards: dict[int, np.ndarray]) -> np.ndarray:
+        """Reconstruct the ``(k, L)`` data from any ``k`` surviving shards.
+
+        ``shards`` maps shard index (0 … n-1; < k data, ≥ k parity) to its
+        bytes. Extra shards beyond ``k`` are allowed — the lowest-index
+        ``k`` are used.
+        """
+        if len(shards) < self.k:
+            raise DecodeError(
+                f"need at least k={self.k} shards, got {len(shards)}"
+            )
+        indices = sorted(shards)[: self.k]
+        if indices and (indices[0] < 0 or indices[-1] >= self.n):
+            raise DecodeError(f"shard indices must be in [0, {self.n})")
+        lengths = {shards[i].shape[-1] for i in indices}
+        if len(lengths) != 1:
+            raise DecodeError(f"shards have inconsistent lengths: {lengths}")
+
+        # Fast path: all data shards survived.
+        if indices == list(range(self.k)):
+            return np.stack([np.asarray(shards[i], dtype=np.uint8) for i in indices])
+
+        parity = self.parity_matrix()
+        rows = np.zeros((self.k, self.k), dtype=np.uint8)
+        collected = np.zeros((self.k, next(iter(lengths))), dtype=np.uint8)
+        for out_row, idx in enumerate(indices):
+            if idx < self.k:
+                rows[out_row, idx] = 1
+            else:
+                rows[out_row] = parity[idx - self.k]
+            collected[out_row] = np.asarray(shards[idx], dtype=np.uint8)
+        try:
+            inverse = gf_mat_inv(rows)
+        except np.linalg.LinAlgError as exc:  # pragma: no cover - Cauchy
+            raise DecodeError("survivor matrix is singular") from exc
+        return gf_matmul(inverse, collected)
+
+    def reconstruct_shard(self, shards: dict[int, np.ndarray], index: int) -> np.ndarray:
+        """Rebuild one specific shard (data or parity) from survivors."""
+        data = self.decode(shards)
+        if index < 0 or index >= self.n:
+            raise DecodeError(f"shard index {index} out of range [0, {self.n})")
+        if index < self.k:
+            return data[index]
+        return gf_matmul(self.parity_matrix()[index - self.k : index - self.k + 1], data)[0]
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_data(self, data: np.ndarray) -> np.ndarray:
+        data = np.atleast_2d(np.asarray(data, dtype=np.uint8))
+        if data.shape[0] != self.k:
+            raise ValueError(
+                f"expected {self.k} data shards, got {data.shape[0]}"
+            )
+        return data
+
+    def encoding_byte_ops(self, shard_bytes: int) -> int:
+        """Number of GF multiply-accumulate byte operations per encode.
+
+        ``m·k`` coefficient applications over ``shard_bytes`` — the quantity
+        the analytic encoding-time model (and Fig. 3b's linear-in-k shape)
+        is built on.
+        """
+        return self.m * self.k * shard_bytes

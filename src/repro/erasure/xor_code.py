@@ -1,0 +1,87 @@
+"""Single-parity XOR erasure code — the cheap alternative to Reed–Solomon.
+
+§II-B1 lists "bit-wise XOR or Reed-Solomon" as the two encoding options
+with different complexity/reliability trade-offs. XOR parity costs one pass
+over the data and tolerates exactly one lost shard per cluster; it is the
+natural L2 level between plain local checkpoints and full RS, and the
+XOR-vs-RS ablation benchmark compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class XorDecodeError(Exception):
+    """Raised when XOR reconstruction is impossible."""
+
+
+@dataclass(frozen=True)
+class XorCode:
+    """A ``(k + 1, k)`` single-parity code: parity = XOR of all data shards."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"need k >= 1, got {self.k}")
+
+    @property
+    def n(self) -> int:
+        """Total shard count ``k + 1``."""
+        return self.k + 1
+
+    @property
+    def m(self) -> int:
+        """Parity shard count (always 1)."""
+        return 1
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Parity shard (shape ``(L,)``) of ``(k, L)`` data shards."""
+        data = self._check_data(data)
+        out = np.zeros(data.shape[1], dtype=np.uint8)
+        for row in data:
+            out ^= row
+        return out
+
+    def decode(self, shards: dict[int, np.ndarray]) -> np.ndarray:
+        """Reconstruct the full data given at most one missing shard.
+
+        ``shards`` maps shard index (``k`` = parity) to bytes; all data
+        shards present → returned directly; one missing → rebuilt from
+        parity; more missing → :class:`XorDecodeError`.
+        """
+        present_data = [i for i in range(self.k) if i in shards]
+        missing = [i for i in range(self.k) if i not in shards]
+        if not missing:
+            return np.stack(
+                [np.asarray(shards[i], dtype=np.uint8) for i in range(self.k)]
+            )
+        if len(missing) > 1:
+            raise XorDecodeError(
+                f"XOR parity can rebuild 1 shard, {len(missing)} are missing"
+            )
+        if self.k not in shards:
+            raise XorDecodeError("missing data shard and no parity available")
+        lengths = {np.asarray(shards[i]).shape[-1] for i in shards}
+        if len(lengths) != 1:
+            raise XorDecodeError(f"shards have inconsistent lengths: {lengths}")
+        rebuilt = np.asarray(shards[self.k], dtype=np.uint8).copy()
+        for i in present_data:
+            rebuilt ^= np.asarray(shards[i], dtype=np.uint8)
+        out = np.empty((self.k, rebuilt.size), dtype=np.uint8)
+        for i in range(self.k):
+            out[i] = rebuilt if i == missing[0] else np.asarray(shards[i], dtype=np.uint8)
+        return out
+
+    def encoding_byte_ops(self, shard_bytes: int) -> int:
+        """XOR byte operations per encode: one pass over all data."""
+        return self.k * shard_bytes
+
+    def _check_data(self, data: np.ndarray) -> np.ndarray:
+        data = np.atleast_2d(np.asarray(data, dtype=np.uint8))
+        if data.shape[0] != self.k:
+            raise ValueError(f"expected {self.k} data shards, got {data.shape[0]}")
+        return data

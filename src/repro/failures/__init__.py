@@ -1,0 +1,30 @@
+"""Failure and reliability models: taxonomy, catastrophic probability,
+MTBF arrival processes, deterministic and random failure injection."""
+
+from repro.failures.catastrophic import (
+    CatastrophicModel,
+    MonteCarloEstimator,
+    rs_half_tolerance,
+    xor_tolerance,
+)
+from repro.failures.events import PAPER_TAXONOMY, FailureEvent, FailureTaxonomy
+from repro.failures.injector import (
+    FailureInjector,
+    FailureScenario,
+    ScheduledFailure,
+)
+from repro.failures.mtbf import MTBFModel
+
+__all__ = [
+    "CatastrophicModel",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureScenario",
+    "FailureTaxonomy",
+    "MTBFModel",
+    "MonteCarloEstimator",
+    "PAPER_TAXONOMY",
+    "ScheduledFailure",
+    "rs_half_tolerance",
+    "xor_tolerance",
+]

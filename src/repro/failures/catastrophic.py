@@ -1,0 +1,173 @@
+"""Catastrophic-failure probability: the paper's reliability dimension.
+
+This is our implementation of the "catastrophic failure model presented in
+[3]" (§III-C): a failure is *catastrophic* (unrecoverable from node-local
+storage + erasure codes) when some L2 encoding cluster loses more members
+than its parity can rebuild; the execution must then fall back to a much
+older PFS checkpoint or is lost.
+
+The model composes:
+
+* the :class:`~repro.failures.events.FailureTaxonomy` (soft vs node events,
+  cascade-size distribution);
+* spatial correlation — a node event kills a contiguous run of nodes
+  (shared power supply / chassis locality, §II-C2);
+* the erasure tolerance ``m(s)`` of an L2 cluster of size ``s`` — FTI's
+  Reed–Solomon configuration tolerates the loss of half a group, so the
+  default is ``m = floor(s/2)``; pass ``xor_tolerance`` for XOR parity
+  (``m = 1``).
+
+Because cascades are contiguous runs over a small node count, the
+probability is computed *exactly* by enumerating run positions —
+:class:`MonteCarloEstimator` cross-validates the closed form by sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.clustering.base import Clustering
+from repro.failures.events import FailureEvent, FailureTaxonomy, PAPER_TAXONOMY
+from repro.machine.placement import Placement
+from repro.util.rng import resolve_rng
+
+
+def rs_half_tolerance(size: int) -> int:
+    """FTI-style Reed–Solomon tolerance: half the cluster may disappear."""
+    return size // 2
+
+def xor_tolerance(size: int) -> int:
+    """XOR parity tolerance: exactly one member may disappear."""
+    return 1 if size >= 2 else 0
+
+
+class CatastrophicModel:
+    """Exact catastrophic probability of a clustering on one machine.
+
+    Parameters
+    ----------
+    placement:
+        rank ↔ node mapping of the application processes.
+    taxonomy:
+        Failure-event distribution (defaults to the calibrated paper one).
+    tolerance:
+        Map from L2 cluster size to the number of simultaneous member
+        losses the erasure code absorbs.
+    """
+
+    def __init__(
+        self,
+        placement: Placement,
+        *,
+        taxonomy: FailureTaxonomy = PAPER_TAXONOMY,
+        tolerance: Callable[[int], int] = rs_half_tolerance,
+    ):
+        self.placement = placement
+        self.taxonomy = taxonomy
+        self.tolerance = tolerance
+
+    # -- core predicate ---------------------------------------------------
+
+    def _membership_matrix(self, clustering: Clustering) -> np.ndarray:
+        """``M[c, node]`` = members of L2 cluster ``c`` hosted on ``node``."""
+        k = clustering.n_l2_clusters
+        n_nodes = self.placement.nnodes
+        m = np.zeros((k, n_nodes), dtype=np.int64)
+        for rank in range(clustering.n):
+            node = self.placement.node_of_rank(rank)
+            m[clustering.l2_labels[rank], node] += 1
+        return m
+
+    def event_is_catastrophic(
+        self, clustering: Clustering, event: FailureEvent
+    ) -> bool:
+        """Whether one concrete event exceeds some cluster's tolerance."""
+        if event.kind == "soft":
+            # A single process loss is always rebuildable (local copy and,
+            # failing that, one erasure within any cluster of size >= 2).
+            size = int(
+                clustering.l2_sizes()[clustering.l2_of(event.process)]
+            )
+            return self.tolerance(size) < 1 and size > 1
+        membership = self._membership_matrix(clustering)
+        lost = membership[:, list(event.nodes)].sum(axis=1)
+        sizes = clustering.l2_sizes()
+        tolerances = np.array([self.tolerance(int(s)) for s in sizes])
+        return bool((lost > tolerances).any())
+
+    # -- exact probability --------------------------------------------------
+
+    def breaking_run_fraction(self, clustering: Clustering, f: int) -> float:
+        """Fraction of length-``f`` contiguous node runs that are catastrophic."""
+        n_nodes = self.placement.nnodes
+        f = min(f, n_nodes)
+        membership = self._membership_matrix(clustering)
+        sizes = clustering.l2_sizes()
+        tolerances = np.array([self.tolerance(int(s)) for s in sizes])
+        # Prefix sums over nodes -> members lost per (cluster, run start).
+        prefix = np.concatenate(
+            [np.zeros((membership.shape[0], 1), dtype=np.int64),
+             np.cumsum(membership, axis=1)],
+            axis=1,
+        )
+        starts = n_nodes - f + 1
+        lost = prefix[:, f : f + starts] - prefix[:, :starts]
+        breaking = (lost > tolerances[:, None]).any(axis=0)
+        return float(breaking.mean())
+
+    def probability(self, clustering: Clustering) -> float:
+        """P(catastrophic | a failure event occurs) — Table II's column."""
+        if clustering.n != self.placement.nranks:
+            raise ValueError(
+                f"clustering covers {clustering.n} processes, placement "
+                f"{self.placement.nranks}"
+            )
+        pmf = self.taxonomy.node_count_pmf()
+        p_node = 1.0 - self.taxonomy.p_soft
+        total = 0.0
+        for idx, p_f in enumerate(pmf):
+            if p_f == 0.0:
+                continue
+            total += p_f * self.breaking_run_fraction(clustering, idx + 1)
+        return p_node * total
+
+
+class MonteCarloEstimator:
+    """Sampling cross-check of :class:`CatastrophicModel`.
+
+    Draws failure events from the same taxonomy/spatial model and reports
+    the empirical catastrophic rate — the property tests assert it agrees
+    with the closed form within sampling error.
+    """
+
+    def __init__(self, model: CatastrophicModel, rng=None):
+        self.model = model
+        self.rng = resolve_rng(rng)
+
+    def sample_event(self) -> FailureEvent:
+        """Draw one failure event."""
+        taxonomy = self.model.taxonomy
+        placement = self.model.placement
+        if self.rng.random() < taxonomy.p_soft:
+            return FailureEvent(
+                kind="soft", process=int(self.rng.integers(placement.nranks))
+            )
+        pmf = taxonomy.node_count_pmf()
+        f = int(self.rng.choice(len(pmf), p=pmf / pmf.sum())) + 1
+        f = min(f, placement.nnodes)
+        start = int(self.rng.integers(placement.nnodes - f + 1))
+        return FailureEvent(kind="node", nodes=tuple(range(start, start + f)))
+
+    def estimate(self, clustering: Clustering, n_samples: int = 10_000) -> float:
+        """Empirical P(catastrophic) over ``n_samples`` sampled events."""
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        hits = 0
+        for _ in range(n_samples):
+            event = self.sample_event()
+            if self.model.event_is_catastrophic(clustering, event):
+                hits += 1
+        return hits / n_samples

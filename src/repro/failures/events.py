@@ -1,0 +1,104 @@
+"""Failure-event taxonomy.
+
+The paper's reliability reasoning rests on two observations:
+
+* "Most failures in current supercomputers affect only a small fraction of
+  the system, where the affected part is often one single node or a small
+  set of nodes" (§II-B1);
+* correlated failures exist — "two nodes sharing a power supply should be
+  located in the same cluster" (§II-C2).
+
+We therefore model a failure event as either a **soft error** (one process,
+recoverable from its local checkpoint copy) or a **node event** killing a
+*contiguous run* of ``f ≥ 1`` nodes — contiguity is the spatial-correlation
+model (shared power supplies, chassis, switches are adjacency-local), and
+``f`` follows a sharply decaying distribution parameterized below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_in_range, check_probability
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One concrete failure occurrence."""
+
+    kind: str  # "soft" | "node"
+    nodes: tuple[int, ...] = ()
+    process: int | None = None  # for soft errors
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("soft", "node"):
+            raise ValueError(f"unknown failure kind {self.kind!r}")
+        if self.kind == "node" and not self.nodes:
+            raise ValueError("node events must name at least one node")
+        if self.kind == "soft" and self.process is None:
+            raise ValueError("soft errors must name a process")
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes wiped by this event (0 for soft errors)."""
+        return len(self.nodes)
+
+
+@dataclass(frozen=True)
+class FailureTaxonomy:
+    """Probabilistic shape of failure events.
+
+    Parameters (defaults calibrated in DESIGN.md §5 so Table II's
+    reliability column is reproduced):
+
+    p_soft:
+        Probability a failure is a single-process soft error (0.05: the
+        complement 0.95 is exactly the catastrophic probability the paper
+        reports for the non-distributed size-guided clustering, which dies
+        on every node event).
+    p_multi:
+        Probability that a node event kills ≥ 2 nodes simultaneously.
+    escalation:
+        Conditional probability P(≥ j+1 nodes | ≥ j nodes) for j ≥ 2 —
+        geometric tail of cascade sizes.
+    max_simultaneous:
+        Truncation of the cascade-size distribution.
+    """
+
+    p_soft: float = 0.05
+    p_multi: float = 2.0e-4
+    escalation: float = 0.03
+    max_simultaneous: int = 12
+
+    def __post_init__(self) -> None:
+        check_probability("p_soft", self.p_soft)
+        check_probability("p_multi", self.p_multi)
+        check_in_range("escalation", self.escalation, 0.0, 1.0, inclusive=False)
+        if self.max_simultaneous < 1:
+            raise ValueError("max_simultaneous must be >= 1")
+
+    def node_count_pmf(self) -> np.ndarray:
+        """P(node event kills exactly f nodes), index 0 ↔ f = 1.
+
+        Sums to 1; the truncated tail mass is assigned to the maximum.
+        """
+        fmax = self.max_simultaneous
+        pmf = np.zeros(fmax)
+        pmf[0] = 1.0 - self.p_multi
+        tail = self.p_multi  # P(f >= 2)
+        for j in range(2, fmax):
+            pmf[j - 1] = tail * (1.0 - self.escalation)
+            tail *= self.escalation
+        pmf[fmax - 1] = tail
+        return pmf
+
+    def event_probabilities(self) -> dict[str, float]:
+        """Top-level mixture: P(soft), P(node event)."""
+        return {"soft": self.p_soft, "node": 1.0 - self.p_soft}
+
+
+#: Taxonomy used by the paper-reproduction experiments.
+PAPER_TAXONOMY = FailureTaxonomy()

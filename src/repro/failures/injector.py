@@ -1,0 +1,93 @@
+"""Failure injection for end-to-end protocol runs.
+
+A :class:`FailureScenario` is a concrete schedule of failure events pinned
+to application iterations (deterministic — protocol tests need exact
+replays); :class:`FailureInjector` samples scenarios from the stochastic
+models for Monte-Carlo experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.failures.catastrophic import MonteCarloEstimator
+from repro.failures.events import FailureEvent, FailureTaxonomy, PAPER_TAXONOMY
+from repro.machine.placement import Placement
+from repro.util.rng import resolve_rng
+
+
+@dataclass(frozen=True)
+class ScheduledFailure:
+    """A failure event pinned to an application iteration."""
+
+    iteration: int
+    event: FailureEvent
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {self.iteration}")
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """A deterministic schedule of failures for one run."""
+
+    failures: tuple[ScheduledFailure, ...] = ()
+
+    @classmethod
+    def node_failure(cls, iteration: int, node: int) -> "FailureScenario":
+        """Single whole-node failure at ``iteration`` (the common case)."""
+        return cls(
+            (ScheduledFailure(iteration, FailureEvent(kind="node", nodes=(node,))),)
+        )
+
+    @classmethod
+    def multi_node_failure(
+        cls, iteration: int, nodes: tuple[int, ...]
+    ) -> "FailureScenario":
+        """Correlated multi-node failure at ``iteration``."""
+        return cls(
+            (ScheduledFailure(iteration, FailureEvent(kind="node", nodes=nodes)),)
+        )
+
+    def events_at(self, iteration: int) -> list[FailureEvent]:
+        """Events scheduled for ``iteration``."""
+        return [f.event for f in self.failures if f.iteration == iteration]
+
+    @property
+    def n_failures(self) -> int:
+        """Total scheduled event count."""
+        return len(self.failures)
+
+
+class FailureInjector:
+    """Samples random failure scenarios from the taxonomy."""
+
+    def __init__(
+        self,
+        placement: Placement,
+        *,
+        taxonomy: FailureTaxonomy = PAPER_TAXONOMY,
+        rng=None,
+    ):
+        self.placement = placement
+        self.taxonomy = taxonomy
+        self.rng = resolve_rng(rng)
+
+    def sample_scenario(
+        self, iterations: int, failure_rate_per_iteration: float
+    ) -> FailureScenario:
+        """Bernoulli failure draw per iteration with the given rate."""
+        if not 0.0 <= failure_rate_per_iteration <= 1.0:
+            raise ValueError("failure_rate_per_iteration must be in [0, 1]")
+        from repro.failures.catastrophic import CatastrophicModel
+
+        sampler = MonteCarloEstimator(
+            CatastrophicModel(self.placement, taxonomy=self.taxonomy),
+            rng=self.rng,
+        )
+        scheduled = []
+        for it in range(iterations):
+            if self.rng.random() < failure_rate_per_iteration:
+                scheduled.append(ScheduledFailure(it, sampler.sample_event()))
+        return FailureScenario(tuple(scheduled))

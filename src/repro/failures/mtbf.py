@@ -1,0 +1,57 @@
+"""Failure-arrival processes: when do failures strike a running job?
+
+Used by the end-to-end protocol simulations (inject a failure at a sampled
+time) and by the Daly-interval extension model. Failure inter-arrival times
+are exponential with the system MTBF — the standard assumption of the
+checkpoint-scheduling literature the paper builds on [21], [10].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import resolve_rng
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MTBFModel:
+    """System-level mean time between failures.
+
+    ``node_mtbf_s`` is the per-node MTBF; with ``nnodes`` independent nodes
+    the system MTBF shrinks proportionally — the extreme-scale squeeze the
+    paper opens with.
+    """
+
+    node_mtbf_s: float
+    nnodes: int
+
+    def __post_init__(self) -> None:
+        check_positive("node_mtbf_s", self.node_mtbf_s)
+        if self.nnodes < 1:
+            raise ValueError(f"nnodes must be >= 1, got {self.nnodes}")
+
+    @property
+    def system_mtbf_s(self) -> float:
+        """System MTBF = node MTBF / node count."""
+        return self.node_mtbf_s / self.nnodes
+
+    def failure_times(self, horizon_s: float, rng=None) -> np.ndarray:
+        """Sample failure instants in ``[0, horizon_s)`` (Poisson process)."""
+        check_positive("horizon_s", horizon_s)
+        gen = resolve_rng(rng)
+        times = []
+        t = 0.0
+        scale = self.system_mtbf_s
+        while True:
+            t += gen.exponential(scale)
+            if t >= horizon_s:
+                break
+            times.append(t)
+        return np.array(times)
+
+    def expected_failures(self, horizon_s: float) -> float:
+        """Expected number of failures over ``horizon_s``."""
+        return horizon_s / self.system_mtbf_s

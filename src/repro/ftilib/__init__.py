@@ -1,0 +1,26 @@
+"""FTI-style multilevel checkpointing: local SSD, Reed–Solomon encoding
+across L2 clusters, PFS flush, and the dedicated encoder-process trace
+programs of §V."""
+
+from repro.ftilib.checkpointer import (
+    CheckpointStats,
+    MultilevelCheckpointer,
+    RestoreError,
+    fti_rs_code,
+    half_parity_code,
+)
+from repro.ftilib.serialization import bytes_to_state, pad_to, state_to_bytes
+from repro.ftilib.tracesim import FTITraceConfig, make_fti_world_programs
+
+__all__ = [
+    "CheckpointStats",
+    "FTITraceConfig",
+    "MultilevelCheckpointer",
+    "RestoreError",
+    "bytes_to_state",
+    "fti_rs_code",
+    "half_parity_code",
+    "make_fti_world_programs",
+    "pad_to",
+    "state_to_bytes",
+]

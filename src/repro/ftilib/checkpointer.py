@@ -1,0 +1,335 @@
+"""FTI-style multilevel checkpointing over the simulated machine.
+
+Levels, following FTI [3] (§II-B1):
+
+* **L1 — local**: each rank's serialized state on its node's SSD. Fast;
+  survives process (soft) failures, dies with the node.
+* **L3 — encoded**: Reed–Solomon parity of each L2 encoding cluster's
+  checkpoints, distributed round-robin across the cluster's *nodes*. With
+  FTI's ``m = k`` configuration (:func:`fti_rs_code`) each node carries one
+  data and one parity shard, so any ⌊k/2⌋ node losses are rebuildable.
+* **L4 — PFS**: occasional flush of everything to the parallel file system,
+  the slow catch-all for catastrophic events.
+
+(FTI's L2 "partner copy" level is subsumed by L3's ``m = k`` redundancy;
+:func:`half_parity_code` provides the cheaper ablation point.)
+
+The checkpointer holds real bytes on the simulated storage devices and
+charges virtual time from the device specs and the encoding-time model;
+``restore`` transparently falls back L1 → decode(L3) → L4, which is exactly
+the path a node failure exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.clustering.base import Clustering
+from repro.erasure.reed_solomon import DecodeError, ReedSolomonCode
+from repro.ftilib.serialization import bytes_to_state, pad_to, state_to_bytes
+from repro.machine.machine import Machine
+from repro.models.encoding_time import EncodingTimeModel
+from repro.util.units import GiB
+
+
+class RestoreError(Exception):
+    """Raised when no level can produce the requested checkpoint."""
+
+
+def fti_rs_code(k: int) -> ReedSolomonCode:
+    """FTI's L3 configuration: ``m = k`` parity shards.
+
+    Each of the cluster's ``k`` nodes stores its own data shard plus one
+    parity shard, so a node loss costs two of the ``2k`` shards and the
+    cluster survives the loss of **half its nodes** — exactly the tolerance
+    FTI advertises and the catastrophic model
+    (:func:`repro.failures.rs_half_tolerance`) assumes.
+    """
+    return ReedSolomonCode(k=k, m=k)
+
+
+def half_parity_code(k: int) -> ReedSolomonCode:
+    """Cheaper ablation variant: ``m = k/2`` parity shards.
+
+    Halves encoding work and parity storage, but with co-located
+    data+parity shards a node loss costs two shards, so only ``k/4`` node
+    losses are survivable. Used by the XOR-vs-RS/parity ablation bench.
+    """
+    return ReedSolomonCode(k=k, m=max(1, k // 2))
+
+
+@dataclass
+class CheckpointStats:
+    """Aggregate accounting for one run."""
+
+    local_writes: int = 0
+    local_bytes: int = 0
+    encodings: int = 0
+    encoded_bytes: int = 0
+    pfs_flushes: int = 0
+    restores_local: int = 0
+    restores_decoded: int = 0
+    restores_pfs: int = 0
+    total_write_time_s: float = 0.0
+    total_encode_time_s: float = 0.0
+
+
+class MultilevelCheckpointer:
+    """Checkpoint/restore engine bound to one machine + clustering.
+
+    Parameters
+    ----------
+    machine:
+        Storage + topology substrate (SSDs get written for real).
+    clustering:
+        L2 labels drive the encoding clusters; the protocol layer owns L1.
+    code_factory:
+        Maps L2 cluster size to an erasure code (default: FTI's ``m = k``
+        Reed–Solomon, tolerating the loss of half the cluster's nodes).
+    time_model:
+        Analytic encoding-cost law used for virtual-time charging.
+    keep_versions:
+        Old checkpoint versions beyond this many are deleted from the SSDs
+        (capacity hygiene, like FTI's rotating checkpoint slots).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        clustering: Clustering,
+        *,
+        code_factory=fti_rs_code,
+        time_model: EncodingTimeModel | None = None,
+        keep_versions: int = 2,
+    ):
+        if clustering.n != machine.nranks:
+            raise ValueError(
+                f"clustering covers {clustering.n} processes, machine hosts "
+                f"{machine.nranks}"
+            )
+        if keep_versions < 1:
+            raise ValueError("keep_versions must be >= 1")
+        self.machine = machine
+        self.clustering = clustering
+        self.code_factory = code_factory
+        self.time_model = time_model or EncodingTimeModel()
+        self.keep_versions = keep_versions
+        self.stats = CheckpointStats()
+
+        # version bookkeeping
+        self._state_meta: dict[tuple[int, int], dict[str, Any]] = {}
+        self._shard_len: dict[tuple[int, int], int] = {}
+        self._versions_of_rank: dict[int, list[int]] = {}
+        self._encoded_versions: set[tuple[int, int]] = set()
+
+    # -- keys --------------------------------------------------------------
+
+    @staticmethod
+    def _ckpt_key(rank: int, version: int) -> tuple:
+        return ("ckpt", rank, version)
+
+    @staticmethod
+    def _parity_key(l2: int, version: int, j: int) -> tuple:
+        return ("parity", l2, version, j)
+
+    # -- write path -----------------------------------------------------------
+
+    def save_local(
+        self, rank: int, state: dict, version: int, *, meta: dict | None = None
+    ) -> float:
+        """L1: serialize ``state`` and write it to the rank's node SSD.
+
+        ``meta`` carries protocol sidecar data (receive counts, collective
+        counters) that recovery needs; it is stored out-of-band (in a real
+        system: a tiny header next to the checkpoint file). Returns the
+        modeled write time in seconds.
+        """
+        blob = state_to_bytes(state)
+        ssd = self.machine.ssd_of_rank(rank)
+        seconds = ssd.write(self._ckpt_key(rank, version), blob, blob.size)
+        self._state_meta[(rank, version)] = {
+            "nbytes": int(blob.size),
+            "meta": dict(meta or {}),
+        }
+        versions = self._versions_of_rank.setdefault(rank, [])
+        if version not in versions:
+            versions.append(version)
+            versions.sort()
+        self.stats.local_writes += 1
+        self.stats.local_bytes += int(blob.size)
+        self.stats.total_write_time_s += seconds
+        self._expire_old(rank)
+        return seconds
+
+    def encode_cluster(self, l2_cluster: int, version: int) -> float:
+        """L3: Reed–Solomon-encode one L2 cluster's version-``version``
+        checkpoints; parity shards land round-robin on the member nodes.
+
+        All members must have :meth:`save_local`-ed this version first (the
+        protocol's pre-encoding barrier guarantees it). Returns the modeled
+        encoding time (the real parity bytes are computed too).
+        """
+        members = [int(r) for r in self.clustering.l2_members(l2_cluster)]
+        blobs = []
+        for rank in members:
+            key = self._ckpt_key(rank, version)
+            ssd = self.machine.ssd_of_rank(rank)
+            if key not in ssd:
+                raise RestoreError(
+                    f"rank {rank} has no local checkpoint v{version} to encode"
+                )
+            blob, _ = ssd.read(key)
+            blobs.append(blob)
+        shard_len = max(b.size for b in blobs)
+        data = np.stack([pad_to(b, shard_len) for b in blobs])
+        code = self.code_factory(len(members))
+        parity = code.encode(data)
+        nodes = [self.machine.node_of_rank(r) for r in members]
+        for j in range(parity.shape[0]):
+            node = nodes[j % len(nodes)]
+            self.machine.node_ssds[node].write(
+                self._parity_key(l2_cluster, version, j),
+                parity[j],
+                int(parity.shape[1]),
+            )
+        self._shard_len[(l2_cluster, version)] = shard_len
+        self._encoded_versions.add((l2_cluster, version))
+        cluster_gb = len(members) * shard_len / GiB
+        seconds = self.time_model.seconds(cluster_gb, len(members))
+        self.stats.encodings += 1
+        self.stats.encoded_bytes += int(parity.size)
+        self.stats.total_encode_time_s += seconds
+        return seconds
+
+    def flush_to_pfs(self, version: int) -> float:
+        """L4: copy every rank's version-``version`` checkpoint to the PFS."""
+        total_bytes = 0
+        count = 0
+        for rank in range(self.machine.nranks):
+            key = self._ckpt_key(rank, version)
+            ssd = self.machine.ssd_of_rank(rank)
+            if key not in ssd:
+                continue
+            blob, _ = ssd.read(key)
+            self.machine.pfs.write(key, blob, blob.size, concurrent=1)
+            total_bytes += int(blob.size)
+            count += 1
+        if count == 0:
+            raise RestoreError(f"no local checkpoints of version {version} to flush")
+        self.stats.pfs_flushes += 1
+        return self.machine.pfs.spec.write_time(total_bytes, concurrent=count)
+
+    # -- read path ----------------------------------------------------------------
+
+    def restore(self, rank: int, version: int) -> tuple[dict, float, str]:
+        """Restore ``rank``'s state; returns ``(state, seconds, level)``.
+
+        Fallback chain: node SSD (L1) → RS decode across the L2 cluster
+        (L3) → PFS (L4). ``level`` names which one served the request.
+        """
+        meta = self._state_meta.get((rank, version))
+        if meta is None:
+            raise RestoreError(f"rank {rank} never checkpointed version {version}")
+        key = self._ckpt_key(rank, version)
+        ssd = self.machine.ssd_of_rank(rank)
+        if key in ssd:
+            blob, seconds = ssd.read(key)
+            self.stats.restores_local += 1
+            return bytes_to_state(blob, meta["nbytes"]), seconds, "local"
+
+        l2 = self.clustering.l2_of(rank)
+        if (l2, version) in self._encoded_versions:
+            try:
+                state, seconds = self._restore_decoded(rank, l2, version, meta)
+                self.stats.restores_decoded += 1
+                return state, seconds, "decoded"
+            except DecodeError:
+                pass
+        if key in self.machine.pfs:
+            blob, seconds = self.machine.pfs.read(key)
+            self.stats.restores_pfs += 1
+            return bytes_to_state(blob, meta["nbytes"]), seconds, "pfs"
+        raise RestoreError(
+            f"rank {rank} v{version}: local copy lost, decode impossible, "
+            f"no PFS copy — catastrophic"
+        )
+
+    def _restore_decoded(
+        self, rank: int, l2: int, version: int, meta: dict
+    ) -> tuple[dict, float]:
+        members = [int(r) for r in self.clustering.l2_members(l2)]
+        code = self.code_factory(len(members))
+        shard_len = self._shard_len[(l2, version)]
+        shards: dict[int, np.ndarray] = {}
+        read_time = 0.0
+        for i, member in enumerate(members):
+            ssd = self.machine.ssd_of_rank(member)
+            key = self._ckpt_key(member, version)
+            if key in ssd:
+                blob, t = ssd.read(key)
+                shards[i] = pad_to(blob, shard_len)
+                read_time += t
+        nodes = [self.machine.node_of_rank(r) for r in members]
+        for j in range(code.m):
+            node = nodes[j % len(nodes)]
+            key = self._parity_key(l2, version, j)
+            if key in self.machine.node_ssds[node]:
+                blob, t = self.machine.node_ssds[node].read(key)
+                shards[len(members) + j] = blob
+                read_time += t
+        my_index = members.index(rank)
+        shard = code.reconstruct_shard(shards, my_index)
+        decode_gb = len(members) * shard_len / GiB
+        seconds = read_time + self.time_model.seconds(decode_gb, len(members))
+        nbytes = self._state_meta[(rank, version)]["nbytes"]
+        return bytes_to_state(shard, nbytes), seconds
+
+    # -- queries ---------------------------------------------------------------
+
+    def sidecar_meta(self, rank: int, version: int) -> dict:
+        """Protocol sidecar stored with :meth:`save_local`."""
+        entry = self._state_meta.get((rank, version))
+        if entry is None:
+            raise RestoreError(f"rank {rank} has no checkpoint v{version}")
+        return entry["meta"]
+
+    def versions_of(self, rank: int) -> list[int]:
+        """Versions ever saved by ``rank`` (ascending), minus expired ones."""
+        return list(self._versions_of_rank.get(rank, []))
+
+    def latest_common_version(self, ranks) -> int:
+        """Largest version every rank in ``ranks`` has saved."""
+        common: set[int] | None = None
+        for rank in ranks:
+            versions = set(self._versions_of_rank.get(int(rank), []))
+            common = versions if common is None else common & versions
+        if not common:
+            raise RestoreError("no common checkpoint version across the ranks")
+        return max(common)
+
+    # -- housekeeping -----------------------------------------------------------
+
+    def _expire_old(self, rank: int) -> None:
+        versions = self._versions_of_rank.get(rank, [])
+        while len(versions) > self.keep_versions:
+            old = versions.pop(0)
+            ssd = self.machine.ssd_of_rank(rank)
+            ssd.delete(self._ckpt_key(rank, old))
+            self._state_meta.pop((rank, old), None)
+            # Parity shards of fully-expired cluster versions.
+            l2 = self.clustering.l2_of(rank)
+            members = self.clustering.l2_members(l2)
+            if all(old not in self._versions_of_rank.get(int(m), []) for m in members):
+                if (l2, old) in self._encoded_versions:
+                    code = self.code_factory(len(members))
+                    nodes = [self.machine.node_of_rank(int(r)) for r in members]
+                    for j in range(code.m):
+                        node = nodes[j % len(nodes)]
+                        self.machine.node_ssds[node].delete(
+                            self._parity_key(l2, old, j)
+                        )
+                    self._encoded_versions.discard((l2, old))
+                    self._shard_len.pop((l2, old), None)

@@ -1,0 +1,43 @@
+"""Checkpoint (de)serialization: rank states ↔ byte shards.
+
+Checkpoints are pickled rank states (dicts of NumPy arrays + scalars); the
+erasure layer works on equal-length ``uint8`` shards, so serialized states
+are padded to a cluster-wide common length with the true length recorded.
+Round-trip fidelity is bit-exact — the recovery tests depend on it.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+
+def state_to_bytes(state: dict) -> np.ndarray:
+    """Serialize a rank state into a ``uint8`` array."""
+    raw = pickle.dumps(state, protocol=4)
+    return np.frombuffer(raw, dtype=np.uint8).copy()
+
+
+def bytes_to_state(buf: np.ndarray, true_length: int | None = None) -> dict:
+    """Inverse of :func:`state_to_bytes`; ``true_length`` strips padding."""
+    arr = np.asarray(buf, dtype=np.uint8)
+    if true_length is not None:
+        if true_length > arr.size:
+            raise ValueError(
+                f"true_length {true_length} exceeds buffer size {arr.size}"
+            )
+        arr = arr[:true_length]
+    return pickle.loads(arr.tobytes())
+
+
+def pad_to(buf: np.ndarray, length: int) -> np.ndarray:
+    """Zero-pad a shard up to ``length`` bytes (no-op when already there)."""
+    arr = np.asarray(buf, dtype=np.uint8)
+    if arr.size > length:
+        raise ValueError(f"buffer of {arr.size} B cannot be padded to {length} B")
+    if arr.size == length:
+        return arr
+    out = np.zeros(length, dtype=np.uint8)
+    out[: arr.size] = arr
+    return out

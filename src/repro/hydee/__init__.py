@@ -1,0 +1,36 @@
+"""HydEE-style hybrid protocol: coordinated-in-cluster checkpointing,
+inter-cluster sender-based message logging, and failure-contained recovery
+with log replay."""
+
+from repro.hydee.logging import (
+    LogEntry,
+    MessageLog,
+    ReplayCursor,
+    ReplayMismatchError,
+)
+from repro.hydee.protocol import (
+    HybridCRProtocol,
+    ProtocolRunResult,
+    run_with_protocol,
+)
+from repro.hydee.recovery import (
+    ContainedRecoveryError,
+    RecoveryManager,
+    RecoveryResult,
+)
+from repro.hydee.replay import OutboundRecord, ReplayCommunicator
+
+__all__ = [
+    "ContainedRecoveryError",
+    "HybridCRProtocol",
+    "LogEntry",
+    "MessageLog",
+    "OutboundRecord",
+    "ProtocolRunResult",
+    "RecoveryManager",
+    "RecoveryResult",
+    "ReplayCommunicator",
+    "ReplayCursor",
+    "ReplayMismatchError",
+    "run_with_protocol",
+]

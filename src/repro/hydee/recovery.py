@@ -1,0 +1,312 @@
+"""Failure-contained recovery: restore one cluster, replay, verify, resume.
+
+The recovery pipeline after a node failure at iteration ``T`` (§II-B2's
+promise: "only the processes in this cluster have to rollback"):
+
+1. **containment** — the restart set is the union of the L1 clusters of the
+   processes on the failed nodes (one cluster, when clusters are
+   node-aligned);
+2. **restore** — failed nodes' SSDs are gone, so their ranks' checkpoints
+   are *decoded* from the surviving shards of their L2 encoding clusters;
+   co-cluster ranks on healthy nodes restore from their local copies;
+3. **replay** — the restart set re-executes iterations ``[v, T)`` (``v`` =
+   the cluster's last checkpoint) inside a private engine, pulling messages
+   from survivors out of the sender-based log and suppressing messages
+   toward survivors;
+4. **verification** — suppressed sends are compared against what survivors
+   actually received in the original run (send-determinism check), and the
+   caller can compare recovered states with a failure-free reference;
+5. **resume** — recovered states merge with the survivors' live states and
+   the application continues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.failures.events import FailureEvent
+from repro.hydee.logging import ReplayMismatchError
+from repro.hydee.protocol import ProtocolRunResult
+from repro.hydee.replay import OutboundRecord, ReplayCommunicator
+from repro.machine.machine import Machine
+from repro.simmpi.engine import Engine
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of one contained recovery."""
+
+    restarted_ranks: list[int]
+    restarted_clusters: list[int]
+    rollback_iteration: int
+    failure_iteration: int
+    recovered_states: dict[int, dict]
+    restore_levels: dict[int, str]
+    restore_seconds: float
+    outbound: list[OutboundRecord] = field(default_factory=list)
+
+    @property
+    def restart_fraction(self) -> float:
+        """Restarted ranks / total — the paper's recovery-cost dimension."""
+        return len(self.restarted_ranks) / self._total_ranks
+
+    _total_ranks: int = 0
+
+    def decoded_ranks(self) -> list[int]:
+        """Ranks whose checkpoint had to be erasure-decoded (node lost)."""
+        return [r for r, lvl in self.restore_levels.items() if lvl == "decoded"]
+
+
+class ContainedRecoveryError(Exception):
+    """Recovery is impossible (catastrophic: too many shards lost)."""
+
+
+class RecoveryManager:
+    """Executes contained recoveries against a finished protocol run."""
+
+    def __init__(self, sim, machine: Machine, run: ProtocolRunResult):
+        self.sim = sim
+        self.machine = machine
+        self.run = run
+        self.clustering = run.checkpointer.clustering
+
+    # -- step 1: containment ------------------------------------------------
+
+    def restart_set(self, event: FailureEvent) -> tuple[list[int], list[int]]:
+        """(ranks, L1 clusters) that must roll back for ``event``."""
+        if event.kind == "soft":
+            failed = [event.process]
+        else:
+            failed = [
+                r for node in event.nodes for r in self.machine.ranks_of_node(node)
+            ]
+        clusters = sorted({self.clustering.l1_of(r) for r in failed})
+        ranks = sorted(
+            int(r)
+            for c in clusters
+            for r in self.clustering.l1_members(c)
+        )
+        return ranks, clusters
+
+    # -- steps 2–4: recover ---------------------------------------------------
+
+    def recover(
+        self,
+        event: FailureEvent,
+        *,
+        failure_iteration: int,
+        wipe_storage: bool = True,
+    ) -> RecoveryResult:
+        """Run the full contained recovery for ``event``.
+
+        ``failure_iteration`` is the application iteration the failure
+        struck at (survivors' states are at this iteration). With
+        ``wipe_storage`` the failed nodes' SSDs are cleared first, forcing
+        the erasure-decode path exactly as a real node loss would.
+        """
+        ranks, clusters = self.restart_set(event)
+        versions = {
+            c: self.run.latest_checkpoint(c, at_or_before=failure_iteration)
+            for c in clusters
+        }
+        if len(set(versions.values())) != 1:
+            # Clusters checkpoint independently; co-failing clusters may
+            # hold different versions. Replaying from mixed fronts requires
+            # inter-failed-cluster logs we deliberately do not keep (HydEE
+            # only logs *inter*-cluster traffic of survivors); fall back to
+            # the newest common version.
+            version = min(versions.values())
+        else:
+            version = next(iter(versions.values()))
+
+        if wipe_storage and event.kind == "node":
+            for node in event.nodes:
+                self.machine.wipe_node(node)
+
+        # Restore every restart rank's checkpoint (decode where needed).
+        recovered: dict[int, dict] = {}
+        levels: dict[int, str] = {}
+        restore_seconds = 0.0
+        from repro.ftilib.checkpointer import RestoreError
+
+        for rank in ranks:
+            try:
+                state, seconds, level = self.run.checkpointer.restore(rank, version)
+            except RestoreError as exc:
+                raise ContainedRecoveryError(
+                    f"cannot restore rank {rank} v{version}: {exc}"
+                ) from exc
+            recovered[rank] = state
+            levels[rank] = level
+            restore_seconds += seconds
+
+        # Replay the window [version, failure_iteration).
+        outbound: list[OutboundRecord] = []
+        if failure_iteration > version:
+            recovered = self._replay(
+                ranks, recovered, version, failure_iteration, outbound
+            )
+
+        result = RecoveryResult(
+            restarted_ranks=ranks,
+            restarted_clusters=clusters,
+            rollback_iteration=version,
+            failure_iteration=failure_iteration,
+            recovered_states=recovered,
+            restore_levels=levels,
+            restore_seconds=restore_seconds,
+            outbound=outbound,
+        )
+        result._total_ranks = self.clustering.n
+        return result
+
+    def _replay(
+        self,
+        ranks: list[int],
+        checkpoint_states: dict[int, dict],
+        from_iteration: int,
+        to_iteration: int,
+        outbound: list[OutboundRecord],
+    ) -> dict[int, dict]:
+        """Re-execute ``ranks`` over [from_iteration, to_iteration)."""
+        members = sorted(ranks)
+        member_set = set(members)
+        # Receive positions and collective counters from the sidecar.
+        cursor_counts: dict[tuple[int, int], int] = {}
+        coll_seqs: dict[int, int] = {}
+        for rank in members:
+            meta = self.run.checkpointer.sidecar_meta(rank, from_iteration)
+            coll_seqs[rank] = int(meta.get("world_coll_seq", 0))
+            for (src, dst), count in meta.get("recv_counts", {}).items():
+                if dst == rank and src not in member_set:
+                    cursor_counts[(src, dst)] = count
+        cursor = self.run.log.cursor(cursor_counts)
+
+        sim = self.sim
+
+        def make_replay_program(local_index: int):
+            original = members[local_index]
+
+            def program(ctx):
+                comm = ReplayCommunicator(
+                    ctx,
+                    members,
+                    sim.grid.nranks,
+                    cursor,
+                    outbound,
+                    coll_seq=coll_seqs[original],
+                )
+                from repro.apps.tsunami import clone_state
+
+                state = clone_state(checkpoint_states[original])
+                while state["iteration"] < to_iteration:
+                    yield from sim.step(comm, state)
+                return state
+
+            return program
+
+        engine = Engine(len(members), network=self.machine.network)
+        programs = [make_replay_program(i) for i in range(len(members))]
+        results = engine.run(programs)
+        return {members[i]: results[i] for i in range(len(members))}
+
+    # -- step 4: verification ------------------------------------------------
+
+    def verify_send_determinism(self, result: RecoveryResult) -> None:
+        """Check replayed outbound messages against the original log.
+
+        Every suppressed send toward a survivor must match — tag, size and
+        payload — the message the survivor actually received in the original
+        run (this is the send-determinism assumption HydEE rests on).
+        Raises :class:`~repro.hydee.logging.ReplayMismatchError` otherwise.
+        """
+        version = result.rollback_iteration
+        # Alignment anchor: the *receiver's* checkpointed receive position on
+        # the channel. Every cluster checkpoints at the same global cadence,
+        # so each surviving receiver has a version-`version` sidecar whose
+        # recv_counts say how many channel messages predate the rollback
+        # point; the replayed sends must equal the logged entries right
+        # after that position.
+        by_channel: dict[tuple[int, int], list[OutboundRecord]] = {}
+        for record in result.outbound:
+            by_channel.setdefault((record.src, record.dst), []).append(record)
+        for (src, dst), records in by_channel.items():
+            logged = self.run.log.channel(src, dst)
+            base = self.run.log.base_offset(src, dst)
+            meta = self.run.checkpointer.sidecar_meta(dst, version)
+            start = int(meta.get("recv_counts", {}).get((src, dst), 0))
+            if start < base:
+                raise ReplayMismatchError(
+                    f"channel {src}->{dst}: verification window starts at "
+                    f"#{start} but the log was truncated to #{base}"
+                )
+            if base + len(logged) < start + len(records):
+                raise ReplayMismatchError(
+                    f"channel {src}->{dst}: replay produced {len(records)} "
+                    f"sends from position {start}, log holds only "
+                    f"{base + len(logged)}"
+                )
+            window = logged[start - base : start - base + len(records)]
+            for entry, record in zip(window, records):
+                if entry.tag != record.tag or entry.nbytes != record.nbytes:
+                    raise ReplayMismatchError(
+                        f"channel {src}->{dst}: tag/size mismatch "
+                        f"(logged tag {entry.tag}/{entry.nbytes} B, replayed "
+                        f"tag {record.tag}/{record.nbytes} B)"
+                    )
+                if not _payloads_equal(entry.payload, record.payload):
+                    raise ReplayMismatchError(
+                        f"channel {src}->{dst}: payload mismatch on replay"
+                    )
+
+    # -- step 5: resume ----------------------------------------------------------
+
+    def merged_states(self, result: RecoveryResult) -> list[dict]:
+        """Survivor states + recovered states, indexed by rank."""
+        merged = list(self.run.states)
+        for rank, state in result.recovered_states.items():
+            merged[rank] = state
+        return merged
+
+    def resume(
+        self, result: RecoveryResult, *, iterations: int
+    ) -> list[dict]:
+        """Continue the application to ``iterations`` from the merged states.
+
+        Runs without protocol hooks (the caller can start a fresh protocol
+        for the continuation); returns the final states.
+        """
+        merged = self.merged_states(result)
+        for state in merged:
+            if state["iteration"] != result.failure_iteration:
+                raise ContainedRecoveryError(
+                    "cannot resume: states are not aligned at the failure "
+                    f"iteration {result.failure_iteration}"
+                )
+        engine = Engine(self.sim.grid.nranks, network=self.machine.network)
+        program = self.sim.make_program(
+            iterations=iterations, initial_states=merged
+        )
+        return engine.run(program)
+
+
+def _payloads_equal(a, b) -> bool:
+    """Structural equality that understands NumPy leaves."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and bool((a == b).all())
+        )
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            _payloads_equal(a[k], b[k]) for k in a
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            _payloads_equal(x, y) for x, y in zip(a, b)
+        )
+    return a == b

@@ -1,0 +1,56 @@
+"""Machine/topology models: nodes, placement, power domains, storage.
+
+Substitutes for the physical TSUBAME2 platform (Table I). Everything the
+paper's four optimization dimensions depend on — which ranks share a node,
+which nodes share a power supply, how fast the SSDs and the PFS are — lives
+here.
+"""
+
+from repro.machine.machine import Machine, NodeInfo
+from repro.machine.placement import (
+    BlockPlacement,
+    ExplicitPlacement,
+    FTIPlacement,
+    FTIRankLayout,
+    Placement,
+    RoundRobinPlacement,
+)
+from repro.machine.storage import (
+    StorageDevice,
+    StorageFullError,
+    StorageSpec,
+    TSUBAME2_PFS,
+    TSUBAME2_SSD,
+)
+from repro.machine.tsubame2 import (
+    TSUBAME2,
+    TSUBAME2_INTER_LINK,
+    TSUBAME2_INTRA_LINK,
+    Tsubame2Spec,
+    reliability_study_machine,
+    tsubame2_fti_machine,
+    tsubame2_machine,
+)
+
+__all__ = [
+    "BlockPlacement",
+    "ExplicitPlacement",
+    "FTIPlacement",
+    "FTIRankLayout",
+    "Machine",
+    "NodeInfo",
+    "Placement",
+    "RoundRobinPlacement",
+    "StorageDevice",
+    "StorageFullError",
+    "StorageSpec",
+    "TSUBAME2",
+    "TSUBAME2_INTER_LINK",
+    "TSUBAME2_INTRA_LINK",
+    "TSUBAME2_PFS",
+    "TSUBAME2_SSD",
+    "Tsubame2Spec",
+    "reliability_study_machine",
+    "tsubame2_fti_machine",
+    "tsubame2_machine",
+]

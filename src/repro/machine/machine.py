@@ -1,0 +1,150 @@
+"""The machine model: nodes, placement, power domains, storage, network.
+
+A :class:`Machine` bundles everything topology-related that the paper's
+four dimensions depend on:
+
+* rank ↔ node mapping (via a :class:`~repro.machine.placement.Placement`);
+* power-supply groups — §II-C2: "two nodes sharing a power supply should be
+  located in the same cluster", the source of correlated failures;
+* per-node SSDs and the shared PFS (for the checkpointing layers);
+* a :class:`~repro.simmpi.network.NetworkModel` wired to the placement so
+  intra-node messages ride the fast link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.placement import BlockPlacement, Placement
+from repro.machine.storage import (
+    StorageDevice,
+    StorageSpec,
+    TSUBAME2_PFS,
+    TSUBAME2_SSD,
+)
+from repro.simmpi.network import LinkParameters, NetworkModel
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """Static facts about one compute node."""
+
+    index: int
+    ranks: tuple[int, ...]
+    psu_group: int
+
+
+class Machine:
+    """Simulated cluster with placement, power domains and storage.
+
+    Parameters
+    ----------
+    nnodes, procs_per_node:
+        Shape of the partition the job runs on.
+    placement:
+        rank→node policy; defaults to block placement (the paper's).
+    psu_group_size:
+        Number of adjacent nodes sharing one power supply (≥ 1). Nodes
+        ``[k·g, (k+1)·g)`` form power group ``k``.
+    ssd_spec / pfs_spec:
+        Storage classes; defaults are the TSUBAME2 values of Table I.
+    intra_link / inter_link:
+        Network parameters; defaults approximate TSUBAME2's dual-rail QDR.
+    """
+
+    def __init__(
+        self,
+        nnodes: int,
+        procs_per_node: int,
+        *,
+        placement: Placement | None = None,
+        psu_group_size: int = 2,
+        ssd_spec: StorageSpec = TSUBAME2_SSD,
+        pfs_spec: StorageSpec = TSUBAME2_PFS,
+        intra_link: LinkParameters | None = None,
+        inter_link: LinkParameters | None = None,
+    ):
+        if psu_group_size < 1:
+            raise ValueError(f"psu_group_size must be >= 1, got {psu_group_size}")
+        self.placement = placement or BlockPlacement(nnodes, procs_per_node)
+        if self.placement.nnodes != nnodes:
+            raise ValueError(
+                f"placement covers {self.placement.nnodes} nodes, machine has {nnodes}"
+            )
+        self.nnodes = nnodes
+        self.procs_per_node = self.placement.procs_per_node
+        self.nranks = self.placement.nranks
+        self.psu_group_size = psu_group_size
+
+        self.ssd_spec = ssd_spec
+        self.pfs_spec = pfs_spec
+        self.node_ssds = [
+            StorageDevice(ssd_spec, label=f"ssd[node{n}]") for n in range(nnodes)
+        ]
+        self.pfs = StorageDevice(pfs_spec, label="pfs")
+
+        self._network = NetworkModel(
+            intra_node=intra_link,
+            inter_node=inter_link,
+            locator=self.placement.node_of_rank,
+        )
+
+    # -- topology queries -------------------------------------------------
+
+    def node_of_rank(self, rank: int) -> int:
+        """Node hosting ``rank``."""
+        return self.placement.node_of_rank(rank)
+
+    def ranks_of_node(self, node: int) -> list[int]:
+        """All ranks hosted by ``node``."""
+        return self.placement.ranks_of_node(node)
+
+    def nodes_of_ranks(self, ranks) -> set[int]:
+        """Set of nodes hosting any of ``ranks``."""
+        return {self.placement.node_of_rank(r) for r in ranks}
+
+    def psu_group_of_node(self, node: int) -> int:
+        """Power-supply group of ``node``."""
+        if not 0 <= node < self.nnodes:
+            raise ValueError(f"node {node} out of range [0, {self.nnodes})")
+        return node // self.psu_group_size
+
+    def nodes_in_psu_group(self, group: int) -> list[int]:
+        """Nodes belonging to power group ``group``."""
+        lo = group * self.psu_group_size
+        if not 0 <= lo < self.nnodes:
+            raise ValueError(f"psu group {group} out of range")
+        return list(range(lo, min(lo + self.psu_group_size, self.nnodes)))
+
+    def n_psu_groups(self) -> int:
+        """Number of power-supply groups."""
+        return -(-self.nnodes // self.psu_group_size)
+
+    def node_info(self, node: int) -> NodeInfo:
+        """Bundle of static facts about ``node``."""
+        return NodeInfo(
+            index=node,
+            ranks=tuple(self.ranks_of_node(node)),
+            psu_group=self.psu_group_of_node(node),
+        )
+
+    # -- wiring ---------------------------------------------------------------
+
+    @property
+    def network(self) -> NetworkModel:
+        """Network model bound to this machine's placement."""
+        return self._network
+
+    def ssd_of_rank(self, rank: int) -> StorageDevice:
+        """The node-local SSD visible to ``rank``."""
+        return self.node_ssds[self.node_of_rank(rank)]
+
+    def wipe_node(self, node: int) -> None:
+        """Model a node loss: its SSD contents are gone."""
+        self.node_ssds[node].clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine({self.nnodes} nodes x {self.procs_per_node} procs, "
+            f"{self.nranks} ranks)"
+        )

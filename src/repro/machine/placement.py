@@ -1,0 +1,171 @@
+"""Process-placement policies: which node hosts which MPI rank.
+
+The paper's evaluation hinges on placement: "to maximize intra-node
+communications, consecutive process ranks are placed on the same node"
+(§III). Placement interacts with clustering — block placement plus
+consecutive-rank clusters puts whole clusters on single nodes, which is
+what destroys erasure-code reliability in §III-B.
+
+A placement is a bijection between ranks and (node, slot) pairs. The
+:class:`FTIPlacement` variant models §V's layout: each node hosts
+``app_per_node`` application processes *plus one dedicated encoder process*
+whose world rank is the first of the node's block (ranks 0, 17, 34, 51 …
+in the paper's 16-app-process configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Placement:
+    """Base class: rank ↔ node mapping over ``nnodes * procs_per_node`` ranks."""
+
+    def __init__(self, nnodes: int, procs_per_node: int):
+        if nnodes <= 0 or procs_per_node <= 0:
+            raise ValueError(
+                f"need positive nnodes/procs_per_node, got {nnodes}/{procs_per_node}"
+            )
+        self.nnodes = nnodes
+        self.procs_per_node = procs_per_node
+        self.nranks = nnodes * procs_per_node
+
+    def node_of_rank(self, rank: int) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def ranks_of_node(self, node: int) -> list[int]:
+        """All ranks hosted by ``node`` (default: scan; subclasses optimize)."""
+        self._check_node(node)
+        return [r for r in range(self.nranks) if self.node_of_rank(r) == node]
+
+    def _check_rank(self, rank: int) -> int:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        return rank
+
+    def _check_node(self, node: int) -> int:
+        if not 0 <= node < self.nnodes:
+            raise ValueError(f"node {node} out of range [0, {self.nnodes})")
+        return node
+
+
+class BlockPlacement(Placement):
+    """Consecutive ranks fill each node — the paper's topology-aware layout."""
+
+    def node_of_rank(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank // self.procs_per_node
+
+    def ranks_of_node(self, node: int) -> list[int]:
+        self._check_node(node)
+        base = node * self.procs_per_node
+        return list(range(base, base + self.procs_per_node))
+
+
+class RoundRobinPlacement(Placement):
+    """Cyclic placement: rank ``r`` on node ``r mod nnodes`` (anti-locality)."""
+
+    def node_of_rank(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank % self.nnodes
+
+    def ranks_of_node(self, node: int) -> list[int]:
+        self._check_node(node)
+        return list(range(node, self.nranks, self.nnodes))
+
+
+class ExplicitPlacement(Placement):
+    """Placement from an explicit rank→node table (for tests and imports)."""
+
+    def __init__(self, node_of: list[int], nnodes: int):
+        counts: dict[int, int] = {}
+        for node in node_of:
+            if not 0 <= node < nnodes:
+                raise ValueError(f"node {node} out of range [0, {nnodes})")
+            counts[node] = counts.get(node, 0) + 1
+        ppn = max(counts.values()) if counts else 1
+        super().__init__(nnodes, ppn)
+        self.nranks = len(node_of)
+        self._node_of = list(node_of)
+        self._ranks_of: dict[int, list[int]] = {n: [] for n in range(nnodes)}
+        for rank, node in enumerate(node_of):
+            self._ranks_of[node].append(rank)
+
+    def node_of_rank(self, rank: int) -> int:
+        self._check_rank(rank)
+        return self._node_of[rank]
+
+    def ranks_of_node(self, node: int) -> list[int]:
+        self._check_node(node)
+        return list(self._ranks_of[node])
+
+
+@dataclass(frozen=True)
+class FTIRankLayout:
+    """Role of one world rank under :class:`FTIPlacement`."""
+
+    world_rank: int
+    node: int
+    is_encoder: bool
+    app_index: int | None  # dense application-process index, None for encoders
+
+
+class FTIPlacement(Placement):
+    """§V layout: per node, one encoder rank followed by the app ranks.
+
+    With ``app_per_node = 16``, node *i* hosts world ranks
+    ``[17 i, 17 i + 16]``; the *first* rank of each block (0, 17, 34, 51 …)
+    is the FTI encoder process, matching the interrupted diagonals of
+    Fig. 5b.
+    """
+
+    def __init__(self, nnodes: int, app_per_node: int):
+        super().__init__(nnodes, app_per_node + 1)
+        self.app_per_node = app_per_node
+
+    def node_of_rank(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank // self.procs_per_node
+
+    def ranks_of_node(self, node: int) -> list[int]:
+        self._check_node(node)
+        base = node * self.procs_per_node
+        return list(range(base, base + self.procs_per_node))
+
+    def is_encoder(self, rank: int) -> bool:
+        """Whether ``rank`` is a dedicated FTI encoder process."""
+        self._check_rank(rank)
+        return rank % self.procs_per_node == 0
+
+    def encoder_ranks(self) -> list[int]:
+        """World ranks of all encoder processes (one per node)."""
+        return [n * self.procs_per_node for n in range(self.nnodes)]
+
+    def app_ranks(self) -> list[int]:
+        """World ranks of all application processes, in world order."""
+        return [r for r in range(self.nranks) if not self.is_encoder(r)]
+
+    def app_index(self, rank: int) -> int:
+        """Dense application index (0 … n_app-1) of an application rank."""
+        if self.is_encoder(rank):
+            raise ValueError(f"rank {rank} is an encoder process")
+        node = self.node_of_rank(rank)
+        offset = rank % self.procs_per_node - 1
+        return node * self.app_per_node + offset
+
+    def world_rank_of_app(self, app_index: int) -> int:
+        """Inverse of :meth:`app_index`."""
+        if not 0 <= app_index < self.nnodes * self.app_per_node:
+            raise ValueError(f"app index {app_index} out of range")
+        node, offset = divmod(app_index, self.app_per_node)
+        return node * self.procs_per_node + 1 + offset
+
+    def layout(self, rank: int) -> FTIRankLayout:
+        """Full layout record for ``rank``."""
+        enc = self.is_encoder(rank)
+        return FTIRankLayout(
+            world_rank=rank,
+            node=self.node_of_rank(rank),
+            is_encoder=enc,
+            app_index=None if enc else self.app_index(rank),
+        )

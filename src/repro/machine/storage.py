@@ -1,0 +1,151 @@
+"""Storage devices of the simulated machine: node-local SSDs and the PFS.
+
+FTI's whole point is exploiting the bandwidth gap between node-local storage
+and the parallel file system (§II-B1); the checkpointing layer needs devices
+with capacities, bandwidths and (for the PFS) contention among concurrent
+writers. Devices store real payloads so checkpoint/restart tests can verify
+bit-equality, while charging virtual time according to their specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.units import format_bytes
+from repro.util.validation import check_positive
+
+
+class StorageFullError(Exception):
+    """Raised when a write would exceed a device's capacity."""
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Static description of a storage device class.
+
+    ``shared`` marks devices (the PFS) whose bandwidth is divided among
+    concurrent writers; node-local SSDs are private to their node.
+    """
+
+    name: str
+    read_bw_Bps: float
+    write_bw_Bps: float
+    capacity_bytes: int
+    latency_s: float = 0.0
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("read_bw_Bps", self.read_bw_Bps)
+        check_positive("write_bw_Bps", self.write_bw_Bps)
+        check_positive("capacity_bytes", self.capacity_bytes)
+        check_positive("latency_s", self.latency_s, strict=False)
+
+    def write_time(self, nbytes: int, concurrent: int = 1) -> float:
+        """Seconds to write ``nbytes`` with ``concurrent`` simultaneous writers."""
+        effective = self.write_bw_Bps / max(1, concurrent if self.shared else 1)
+        return self.latency_s + nbytes / effective
+
+    def read_time(self, nbytes: int, concurrent: int = 1) -> float:
+        """Seconds to read ``nbytes`` with ``concurrent`` simultaneous readers."""
+        effective = self.read_bw_Bps / max(1, concurrent if self.shared else 1)
+        return self.latency_s + nbytes / effective
+
+
+class StorageDevice:
+    """A stateful device instance: holds payloads, tracks capacity.
+
+    Keys are arbitrary hashables (the checkpoint layer uses
+    ``(level, rank, version)`` tuples). Writing an existing key replaces it
+    (checkpoint overwrite), releasing the previous allocation first.
+    """
+
+    def __init__(self, spec: StorageSpec, *, label: str | None = None):
+        self.spec = spec
+        self.label = label or spec.name
+        self.used_bytes = 0
+        self._contents: dict[Any, tuple[int, Any]] = {}
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._contents
+
+    def __len__(self) -> int:
+        return len(self._contents)
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity in bytes."""
+        return self.spec.capacity_bytes - self.used_bytes
+
+    def write(self, key: Any, payload: Any, nbytes: int, *, concurrent: int = 1) -> float:
+        """Store ``payload`` under ``key``; returns the modeled write time.
+
+        Raises :class:`StorageFullError` if the device cannot hold it.
+        """
+        check_positive("nbytes", nbytes, strict=False)
+        previous = self._contents.get(key)
+        freed = previous[0] if previous is not None else 0
+        if self.used_bytes - freed + nbytes > self.spec.capacity_bytes:
+            raise StorageFullError(
+                f"{self.label}: writing {format_bytes(nbytes)} exceeds capacity "
+                f"({format_bytes(self.used_bytes - freed)} used of "
+                f"{format_bytes(self.spec.capacity_bytes)})"
+            )
+        self.used_bytes += nbytes - freed
+        self._contents[key] = (nbytes, payload)
+        return self.spec.write_time(nbytes, concurrent)
+
+    def read(self, key: Any, *, concurrent: int = 1) -> tuple[Any, float]:
+        """Return ``(payload, modeled read time)`` for ``key``."""
+        if key not in self._contents:
+            raise KeyError(f"{self.label}: no object stored under {key!r}")
+        nbytes, payload = self._contents[key]
+        return payload, self.spec.read_time(nbytes, concurrent)
+
+    def size_of(self, key: Any) -> int:
+        """Stored size in bytes of ``key``."""
+        return self._contents[key][0]
+
+    def delete(self, key: Any) -> None:
+        """Remove ``key`` (missing keys are ignored, like ``rm -f``)."""
+        entry = self._contents.pop(key, None)
+        if entry is not None:
+            self.used_bytes -= entry[0]
+
+    def clear(self) -> None:
+        """Drop everything (device wipe, used to model a node loss)."""
+        self._contents.clear()
+        self.used_bytes = 0
+
+    def keys(self):
+        """Iterate over stored keys."""
+        return self._contents.keys()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StorageDevice({self.label}, used={format_bytes(self.used_bytes)}/"
+            f"{format_bytes(self.spec.capacity_bytes)}, {len(self)} objects)"
+        )
+
+
+# -- TSUBAME2 presets (Table I) ---------------------------------------------
+
+#: Node-local SSD: 120 GB RAID0 at 360 MB/s write (Table I), reads ~1 GB/s.
+TSUBAME2_SSD = StorageSpec(
+    name="ssd",
+    read_bw_Bps=1.0e9,
+    write_bw_Bps=360.0e6,
+    capacity_bytes=120 * 10**9,
+    latency_s=1e-4,
+    shared=False,
+)
+
+#: Lustre PFS: measured 10 GB/s aggregate write throughput (Table I), shared.
+TSUBAME2_PFS = StorageSpec(
+    name="lustre",
+    read_bw_Bps=12.0e9,
+    write_bw_Bps=10.0e9,
+    capacity_bytes=600 * 2 * 10**12,
+    latency_s=5e-3,
+    shared=True,
+)

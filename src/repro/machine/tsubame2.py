@@ -1,0 +1,106 @@
+"""TSUBAME2 preset — the experimental platform of Table I.
+
+The constants here transcribe Table I; the factory functions build
+:class:`~repro.machine.machine.Machine` instances shaped like the paper's
+two experimental configurations:
+
+* the §V evaluation partition — 64 nodes × 16 app processes (+1 FTI encoder
+  per node → 1088 MPI ranks), and
+* the §III-C reliability study — 128 nodes × 8 processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.machine import Machine
+from repro.machine.placement import BlockPlacement, FTIPlacement
+from repro.machine.storage import TSUBAME2_PFS, TSUBAME2_SSD
+from repro.simmpi.network import LinkParameters
+
+
+@dataclass(frozen=True)
+class Tsubame2Spec:
+    """Headline TSUBAME2 architecture facts (Table I)."""
+
+    total_nodes: int = 1408
+    cores_per_node: int = 12
+    hyperthreads_per_node: int = 24
+    memory_GB: float = 55.8
+    gpus_per_node: int = 3
+    gpu_total: int = 4224
+    ssd_capacity_GB: float = 120.0
+    ssd_write_MBps: float = 360.0
+    ib_rails: int = 2
+    ib_rail_GBps: float = 4.0
+    pfs_write_GBps: float = 10.0
+    os_name: str = "Suse Linux Enterprise + Windows HPC"
+
+    @property
+    def ib_total_Bps(self) -> float:
+        """Aggregate injection bandwidth per node (dual-rail QDR)."""
+        return self.ib_rails * self.ib_rail_GBps * 1e9
+
+
+#: Singleton spec instance used by the presets and the Table I bench.
+TSUBAME2 = Tsubame2Spec()
+
+#: Intra-node transfers: shared-memory copies.
+TSUBAME2_INTRA_LINK = LinkParameters(latency_s=5e-7, bandwidth_Bps=6.0e9)
+#: Inter-node transfers: dual-rail QDR InfiniBand (4 GB/s × 2).
+TSUBAME2_INTER_LINK = LinkParameters(
+    latency_s=2e-6, bandwidth_Bps=TSUBAME2.ib_total_Bps
+)
+
+
+def tsubame2_machine(
+    nnodes: int = 64,
+    procs_per_node: int = 16,
+    *,
+    psu_group_size: int = 2,
+) -> Machine:
+    """A TSUBAME2-flavoured machine with block placement (no encoders).
+
+    Defaults to the §V application shape: 64 nodes × 16 processes = 1024.
+    """
+    return Machine(
+        nnodes,
+        procs_per_node,
+        placement=BlockPlacement(nnodes, procs_per_node),
+        psu_group_size=psu_group_size,
+        ssd_spec=TSUBAME2_SSD,
+        pfs_spec=TSUBAME2_PFS,
+        intra_link=TSUBAME2_INTRA_LINK,
+        inter_link=TSUBAME2_INTER_LINK,
+    )
+
+
+def tsubame2_fti_machine(
+    nnodes: int = 64,
+    app_per_node: int = 16,
+    *,
+    psu_group_size: int = 2,
+) -> Machine:
+    """The §V machine *including* one FTI encoder process per node.
+
+    With the defaults this yields 64 × 17 = 1088 world ranks; encoder ranks
+    are 0, 17, 34, 51 … as in Fig. 5b.
+    """
+    placement = FTIPlacement(nnodes, app_per_node)
+    return Machine(
+        nnodes,
+        placement.procs_per_node,
+        placement=placement,
+        psu_group_size=psu_group_size,
+        ssd_spec=TSUBAME2_SSD,
+        pfs_spec=TSUBAME2_PFS,
+        intra_link=TSUBAME2_INTRA_LINK,
+        inter_link=TSUBAME2_INTER_LINK,
+    )
+
+
+def reliability_study_machine(
+    nnodes: int = 128, procs_per_node: int = 8
+) -> Machine:
+    """The §III-C distribution-study machine: 128 nodes × 8 = 1024 procs."""
+    return tsubame2_machine(nnodes, procs_per_node)

@@ -1,0 +1,62 @@
+"""Analytic models of the paper's four optimization dimensions.
+
+* :mod:`repro.models.logging_overhead` — % of bytes crossing L1 boundaries;
+* :mod:`repro.models.recovery_cost` — % of processes rolled back per failure;
+* :mod:`repro.models.encoding_time` — s/GB as a function of L2 cluster size;
+* reliability lives in :mod:`repro.failures.catastrophic`;
+* :mod:`repro.models.baseline` — §III's requirements and Fig. 5c scoring;
+* :mod:`repro.models.daly` — checkpoint-interval/waste extension.
+"""
+
+from repro.models.baseline import (
+    PAPER_BASELINE,
+    BaselineRequirements,
+    FourDimScore,
+)
+from repro.models.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignSimulator,
+)
+from repro.models.daly import WasteModel, daly_interval, young_interval
+from repro.models.encoding_time import (
+    TSUBAME2_SECONDS_PER_GB_PER_MEMBER,
+    EncodingTimeModel,
+    measure_throughput,
+)
+from repro.models.pfs_scheduling import PfsSchedulingModel, ScheduleOutcome
+from repro.models.logging_overhead import (
+    LogMemoryModel,
+    logged_bytes,
+    logged_fraction,
+)
+from repro.models.recovery_cost import (
+    expected_restart_fraction,
+    restart_fraction_for_node,
+    restart_set_for_nodes,
+    worst_case_restart_fraction,
+)
+
+__all__ = [
+    "BaselineRequirements",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignSimulator",
+    "EncodingTimeModel",
+    "FourDimScore",
+    "LogMemoryModel",
+    "PAPER_BASELINE",
+    "PfsSchedulingModel",
+    "ScheduleOutcome",
+    "TSUBAME2_SECONDS_PER_GB_PER_MEMBER",
+    "WasteModel",
+    "daly_interval",
+    "expected_restart_fraction",
+    "logged_bytes",
+    "logged_fraction",
+    "measure_throughput",
+    "restart_fraction_for_node",
+    "restart_set_for_nodes",
+    "worst_case_restart_fraction",
+    "young_interval",
+]

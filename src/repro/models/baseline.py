@@ -1,0 +1,108 @@
+"""The paper's baseline requirements (§III) and the four-dimensional score.
+
+"We start by defining a baseline of requirements that a clustering should
+reach in order to be efficiently used for large scale HPC systems":
+
+1. log no more than **20 %** of the messages;
+2. encode 1 GB in less than **one minute**;
+3. at most one in several thousand failures unrecoverable
+   (**P[catastrophic] ≤ 1e-3**);
+4. restart no more than **20 %** of processes after a failure.
+
+A clustering whose four-dimensional score stays inside this polygon is
+"suitable for FT in future large scale HPC systems" (Fig. 5c); the paper's
+headline claim is that only the hierarchical clustering qualifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import format_duration, format_probability
+from repro.util.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class FourDimScore:
+    """One clustering's score along the paper's four dimensions."""
+
+    name: str
+    logging_fraction: float
+    recovery_fraction: float
+    encoding_s_per_gb: float
+    prob_catastrophic: float
+
+    def __post_init__(self) -> None:
+        check_probability("logging_fraction", self.logging_fraction)
+        check_probability("recovery_fraction", self.recovery_fraction)
+        check_positive("encoding_s_per_gb", self.encoding_s_per_gb, strict=False)
+        check_probability("prob_catastrophic", self.prob_catastrophic)
+
+    def as_row(self) -> list[str]:
+        """Table II-style formatted row."""
+        return [
+            self.name,
+            f"{100 * self.logging_fraction:.1f}%",
+            f"{100 * self.recovery_fraction:.2f}%",
+            format_duration(self.encoding_s_per_gb),
+            format_probability(self.prob_catastrophic),
+        ]
+
+
+@dataclass(frozen=True)
+class BaselineRequirements:
+    """§III's acceptance thresholds for large-scale deployability."""
+
+    max_logging_fraction: float = 0.20
+    max_encoding_s_per_gb: float = 60.0
+    max_prob_catastrophic: float = 1.0e-3
+    max_recovery_fraction: float = 0.20
+
+    def __post_init__(self) -> None:
+        check_probability("max_logging_fraction", self.max_logging_fraction)
+        check_positive("max_encoding_s_per_gb", self.max_encoding_s_per_gb)
+        check_probability("max_prob_catastrophic", self.max_prob_catastrophic)
+        check_probability("max_recovery_fraction", self.max_recovery_fraction)
+
+    def check(self, score: FourDimScore) -> dict[str, bool]:
+        """Per-dimension pass/fail for one score."""
+        return {
+            "logging": score.logging_fraction <= self.max_logging_fraction,
+            "recovery": score.recovery_fraction <= self.max_recovery_fraction,
+            "encoding": score.encoding_s_per_gb <= self.max_encoding_s_per_gb,
+            "reliability": score.prob_catastrophic <= self.max_prob_catastrophic,
+        }
+
+    def satisfied(self, score: FourDimScore) -> bool:
+        """Whether the score is inside the baseline polygon on all axes."""
+        return all(self.check(score).values())
+
+    def normalized(self, score: FourDimScore) -> dict[str, float]:
+        """Score/baseline ratios (≤ 1 on every axis ⇔ inside the polygon).
+
+        This is Fig. 5c's radar normalization: "the baseline is the
+        normalized maximum overhead in all four dimensions". The
+        reliability axis is normalized in log-space relative to the
+        baseline probability, since the quantity spans 14 orders of
+        magnitude (ratio = log P / log P_max for P < 1, > 1 when worse).
+        """
+        import math
+
+        if score.prob_catastrophic <= 0.0:
+            rel = 0.0
+        elif score.prob_catastrophic >= 1.0:
+            rel = float("inf")
+        else:
+            rel = math.log(self.max_prob_catastrophic) / math.log(
+                score.prob_catastrophic
+            )
+        return {
+            "logging": score.logging_fraction / self.max_logging_fraction,
+            "recovery": score.recovery_fraction / self.max_recovery_fraction,
+            "encoding": score.encoding_s_per_gb / self.max_encoding_s_per_gb,
+            "reliability": rel,
+        }
+
+
+#: The paper's baseline instance.
+PAPER_BASELINE = BaselineRequirements()

@@ -1,0 +1,222 @@
+"""Long-run failure-campaign model: the four dimensions, composed.
+
+Table II scores each clustering along four separate axes. This model
+composes them into the quantity an operator actually cares about — the
+fraction of machine time lost to fault tolerance over a long execution —
+by simulating a campaign of MTBF-distributed failures against a
+clustering's concrete costs:
+
+* steady-state **checkpoint overhead** (write + encode every interval);
+* per-failure **rework** (restarted fraction × work since the cluster's
+  last checkpoint) plus **restore time** (local reads or erasure decode);
+* **catastrophic events** (beyond the L2 tolerance): full-machine rollback
+  to the last PFS flush plus the PFS read;
+* sender-side **log memory** is tracked against the per-process budget as
+  a feasibility check (the §III requirement behind the 20 % logging cap).
+
+The event loop is analytic (no discrete-event execution), so whole
+campaigns across clusterings and scales run in milliseconds and the
+benchmark can sweep them; every ingredient is the corresponding
+already-tested model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.base import Clustering
+from repro.failures.catastrophic import CatastrophicModel, MonteCarloEstimator
+from repro.failures.events import PAPER_TAXONOMY, FailureTaxonomy
+from repro.failures.mtbf import MTBFModel
+from repro.machine.machine import Machine
+from repro.models.encoding_time import EncodingTimeModel
+from repro.models.recovery_cost import restart_set_for_nodes
+from repro.util.rng import resolve_rng
+from repro.util.units import GiB
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Shape of one long-run campaign."""
+
+    horizon_s: float = 30 * 24 * 3600.0  # one month of execution
+    checkpoint_interval_s: float = 3600.0
+    pfs_flush_every: int = 24  # PFS flush every Nth checkpoint
+    checkpoint_gb_per_node: float = 1.0
+    node_mtbf_s: float = 5 * 365 * 24 * 3600.0  # five node-years
+
+    def __post_init__(self) -> None:
+        check_positive("horizon_s", self.horizon_s)
+        check_positive("checkpoint_interval_s", self.checkpoint_interval_s)
+        check_positive("checkpoint_gb_per_node", self.checkpoint_gb_per_node)
+        check_positive("node_mtbf_s", self.node_mtbf_s)
+        if self.pfs_flush_every < 1:
+            raise ValueError("pfs_flush_every must be >= 1")
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one simulated campaign."""
+
+    clustering: str
+    horizon_s: float
+    n_failures: int
+    n_catastrophic: int
+    checkpoint_overhead_s: float
+    rework_s: float
+    restore_s: float
+    catastrophic_penalty_s: float
+
+    @property
+    def total_waste_s(self) -> float:
+        """All machine time lost to fault tolerance."""
+        return (
+            self.checkpoint_overhead_s
+            + self.rework_s
+            + self.restore_s
+            + self.catastrophic_penalty_s
+        )
+
+    @property
+    def waste_fraction(self) -> float:
+        """Waste as a fraction of the horizon (lower is better)."""
+        return min(1.0, self.total_waste_s / self.horizon_s)
+
+    @property
+    def efficiency(self) -> float:
+        """Useful-work fraction of the campaign."""
+        return 1.0 - self.waste_fraction
+
+
+class CampaignSimulator:
+    """Samples failure campaigns against one machine + clustering."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: CampaignConfig = CampaignConfig(),
+        *,
+        taxonomy: FailureTaxonomy = PAPER_TAXONOMY,
+        encoding_model: EncodingTimeModel | None = None,
+    ):
+        self.machine = machine
+        self.config = config
+        self.taxonomy = taxonomy
+        self.encoding_model = encoding_model or EncodingTimeModel()
+
+    # -- per-clustering cost ingredients ------------------------------------
+
+    def checkpoint_cost_s(self, clustering: Clustering) -> float:
+        """One coordinated checkpoint: SSD write + L2 encode (per node)."""
+        cfg = self.config
+        write = self.machine.ssd_spec.write_time(
+            int(cfg.checkpoint_gb_per_node * GiB)
+        )
+        l2 = int(np.median(clustering.l2_sizes()))
+        encode = self.encoding_model.seconds(cfg.checkpoint_gb_per_node, l2)
+        return write + encode
+
+    def _restore_cost_s(self, clustering: Clustering, n_decoded: int) -> float:
+        """Restore after a node loss: reads + one decode per lost rank."""
+        cfg = self.config
+        per_rank_gb = cfg.checkpoint_gb_per_node / self.machine.procs_per_node
+        read = self.machine.ssd_spec.read_time(int(per_rank_gb * GiB))
+        l2 = int(np.median(clustering.l2_sizes()))
+        decode = self.encoding_model.seconds(per_rank_gb * l2, l2)
+        return read + n_decoded * decode
+
+    def _catastrophic_penalty_s(self) -> float:
+        """Full rollback to the last PFS flush + machine-wide PFS read."""
+        cfg = self.config
+        mean_rollback = (
+            cfg.pfs_flush_every * cfg.checkpoint_interval_s / 2.0
+        )
+        total_bytes = int(
+            cfg.checkpoint_gb_per_node * GiB * self.machine.nnodes
+        )
+        read = self.machine.pfs_spec.read_time(
+            total_bytes, concurrent=self.machine.nnodes
+        )
+        return mean_rollback + read
+
+    # -- campaign --------------------------------------------------------------
+
+    def run(self, clustering: Clustering, *, rng=None) -> CampaignResult:
+        """Simulate one campaign; deterministic under a seeded ``rng``."""
+        if clustering.n != self.machine.nranks:
+            raise ValueError(
+                f"clustering covers {clustering.n} processes, machine "
+                f"hosts {self.machine.nranks}"
+            )
+        gen = resolve_rng(rng)
+        cfg = self.config
+        mtbf = MTBFModel(cfg.node_mtbf_s, self.machine.nnodes)
+        failure_times = mtbf.failure_times(cfg.horizon_s, rng=gen)
+
+        model = CatastrophicModel(
+            self.machine.placement, taxonomy=self.taxonomy
+        )
+        sampler = MonteCarloEstimator(model, rng=gen)
+
+        ckpt_cost = self.checkpoint_cost_s(clustering)
+        n_ckpts = int(cfg.horizon_s // cfg.checkpoint_interval_s)
+        checkpoint_overhead = n_ckpts * ckpt_cost
+
+        rework = 0.0
+        restore = 0.0
+        catastrophic_penalty = 0.0
+        n_catastrophic = 0
+        for t in failure_times:
+            event = sampler.sample_event()
+            if model.event_is_catastrophic(clustering, event):
+                n_catastrophic += 1
+                catastrophic_penalty += self._catastrophic_penalty_s()
+                continue
+            since_ckpt = float(t % cfg.checkpoint_interval_s)
+            if event.kind == "soft":
+                members = clustering.l1_members(
+                    clustering.l1_of(event.process)
+                )
+                fraction = members.size / clustering.n
+                n_decoded = 0
+            else:
+                restarted = restart_set_for_nodes(
+                    clustering, self.machine.placement, event.nodes
+                )
+                fraction = restarted.size / clustering.n
+                n_decoded = sum(
+                    len(self.machine.ranks_of_node(node))
+                    for node in event.nodes
+                )
+            rework += fraction * since_ckpt
+            restore += self._restore_cost_s(clustering, n_decoded)
+
+        return CampaignResult(
+            clustering=clustering.name,
+            horizon_s=cfg.horizon_s,
+            n_failures=len(failure_times),
+            n_catastrophic=n_catastrophic,
+            checkpoint_overhead_s=checkpoint_overhead,
+            rework_s=rework,
+            restore_s=restore,
+            catastrophic_penalty_s=catastrophic_penalty,
+        )
+
+    def expected_waste(
+        self, clustering: Clustering, *, n_campaigns: int = 5, rng=None
+    ) -> float:
+        """Mean waste fraction over several sampled campaigns."""
+        if n_campaigns < 1:
+            raise ValueError("n_campaigns must be >= 1")
+        gen = resolve_rng(rng)
+        return float(
+            np.mean(
+                [
+                    self.run(clustering, rng=gen).waste_fraction
+                    for _ in range(n_campaigns)
+                ]
+            )
+        )

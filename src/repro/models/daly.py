@@ -1,0 +1,70 @@
+"""Optimal checkpoint-interval model (Young/Daly) — extension material.
+
+The paper motivates fast checkpointing with the classic waste argument
+([21], [10]): at extreme scale, the MTBF shrinks while checkpoint cost
+grows, so the optimal interval — and the achievable efficiency — collapse
+unless checkpoints get cheap. This module provides that baseline math; the
+ablation benchmark uses it to translate the encoding-time dimension into
+end-to-end application efficiency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+def young_interval(checkpoint_cost_s: float, mtbf_s: float) -> float:
+    """Young's first-order optimum: ``sqrt(2 · C · MTBF)``."""
+    check_positive("checkpoint_cost_s", checkpoint_cost_s)
+    check_positive("mtbf_s", mtbf_s)
+    return math.sqrt(2.0 * checkpoint_cost_s * mtbf_s)
+
+
+def daly_interval(checkpoint_cost_s: float, mtbf_s: float) -> float:
+    """Daly's higher-order refinement of the optimal interval."""
+    check_positive("checkpoint_cost_s", checkpoint_cost_s)
+    check_positive("mtbf_s", mtbf_s)
+    c, mtbf = checkpoint_cost_s, mtbf_s
+    if c < 2.0 * mtbf:
+        root = math.sqrt(2.0 * c * mtbf)
+        return root * (1.0 + math.sqrt(c / (2.0 * mtbf)) / 3.0 + (c / (2.0 * mtbf)) / 9.0) - c
+    return mtbf
+
+
+@dataclass(frozen=True)
+class WasteModel:
+    """First-order execution-waste model under periodic checkpointing.
+
+    ``waste`` = fraction of machine time not spent on useful computation:
+    checkpoint overhead + expected rework + restart cost per failure.
+    """
+
+    checkpoint_cost_s: float
+    restart_cost_s: float
+    mtbf_s: float
+
+    def __post_init__(self) -> None:
+        check_positive("checkpoint_cost_s", self.checkpoint_cost_s)
+        check_positive("restart_cost_s", self.restart_cost_s, strict=False)
+        check_positive("mtbf_s", self.mtbf_s)
+
+    def waste(self, interval_s: float) -> float:
+        """Waste fraction for a given checkpoint interval (clamped to 1)."""
+        check_positive("interval_s", interval_s)
+        tau, c = interval_s, self.checkpoint_cost_s
+        ckpt_overhead = c / (tau + c)
+        # Expected lost work per failure: half a period plus the restart.
+        per_failure = (tau + c) / 2.0 + self.restart_cost_s
+        rework = per_failure / self.mtbf_s
+        return min(1.0, ckpt_overhead + rework)
+
+    def optimal_interval(self) -> float:
+        """Young-optimal interval for this configuration."""
+        return young_interval(self.checkpoint_cost_s, self.mtbf_s)
+
+    def optimal_waste(self) -> float:
+        """Waste at the Young-optimal interval."""
+        return self.waste(self.optimal_interval())

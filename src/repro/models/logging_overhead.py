@@ -1,0 +1,69 @@
+"""Message-logging overhead model.
+
+The hybrid protocol logs exactly the payloads crossing L1 cluster
+boundaries, in sender memory (§II-B2, sender-based logging [14]). The
+fraction-of-bytes-logged comes straight from the communication graph; this
+module adds the *memory footprint* view the paper worries about ("it
+imposes a high memory footprint that increases with the communication rate
+of the application").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.base import Clustering
+from repro.commgraph.graph import CommGraph
+
+
+def logged_fraction(graph: CommGraph, clustering: Clustering) -> float:
+    """Fraction of communicated bytes that must be logged (Table II col. 2)."""
+    if graph.n != clustering.n:
+        raise ValueError(
+            f"graph covers {graph.n} endpoints, clustering {clustering.n}"
+        )
+    return graph.logged_fraction(clustering.l1_labels)
+
+
+def logged_bytes(graph: CommGraph, clustering: Clustering) -> float:
+    """Absolute logged volume over the traced window."""
+    if graph.n != clustering.n:
+        raise ValueError(
+            f"graph covers {graph.n} endpoints, clustering {clustering.n}"
+        )
+    return graph.cut_bytes(clustering.l1_labels)
+
+
+@dataclass(frozen=True)
+class LogMemoryModel:
+    """Sender-side log memory growth between checkpoints.
+
+    ``window_s`` is the time between coordinated checkpoints of a cluster —
+    logs can be truncated once every potential receiver has checkpointed
+    past the logged message.
+    """
+
+    memory_per_process_bytes: float
+
+    def peak_log_bytes_per_process(
+        self,
+        graph: CommGraph,
+        clustering: Clustering,
+        *,
+        trace_duration_s: float,
+        window_s: float,
+    ) -> np.ndarray:
+        """Per-process peak log footprint over one checkpoint window."""
+        if trace_duration_s <= 0 or window_s <= 0:
+            raise ValueError("durations must be positive")
+        labels = clustering.l1_labels
+        cross = labels[:, None] != labels[None, :]
+        logged_per_sender = (graph.matrix * cross).sum(axis=0)  # by src column
+        rate = logged_per_sender / trace_duration_s
+        return rate * window_s
+
+    def fits(self, peak_bytes: np.ndarray) -> bool:
+        """Whether every process's log fits in its memory budget."""
+        return bool((peak_bytes <= self.memory_per_process_bytes).all())

@@ -1,0 +1,115 @@
+"""PFS checkpoint-scheduling model — why HydEE needs FTI (§II-C).
+
+The paper argues that a hybrid protocol relying only on the PFS must
+stagger cluster checkpoints to dodge the I/O bottleneck, which "prevents
+from taking advantage of application-level checkpointing" and injects
+noise into tightly-coupled applications; combining with FTI lets all
+clusters checkpoint "at the same time" on node-local SSDs instead.
+
+This module quantifies that argument with three analytic strategies:
+
+* ``simultaneous_pfs`` — all clusters hit the shared PFS together: each
+  write sees ``1/n_clusters`` of the bandwidth; everyone finishes at the
+  same (late) time;
+* ``staggered_pfs`` — clusters take turns at full bandwidth: individual
+  writes are fast, but the *last* cluster finishes just as late **and**
+  every earlier cluster has perturbed a tightly-coupled application for
+  the duration (the noise term);
+* ``local_ssd`` — the FTI path: every node writes its own SSD in parallel,
+  plus the L2 encoding charge.
+
+All three report the checkpoint makespan and the cross-cluster noise
+window; the ablation bench shows the SSD path winning by the bandwidth
+ratio, which is the quantitative version of §II-C's argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.storage import StorageSpec
+from repro.models.encoding_time import EncodingTimeModel
+from repro.util.units import GiB
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Result of one checkpointing strategy."""
+
+    name: str
+    makespan_s: float  # time until the last checkpoint is durable
+    noise_window_s: float  # total time some (but not all) clusters are busy
+
+    @property
+    def is_coordinated(self) -> bool:
+        """Whether all clusters checkpoint over the same window (no skew)."""
+        return self.noise_window_s == 0.0
+
+
+@dataclass(frozen=True)
+class PfsSchedulingModel:
+    """Checkpoint-scheduling cost model for one machine configuration.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of L1 clusters checkpointing.
+    bytes_per_cluster:
+        Checkpoint volume each cluster writes.
+    pfs:
+        Shared parallel-file-system characteristics.
+    ssd:
+        Node-local storage characteristics (per-node, private).
+    nodes_per_cluster:
+        Node count per cluster (each node writes its share to its own SSD).
+    """
+
+    n_clusters: int
+    bytes_per_cluster: int
+    pfs: StorageSpec
+    ssd: StorageSpec
+    nodes_per_cluster: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive("n_clusters", self.n_clusters)
+        check_positive("bytes_per_cluster", self.bytes_per_cluster)
+        check_positive("nodes_per_cluster", self.nodes_per_cluster)
+
+    def simultaneous_pfs(self) -> ScheduleOutcome:
+        """Everyone writes the PFS at once; bandwidth divides evenly."""
+        per_cluster = self.pfs.write_time(
+            self.bytes_per_cluster, concurrent=self.n_clusters
+        )
+        return ScheduleOutcome("simultaneous-pfs", per_cluster, 0.0)
+
+    def staggered_pfs(self) -> ScheduleOutcome:
+        """Clusters take turns at full bandwidth (the scheduling strategy
+        §II-C says hybrid-over-PFS protocols are forced into)."""
+        single = self.pfs.write_time(self.bytes_per_cluster, concurrent=1)
+        makespan = self.n_clusters * single
+        # During all but one slot, part of the machine is checkpointing
+        # while the rest computes — noise for tightly-coupled apps.
+        noise = (self.n_clusters - 1) * single
+        return ScheduleOutcome("staggered-pfs", makespan, noise)
+
+    def local_ssd(
+        self, *, l2_cluster_size: int = 4, time_model: EncodingTimeModel | None = None
+    ) -> ScheduleOutcome:
+        """The FTI path: parallel SSD writes + Reed–Solomon encoding."""
+        model = time_model or EncodingTimeModel()
+        per_node = self.bytes_per_cluster / self.nodes_per_cluster
+        write = self.ssd.write_time(int(per_node))
+        encode = model.seconds(
+            self.bytes_per_cluster / GiB, l2_cluster_size
+        ) / self.nodes_per_cluster
+        return ScheduleOutcome("local-ssd+rs", write + encode, 0.0)
+
+    def compare(self, **ssd_kwargs) -> list[ScheduleOutcome]:
+        """All three strategies, sorted by makespan."""
+        outcomes = [
+            self.simultaneous_pfs(),
+            self.staggered_pfs(),
+            self.local_ssd(**ssd_kwargs),
+        ]
+        return sorted(outcomes, key=lambda o: o.makespan_s)

@@ -1,0 +1,43 @@
+"""Simulated MPI runtime: a deterministic discrete-event MPI in pure Python.
+
+This package substitutes for the paper's MPICH2/TSUBAME2 execution
+environment. Rank programs are generator coroutines scheduled by
+:class:`~repro.simmpi.engine.Engine`; the API mirrors mpi4py (``send`` /
+``recv`` / ``isend`` / collectives / ``split``), collectives use MPICH2's
+algorithms so traces show the same structure the paper reports, and every
+message is byte-accurately recorded by
+:class:`~repro.simmpi.tracing.TraceRecorder`.
+"""
+
+from repro.simmpi.comm import Communicator
+from repro.simmpi.engine import Engine, RankContext, run_program
+from repro.simmpi.errors import (
+    CommunicatorError,
+    DeadlockError,
+    RankFailedError,
+    SimMPIError,
+)
+from repro.simmpi.network import LinkParameters, NetworkModel, zero_latency_network
+from repro.simmpi.request import ANY_SOURCE, ANY_TAG, Status, nbytes_of
+from repro.simmpi.tracing import TraceRecorder
+from repro.simmpi import collectives
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "CommunicatorError",
+    "DeadlockError",
+    "Engine",
+    "LinkParameters",
+    "NetworkModel",
+    "RankContext",
+    "RankFailedError",
+    "SimMPIError",
+    "Status",
+    "TraceRecorder",
+    "collectives",
+    "nbytes_of",
+    "run_program",
+    "zero_latency_network",
+]

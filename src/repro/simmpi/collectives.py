@@ -1,0 +1,255 @@
+"""Collective algorithms implemented over simulated point-to-point.
+
+Collectives are implemented the way MPICH2 implements them — as trees and
+distance-doubling exchanges over point-to-point messages — because the
+*trace* of a collective matters to the paper: Fig. 5b explicitly identifies
+the power-of-two diagonals of MPICH2's ``MPI_Allgather`` (used by FTI during
+initialization). Running these algorithms through the tracer reproduces the
+same diagonals.
+
+All functions are generator coroutines operating on a
+:class:`~repro.simmpi.comm.Communicator`; they must be invoked with
+``yield from``. Every collective draws a fresh internal tag from the
+communicator so that back-to-back collectives never cross-match.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+
+def sum_op(a, b):
+    """Commutative elementwise sum (NumPy arrays or scalars)."""
+    return a + b
+
+
+def max_op(a, b):
+    """Commutative elementwise maximum (NumPy arrays or scalars)."""
+    return np.maximum(a, b)
+
+
+def min_op(a, b):
+    """Commutative elementwise minimum (NumPy arrays or scalars)."""
+    return np.minimum(a, b)
+
+
+def prod_op(a, b):
+    """Commutative elementwise product (NumPy arrays or scalars)."""
+    return a * b
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+# ---------------------------------------------------------------------------
+# broadcast / barrier
+# ---------------------------------------------------------------------------
+
+
+def bcast(comm, obj: Any, root: int = 0, *, kind: str = "bcast"):
+    """Binomial-tree broadcast; returns the broadcast object on every rank."""
+    comm._check_root(root)
+    tag = comm._next_coll_tag()
+    size, rank = comm.size, comm.rank
+    vrank = (rank - root) % size
+
+    data = obj
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            src = (vrank - mask + root) % size
+            data = yield from comm.recv(source=src, tag=tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            dst = (vrank + mask + root) % size
+            yield from comm.send(data, dest=dst, tag=tag, kind=kind)
+        mask >>= 1
+    return data
+
+
+def barrier(comm, *, kind: str = "barrier"):
+    """Dissemination barrier (log2(size) rounds of 0-byte messages)."""
+    tag = comm._next_coll_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    step = 1
+    while step < size:
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        yield from comm.isend(None, dest=dst, tag=tag, kind=kind)
+        yield from comm.recv(source=src, tag=tag)
+        step <<= 1
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+
+def reduce(comm, value: Any, op: Callable = sum_op, root: int = 0, *, kind: str = "reduce"):
+    """Binomial-tree reduction to ``root``; ``op`` must be commutative.
+
+    Returns the reduced value on the root and ``None`` elsewhere.
+    """
+    comm._check_root(root)
+    tag = comm._next_coll_tag()
+    size, rank = comm.size, comm.rank
+    vrank = (rank - root) % size
+
+    result = value
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            dst = (vrank - mask + root) % size
+            yield from comm.send(result, dest=dst, tag=tag, kind=kind)
+            return None
+        partner = vrank + mask
+        if partner < size:
+            src = (partner + root) % size
+            partial = yield from comm.recv(source=src, tag=tag)
+            result = op(result, partial)
+        mask <<= 1
+    return result
+
+
+def allreduce(comm, value: Any, op: Callable = sum_op, *, kind: str = "allreduce"):
+    """All-reduce: recursive doubling when size is a power of two, otherwise
+    binomial reduce followed by binomial broadcast (MPICH2's fallback)."""
+    size = comm.size
+    if size == 1:
+        return value
+    if _is_pow2(size):
+        tag = comm._next_coll_tag()
+        rank = comm.rank
+        result = value
+        mask = 1
+        while mask < size:
+            partner = rank ^ mask
+            yield from comm.isend(result, dest=partner, tag=tag, kind=kind)
+            other = yield from comm.recv(source=partner, tag=tag)
+            result = op(result, other)
+            mask <<= 1
+        return result
+    partial = yield from reduce(comm, value, op, root=0, kind=kind)
+    return (yield from bcast(comm, partial, root=0, kind=kind))
+
+
+# ---------------------------------------------------------------------------
+# gathers / scatters
+# ---------------------------------------------------------------------------
+
+
+def gather(comm, value: Any, root: int = 0, *, kind: str = "gather"):
+    """Linear gather; returns the rank-ordered list on root, None elsewhere."""
+    comm._check_root(root)
+    tag = comm._next_coll_tag()
+    if comm.rank == root:
+        out: list[Any] = [None] * comm.size
+        out[root] = value
+        for src in range(comm.size):
+            if src != root:
+                out[src] = yield from comm.recv(source=src, tag=tag)
+        return out
+    yield from comm.send(value, dest=root, tag=tag, kind=kind)
+    return None
+
+
+def scatter(comm, values: list | None, root: int = 0, *, kind: str = "scatter"):
+    """Linear scatter of ``values`` (length ``size``) from root."""
+    comm._check_root(root)
+    tag = comm._next_coll_tag()
+    if comm.rank == root:
+        if values is None or len(values) != comm.size:
+            raise ValueError(
+                f"scatter root needs a list of {comm.size} values, got "
+                f"{None if values is None else len(values)}"
+            )
+        for dst in range(comm.size):
+            if dst != root:
+                yield from comm.send(values[dst], dest=dst, tag=tag, kind=kind)
+        return values[root]
+    return (yield from comm.recv(source=root, tag=tag))
+
+
+def allgather(comm, value: Any, *, kind: str = "allgather"):
+    """All-gather; returns the rank-ordered list of contributions.
+
+    Power-of-two sizes use MPICH2's recursive doubling (partners at XOR
+    distances 1, 2, 4, …); other sizes use Bruck's algorithm (partners at
+    ± power-of-two ring distances). Both place traffic on power-of-two
+    diagonals of the communication matrix — the pattern the paper calls out
+    in Fig. 5b.
+    """
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return [value]
+    tag = comm._next_coll_tag()
+    blocks: list[Any] = [None] * size
+    blocks[rank] = value
+
+    if _is_pow2(size):
+        mask = 1
+        while mask < size:
+            partner = rank ^ mask
+            base = rank & ~(mask - 1)  # start of my contiguous block run
+            send_chunk = {i: blocks[i] for i in range(base, base + mask)}
+            yield from comm.isend(send_chunk, dest=partner, tag=tag, kind=kind)
+            recv_chunk = yield from comm.recv(source=partner, tag=tag)
+            for i, blk in recv_chunk.items():
+                blocks[i] = blk
+            mask <<= 1
+        return blocks
+
+    # Bruck: after round k I hold blocks rank..rank+2^k-1 (mod size).
+    have = 1
+    pofk = 1
+    while have < size:
+        count = min(pofk, size - have)
+        dst = (rank - pofk) % size
+        src = (rank + pofk) % size
+        send_chunk = {
+            (rank + i) % size: blocks[(rank + i) % size] for i in range(count)
+        }
+        yield from comm.isend(send_chunk, dest=dst, tag=tag, kind=kind)
+        recv_chunk = yield from comm.recv(source=src, tag=tag)
+        for i, blk in recv_chunk.items():
+            blocks[i] = blk
+        have += count
+        pofk <<= 1
+    return blocks
+
+
+def alltoall(comm, values: list, *, kind: str = "alltoall"):
+    """Pairwise-exchange all-to-all; ``values[i]`` goes to local rank ``i``."""
+    size, rank = comm.size, comm.rank
+    if len(values) != size:
+        raise ValueError(f"alltoall needs {size} values, got {len(values)}")
+    tag = comm._next_coll_tag()
+    out: list[Any] = [None] * size
+    out[rank] = values[rank]
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        yield from comm.isend(values[dst], dest=dst, tag=tag, kind=kind)
+        out[src] = yield from comm.recv(source=src, tag=tag)
+    return out
+
+
+def scan(comm, value: Any, op: Callable = sum_op, *, kind: str = "scan"):
+    """Inclusive prefix reduction along rank order (linear chain)."""
+    tag = comm._next_coll_tag()
+    rank, size = comm.rank, comm.size
+    acc = value
+    if rank > 0:
+        upstream = yield from comm.recv(source=rank - 1, tag=tag)
+        acc = op(upstream, value)
+    if rank < size - 1:
+        yield from comm.send(acc, dest=rank + 1, tag=tag, kind=kind)
+    return acc

@@ -1,0 +1,288 @@
+"""Communicator: the mpi4py-flavoured user API of the simulated runtime.
+
+A :class:`Communicator` is a view over a subset of world ranks (its
+*group*). Point-to-point calls address *local* ranks within the group and
+are translated to world ranks before reaching the engine, exactly like MPI
+communicators. All communication methods are generator coroutines and must
+be invoked with ``yield from`` inside a rank program::
+
+    def program(ctx):
+        comm = ctx.comm                        # world communicator
+        row = yield from comm.split(color=ctx.rank // 4)
+        total = yield from row.allreduce(ctx.rank)
+        return total
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.simmpi import collectives as coll
+from repro.simmpi.engine import PostRecv, PostSend, RankContext, Wait
+from repro.simmpi.errors import CommunicatorError
+from repro.simmpi.request import (
+    ANY_SOURCE,
+    ANY_TAG,
+    RecvRequest,
+    Request,
+    SendRequest,
+    nbytes_of,
+)
+
+#: Base of the internal tag space used by collectives. User tags must stay
+#: below this value; :meth:`Communicator.send` enforces it.
+COLL_TAG_BASE: int = 1 << 30
+_COLL_TAG_MOD: int = 1 << 20
+
+
+def _payload_nbytes(obj: Any) -> int:
+    """Wire size of ``obj``, descending into the containers collectives use."""
+    if isinstance(obj, dict):
+        return sum(_payload_nbytes(v) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_nbytes(v) for v in obj)
+    return nbytes_of(obj)
+
+
+def _capture(obj: Any) -> Any:
+    """Snapshot mutable payloads at send time (buffered-send semantics).
+
+    NumPy arrays are copied so the sender may reuse its buffer immediately,
+    mirroring what a buffered ``MPI_Send`` guarantees. Containers are
+    shallow-copied with their array leaves copied.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, dict):
+        return {k: _capture(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_capture(v) for v in obj]
+    if isinstance(obj, tuple):
+        return tuple(_capture(v) for v in obj)
+    return obj
+
+
+class Communicator:
+    """A group of ranks with isolated point-to-point matching.
+
+    Instances are created through :meth:`world` (by the engine) and
+    :meth:`split`; application code never constructs one directly.
+    """
+
+    def __init__(self, ctx: RankContext, comm_id: int, group: Sequence[int]):
+        self.ctx = ctx
+        self.comm_id = comm_id
+        self.group = tuple(group)
+        try:
+            self.rank = self.group.index(ctx.rank)
+        except ValueError:
+            raise CommunicatorError(
+                f"world rank {ctx.rank} is not a member of group {group}"
+            ) from None
+        self.size = len(self.group)
+        self._coll_seq = 0
+        self._split_seq = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def world(cls, ctx: RankContext) -> "Communicator":
+        """The world communicator covering every rank (comm id 0)."""
+        return cls(ctx, 0, tuple(range(ctx.nranks)))
+
+    # -- helpers -------------------------------------------------------------
+
+    def _world_rank(self, local: int) -> int:
+        if not 0 <= local < self.size:
+            raise CommunicatorError(
+                f"rank {local} out of range for communicator of size {self.size}"
+            )
+        return self.group[local]
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise CommunicatorError(
+                f"root {root} out of range for communicator of size {self.size}"
+            )
+
+    def _next_coll_tag(self) -> int:
+        tag = COLL_TAG_BASE + (self._coll_seq % _COLL_TAG_MOD)
+        self._coll_seq += 1
+        return tag
+
+    # -- point-to-point -------------------------------------------------------
+
+    def isend(
+        self,
+        obj: Any,
+        dest: int,
+        tag: int = 0,
+        *,
+        nbytes: int | None = None,
+        kind: str = "p2p",
+    ):
+        """Nonblocking send; returns a :class:`SendRequest`.
+
+        ``nbytes`` overrides the payload's measured size — pass it with
+        ``obj=None`` for synthetic (metadata-only) traffic.
+        """
+        if tag < 0:
+            raise CommunicatorError(f"send tags must be non-negative, got {tag}")
+        size = nbytes if nbytes is not None else _payload_nbytes(obj)
+        req = yield PostSend(
+            dest=self._world_rank(dest),
+            tag=tag,
+            comm_id=self.comm_id,
+            payload=_capture(obj),
+            nbytes=int(size),
+            kind=kind,
+        )
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Nonblocking receive; returns a :class:`RecvRequest`."""
+        world_source = source if source == ANY_SOURCE else self._world_rank(source)
+        req = yield PostRecv(source=world_source, tag=tag, comm_id=self.comm_id)
+        return req
+
+    def wait(self, request: Request):
+        """Wait for one request; returns the payload for receives."""
+        completed = yield Wait(request)
+        if isinstance(completed, RecvRequest):
+            assert completed.message is not None
+            return completed.message.payload
+        return None
+
+    def wait_status(self, request: RecvRequest):
+        """Wait for a receive; returns ``(payload, Status)``."""
+        completed = yield Wait(request)
+        if not isinstance(completed, RecvRequest):
+            raise CommunicatorError("wait_status() requires a receive request")
+        assert completed.message is not None
+        return completed.message.payload, completed.status()
+
+    @staticmethod
+    def test(request: Request) -> bool:
+        """Nonblocking completion check (mirrors ``MPI_Test``).
+
+        Plain method, not a coroutine: posting and matching happen eagerly
+        in this engine, so completion state is always current.
+        """
+        return request.done
+
+    def waitall(self, requests: Sequence[Request]):
+        """Wait for every request; returns per-request results in order."""
+        results = []
+        for request in requests:
+            results.append((yield from self.wait(request)))
+        return results
+
+    def send(
+        self,
+        obj: Any,
+        dest: int,
+        tag: int = 0,
+        *,
+        nbytes: int | None = None,
+        kind: str = "p2p",
+    ):
+        """Blocking (buffered) send."""
+        req = yield from self.isend(obj, dest, tag, nbytes=nbytes, kind=kind)
+        yield from self.wait(req)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns the payload."""
+        req = yield from self.irecv(source, tag)
+        return (yield from self.wait(req))
+
+    def recv_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns ``(payload, Status)``."""
+        req = yield from self.irecv(source, tag)
+        return (yield from self.wait_status(req))
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        *,
+        nbytes: int | None = None,
+        kind: str = "p2p",
+    ):
+        """Combined send+receive (deadlock-free); returns the received payload."""
+        sreq = yield from self.isend(sendobj, dest, sendtag, nbytes=nbytes, kind=kind)
+        rreq = yield from self.irecv(source, recvtag)
+        payload = yield from self.wait(rreq)
+        yield from self.wait(sreq)
+        return payload
+
+    # -- collectives ------------------------------------------------------------
+
+    def barrier(self):
+        """Dissemination barrier across the group."""
+        return (yield from coll.barrier(self))
+
+    def bcast(self, obj: Any, root: int = 0):
+        """Binomial-tree broadcast; returns the object on every rank."""
+        return (yield from coll.bcast(self, obj, root))
+
+    def reduce(self, value: Any, op: Callable = coll.sum_op, root: int = 0):
+        """Tree reduction; result on root, ``None`` elsewhere."""
+        return (yield from coll.reduce(self, value, op, root))
+
+    def allreduce(self, value: Any, op: Callable = coll.sum_op):
+        """All-reduce (recursive doubling / reduce+bcast)."""
+        return (yield from coll.allreduce(self, value, op))
+
+    def gather(self, value: Any, root: int = 0):
+        """Gather to root; rank-ordered list on root, ``None`` elsewhere."""
+        return (yield from coll.gather(self, value, root))
+
+    def scatter(self, values: list | None, root: int = 0):
+        """Scatter from root; returns this rank's element."""
+        return (yield from coll.scatter(self, values, root))
+
+    def allgather(self, value: Any):
+        """All-gather (recursive doubling / Bruck); rank-ordered list."""
+        return (yield from coll.allgather(self, value))
+
+    def alltoall(self, values: list):
+        """Pairwise-exchange all-to-all."""
+        return (yield from coll.alltoall(self, values))
+
+    def scan(self, value: Any, op: Callable = coll.sum_op):
+        """Inclusive prefix reduction along rank order."""
+        return (yield from coll.scan(self, value, op))
+
+    # -- communicator management ---------------------------------------------
+
+    def split(self, color: int | None, key: int = 0):
+        """Split into sub-communicators by ``color`` (``None`` → no membership).
+
+        Ranks with equal color form a new communicator, ordered by
+        ``(key, parent rank)`` exactly like ``MPI_Comm_split``.
+        """
+        seq = self._split_seq
+        self._split_seq += 1
+        infos = yield from self.allgather((color, key, self.rank))
+        if color is None:
+            return None
+        members = sorted(
+            (k, r) for c, k, r in infos if c == color
+        )
+        group_world = tuple(self.group[r] for _, r in members)
+        comm_id = self.ctx.engine.allocate_comm_id((self.comm_id, seq, color))
+        return Communicator(self.ctx, comm_id, group_world)
+
+    def translate_rank(self, local: int) -> int:
+        """World rank corresponding to ``local`` in this communicator."""
+        return self._world_rank(local)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Communicator(id={self.comm_id}, rank={self.rank}/{self.size})"
+        )

@@ -1,0 +1,436 @@
+"""Deterministic discrete-event engine driving simulated MPI rank programs.
+
+Rank programs are Python *generator coroutines*: every communication
+primitive is a generator that ``yield``\\ s low-level operations to the
+engine and receives the result back through ``gen.send()``. Application code
+therefore reads almost exactly like mpi4py::
+
+    def program(ctx):
+        comm = ctx.comm
+        if comm.rank == 0:
+            yield from comm.send(data, dest=1, tag=7)
+        elif comm.rank == 1:
+            data = yield from comm.recv(source=0, tag=7)
+        return result
+
+The engine is *deterministic*: runnable ranks are always resumed in
+increasing rank order, message matching follows MPI's non-overtaking rule
+per (sender, communicator), and virtual time is tracked per rank with a
+latency/bandwidth network model. Determinism is what makes the protocol
+tests (checkpoint/replay bit-equivalence) meaningful.
+
+Virtual-time semantics
+----------------------
+* each rank carries a local clock, advanced by ``ctx.advance(seconds)`` for
+  compute and by communication waits;
+* sends are buffered: posting captures the payload and completes
+  immediately (the sender pays no wait time);
+* a receive completes at ``max(local clock, message arrival time)`` where
+  arrival = sender clock at post + network transfer time.
+
+This is the standard LogP-style approximation used by trace-driven MPI
+simulators; it reproduces exactly what the paper consumes (byte-accurate
+traces, event ordering) while remaining fast enough for 1088-rank runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Sequence
+
+from repro.simmpi.errors import DeadlockError, MatchingError, RankFailedError
+from repro.simmpi.network import NetworkModel, zero_latency_network
+from repro.simmpi.request import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Message,
+    RecvRequest,
+    Request,
+    SendRequest,
+    nbytes_of,
+)
+from repro.simmpi.tracing import TraceRecorder
+
+# --------------------------------------------------------------------------
+# Low-level operations yielded by primitives to the engine
+# --------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class PostSend:
+    """Post a buffered send; engine replies with a :class:`SendRequest`."""
+
+    dest: int  # world rank
+    tag: int
+    comm_id: int
+    payload: Any
+    nbytes: int
+    kind: str
+
+
+@dataclass(slots=True)
+class PostRecv:
+    """Post a receive; engine replies with a :class:`RecvRequest`."""
+
+    source: int  # world rank or ANY_SOURCE
+    tag: int
+    comm_id: int
+
+
+@dataclass(slots=True)
+class Wait:
+    """Block until ``request`` completes; engine replies with the request."""
+
+    request: Request
+
+
+Op = PostSend | PostRecv | Wait
+
+
+class RankContext:
+    """Per-rank execution context handed to every rank program.
+
+    Attributes
+    ----------
+    rank:
+        World rank of this program instance.
+    nranks:
+        World size.
+    clock:
+        Local virtual time in seconds (mutated by the engine and by
+        :meth:`advance`).
+    comm:
+        The world communicator (set by the engine before the program runs).
+    """
+
+    __slots__ = ("rank", "nranks", "clock", "comm", "engine", "user")
+
+    def __init__(self, rank: int, nranks: int, engine: "Engine"):
+        self.rank = rank
+        self.nranks = nranks
+        self.clock = 0.0
+        self.comm = None  # filled in by Engine.run with the world communicator
+        self.engine = engine
+        self.user: dict[str, Any] = {}
+
+    @property
+    def now(self) -> float:
+        """Current local virtual time in seconds."""
+        return self.clock
+
+    def advance(self, seconds: float) -> None:
+        """Advance local time by ``seconds`` of modeled computation."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time by {seconds}")
+        self.clock += seconds
+
+
+class _RankState:
+    """Book-keeping for one live rank inside the engine."""
+
+    __slots__ = ("rank", "gen", "ctx", "blocked_on", "finished", "result", "failed")
+
+    def __init__(self, rank: int, gen: Generator, ctx: RankContext):
+        self.rank = rank
+        self.gen = gen
+        self.ctx = ctx
+        self.blocked_on: Request | None = None
+        self.finished = False
+        self.result: Any = None
+        self.failed = False
+
+
+RankProgram = Callable[[RankContext], Generator]
+
+
+class Engine:
+    """Deterministic discrete-event executor for simulated MPI programs.
+
+    Parameters
+    ----------
+    nranks:
+        World size.
+    network:
+        Timing model; defaults to a zero-latency network, which preserves
+        ordering semantics and traces while making unit tests trivial.
+    tracer:
+        Optional :class:`TraceRecorder`; when provided, every message is
+        recorded at send-post time.
+    failure_ranks:
+        Ranks that should fail by raising :class:`RankFailedError` inside
+        their program the next time they interact with the engine. Used by
+        the failure-injection layers; normal runs leave it empty.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        network: NetworkModel | None = None,
+        tracer: TraceRecorder | None = None,
+    ):
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self.network = network or zero_latency_network()
+        self.tracer = tracer
+        self.failure_ranks: set[int] = set()
+
+        # Protocol hooks (used by repro.hydee): an optional message log that
+        # captures payloads of selected messages at send time, and
+        # per-channel counts of *completed* receives — the two ingredients of
+        # sender-based logging with receiver-side checkpointed positions.
+        self.message_log = None  # object with .wants(src, dst) and .record(...)
+        self.recv_counts: dict[tuple[int, int], int] = {}
+
+        # Matching state: keyed by (comm_id, receiver world rank).
+        self._pending_recvs: dict[tuple[int, int], list[RecvRequest]] = {}
+        self._unexpected: dict[tuple[int, int], list[Message]] = {}
+
+        # Communicator-id allocation (world == 0); see Communicator.split.
+        self._next_comm_id = 1
+        self._split_registry: dict[tuple, int] = {}
+
+        self._states: list[_RankState] = []
+        self._runnable: list[int] = []  # heap of rank ids
+        self._in_runnable: set[int] = set()
+
+    # -- communicator-id service -------------------------------------------
+
+    def allocate_comm_id(self, key: tuple) -> int:
+        """Return a stable comm id for ``key`` (same key → same id).
+
+        All members of a split call with the same (parent, sequence, color)
+        key and must agree on the resulting id regardless of the order in
+        which the engine resumes them.
+        """
+        cid = self._split_registry.get(key)
+        if cid is None:
+            cid = self._next_comm_id
+            self._next_comm_id += 1
+            self._split_registry[key] = cid
+        return cid
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _make_runnable(self, rank: int) -> None:
+        if rank not in self._in_runnable:
+            heapq.heappush(self._runnable, rank)
+            self._in_runnable.add(rank)
+
+    def run(
+        self,
+        program: RankProgram | Sequence[RankProgram],
+        *,
+        comm_factory: Callable[[RankContext], Any] | None = None,
+    ) -> list[Any]:
+        """Execute one program per rank to completion; return their results.
+
+        ``program`` is either a single callable used for every rank or a
+        sequence of ``nranks`` callables. Each callable receives the rank's
+        :class:`RankContext` and must return a generator.
+
+        Raises :class:`DeadlockError` if no rank can make progress while
+        some are unfinished.
+        """
+        from repro.simmpi.comm import Communicator  # local import, no cycle at module load
+
+        if callable(program):
+            programs: list[RankProgram] = [program] * self.nranks
+        else:
+            programs = list(program)
+            if len(programs) != self.nranks:
+                raise ValueError(
+                    f"got {len(programs)} programs for {self.nranks} ranks"
+                )
+
+        self._states = []
+        for rank in range(self.nranks):
+            ctx = RankContext(rank, self.nranks, self)
+            if comm_factory is not None:
+                ctx.comm = comm_factory(ctx)
+            else:
+                ctx.comm = Communicator.world(ctx)
+            gen = programs[rank](ctx)
+            if not isinstance(gen, Generator):
+                raise TypeError(
+                    f"rank program for rank {rank} must return a generator; "
+                    f"did you forget `yield` in the program body?"
+                )
+            self._states.append(_RankState(rank, gen, ctx))
+
+        self._runnable = list(range(self.nranks))
+        heapq.heapify(self._runnable)
+        self._in_runnable = set(range(self.nranks))
+
+        while self._runnable:
+            rank = heapq.heappop(self._runnable)
+            self._in_runnable.discard(rank)
+            self._step(self._states[rank])
+
+        unfinished = [s for s in self._states if not s.finished]
+        if unfinished:
+            blocked = {
+                s.rank: (s.blocked_on.describe() if s.blocked_on else "not scheduled")
+                for s in unfinished
+            }
+            raise DeadlockError(blocked)
+        return [s.result for s in self._states]
+
+    def _step(self, state: _RankState) -> None:
+        """Resume one rank and run it until it finishes or blocks."""
+        send_value: Any = None
+        throw_exc: BaseException | None = None
+        if state.blocked_on is not None:
+            # Waking from a Wait: answer the pending yield with the request.
+            request = state.blocked_on
+            state.blocked_on = None
+            if not request.done:
+                raise MatchingError("rank resumed on an incomplete request")
+            send_value = self._complete_wait(state, request)
+
+        while True:
+            try:
+                if throw_exc is not None:
+                    exc, throw_exc = throw_exc, None
+                    op = state.gen.throw(exc)
+                else:
+                    op = state.gen.send(send_value)
+            except StopIteration as stop:
+                state.finished = True
+                state.result = stop.value
+                return
+            except RankFailedError:
+                state.finished = True
+                state.failed = True
+                state.result = None
+                return
+
+            if state.rank in self.failure_ranks and not state.failed:
+                # Inject the failure at the rank's next communication
+                # point (generators cannot catch exceptions thrown before
+                # their first yield). The pending op is dropped — the
+                # message is never posted, exactly like a crash mid-call.
+                state.failed = True
+                throw_exc = RankFailedError(state.rank)
+                continue
+
+            if isinstance(op, PostSend):
+                send_value = self._handle_send(state, op)
+            elif isinstance(op, PostRecv):
+                send_value = self._handle_recv_post(state, op)
+            elif isinstance(op, Wait):
+                request = op.request
+                if request.done:
+                    send_value = self._complete_wait(state, request)
+                else:
+                    state.blocked_on = request
+                    return
+            else:
+                raise MatchingError(f"rank {state.rank} yielded unknown op {op!r}")
+
+    # -- op handlers ---------------------------------------------------------
+
+    def _handle_send(self, state: _RankState, op: PostSend) -> SendRequest:
+        src = state.rank
+        arrival = state.ctx.clock + self.network.transfer_time(src, op.dest, op.nbytes)
+        message = Message(
+            src=src,
+            dst=op.dest,
+            tag=op.tag,
+            comm_id=op.comm_id,
+            payload=op.payload,
+            nbytes=op.nbytes,
+            send_time=state.ctx.clock,
+            arrival_time=arrival,
+        )
+        message.kind = op.kind
+        if self.tracer is not None:
+            self.tracer.record(src, op.dest, op.nbytes, kind=op.kind)
+        if self.message_log is not None and self.message_log.wants(src, op.dest):
+            self.message_log.record(
+                src, op.dest, op.tag, op.payload, op.nbytes, op.kind
+            )
+
+        key = (op.comm_id, op.dest)
+        pending = self._pending_recvs.get(key)
+        if pending:
+            for i, req in enumerate(pending):
+                if message.matches(req.source, req.tag):
+                    pending.pop(i)
+                    req.complete(message)
+                    self._unblock_if_waiting(op.dest, req)
+                    return SendRequest(src, message)
+        self._unexpected.setdefault(key, []).append(message)
+        return SendRequest(src, message)
+
+    def _handle_recv_post(self, state: _RankState, op: PostRecv) -> RecvRequest:
+        req = RecvRequest(state.rank, op.source, op.tag, op.comm_id)
+        key = (op.comm_id, state.rank)
+        queue = self._unexpected.get(key)
+        if queue:
+            for i, message in enumerate(queue):
+                if message.matches(op.source, op.tag):
+                    queue.pop(i)
+                    req.complete(message)
+                    return req
+        self._pending_recvs.setdefault(key, []).append(req)
+        return req
+
+    def _unblock_if_waiting(self, rank: int, request: Request) -> None:
+        state = self._states[rank]
+        if state.blocked_on is request:
+            # Leave blocked_on set: _step consumes it on resume so the
+            # pending Wait yield receives the completed request.
+            self._make_runnable(rank)
+
+    def _complete_wait(self, state: _RankState, request: Request) -> Request:
+        """Account virtual time for a completed wait and return the request."""
+        if isinstance(request, RecvRequest):
+            message = request.message
+            if message is None:
+                raise MatchingError("completed receive without a message")
+            if message.arrival_time > state.ctx.clock:
+                state.ctx.clock = message.arrival_time
+            channel = (message.src, state.rank)
+            self.recv_counts[channel] = self.recv_counts.get(channel, 0) + 1
+        return request
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def max_time(self) -> float:
+        """Largest rank clock seen so far (the run's virtual makespan)."""
+        if not self._states:
+            return 0.0
+        return max(s.ctx.clock for s in self._states)
+
+    def rank_times(self) -> list[float]:
+        """Per-rank final virtual clocks (after :meth:`run`)."""
+        return [s.ctx.clock for s in self._states]
+
+
+def run_program(
+    program: RankProgram | Sequence[RankProgram],
+    nranks: int,
+    *,
+    network: NetworkModel | None = None,
+    tracer: TraceRecorder | None = None,
+) -> list[Any]:
+    """One-shot convenience wrapper: build an engine, run, return results."""
+    engine = Engine(nranks, network=network, tracer=tracer)
+    return engine.run(program)
+
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Engine",
+    "PostRecv",
+    "PostSend",
+    "RankContext",
+    "Wait",
+    "run_program",
+    "nbytes_of",
+]

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the simulated MPI runtime."""
+
+from __future__ import annotations
+
+
+class SimMPIError(Exception):
+    """Base class for all simulated-MPI errors."""
+
+
+class DeadlockError(SimMPIError):
+    """Raised when no rank can make progress but some have not finished.
+
+    Carries a human-readable description of every blocked rank and the
+    request it is waiting on, which makes protocol bugs (mismatched tags,
+    missing sends) diagnosable from the test failure alone.
+    """
+
+    def __init__(self, blocked: dict[int, str]):
+        self.blocked = dict(blocked)
+        detail = "; ".join(f"rank {r}: {why}" for r, why in sorted(blocked.items()))
+        super().__init__(f"deadlock — {len(blocked)} rank(s) blocked: {detail}")
+
+
+class RankFailedError(SimMPIError):
+    """Raised inside a rank program when the engine injects a failure."""
+
+    def __init__(self, rank: int, reason: str = "injected failure"):
+        self.rank = rank
+        self.reason = reason
+        super().__init__(f"rank {rank} failed: {reason}")
+
+
+class CommunicatorError(SimMPIError):
+    """Invalid communicator usage (bad rank, rank outside group, bad root)."""
+
+
+class MatchingError(SimMPIError):
+    """Internal matching-engine invariant violation (always a library bug)."""

@@ -1,0 +1,91 @@
+"""Network timing models for the simulated MPI runtime.
+
+The engine asks the network model one question: *how long does a message of
+``n`` bytes take from world rank ``src`` to world rank ``dst``?*  The answer
+uses the classic latency/bandwidth (alpha-beta) model, with separate
+parameters for intra-node (shared-memory) and inter-node (interconnect)
+transfers, which is the level of fidelity the paper's evaluation needs —
+traces depend on byte counts and placement, timing shape on alpha-beta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.util.validation import check_positive
+
+
+class RankLocator(Protocol):
+    """Anything that can map a world rank to a node index."""
+
+    def node_of_rank(self, rank: int) -> int:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class LinkParameters:
+    """Alpha-beta parameters of one link class."""
+
+    latency_s: float
+    bandwidth_Bps: float
+
+    def __post_init__(self) -> None:
+        check_positive("latency_s", self.latency_s, strict=False)
+        check_positive("bandwidth_Bps", self.bandwidth_Bps)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` over this link class."""
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+
+class NetworkModel:
+    """Two-level (intra-node vs inter-node) alpha-beta network model.
+
+    Parameters
+    ----------
+    intra_node, inter_node:
+        Link parameters for the two classes of transfers.
+    locator:
+        Optional rank→node mapping. Without one, every rank is assumed to be
+        on its own node (all transfers inter-node), which is the safe default
+        for unit tests that do not care about placement.
+    """
+
+    def __init__(
+        self,
+        intra_node: LinkParameters | None = None,
+        inter_node: LinkParameters | None = None,
+        locator: RankLocator | Callable[[int], int] | None = None,
+    ):
+        # Defaults approximate TSUBAME2: shared-memory copies vs dual-rail
+        # QDR InfiniBand (Table I: 4 GB/s x 2).
+        self.intra_node = intra_node or LinkParameters(5e-7, 6.0e9)
+        self.inter_node = inter_node or LinkParameters(2e-6, 8.0e9)
+        if locator is None:
+            self._node_of = lambda rank: rank
+        elif callable(locator) and not hasattr(locator, "node_of_rank"):
+            self._node_of = locator
+        else:
+            self._node_of = locator.node_of_rank
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank`` under the configured placement."""
+        return self._node_of(rank)
+
+    def same_node(self, src: int, dst: int) -> bool:
+        """Whether two ranks share a node (and hence the intra-node link)."""
+        return self._node_of(src) == self._node_of(dst)
+
+    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Transfer time of an ``nbytes`` message from ``src`` to ``dst``."""
+        if src == dst:
+            return 0.0
+        link = self.intra_node if self.same_node(src, dst) else self.inter_node
+        return link.transfer_time(nbytes)
+
+
+def zero_latency_network() -> NetworkModel:
+    """A network that moves everything instantly (pure-ordering tests)."""
+    fast = LinkParameters(0.0, float("inf"))
+    return NetworkModel(intra_node=fast, inter_node=fast)

@@ -1,0 +1,131 @@
+"""Messages, requests and statuses for the simulated MPI runtime.
+
+A :class:`Message` is the unit moved by the engine; :class:`SendRequest` and
+:class:`RecvRequest` mirror MPI's nonblocking handles; :class:`Status` mirrors
+``MPI_Status`` (source / tag / message size).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+#: Wildcard source rank (mirrors ``MPI_ANY_SOURCE``).
+ANY_SOURCE: int = -1
+#: Wildcard tag (mirrors ``MPI_ANY_TAG``).
+ANY_TAG: int = -1
+
+
+def nbytes_of(payload: Any) -> int:
+    """Best-effort on-the-wire size of ``payload`` in bytes.
+
+    NumPy arrays report their buffer size, ``bytes``/``bytearray`` their
+    length, ``None`` is zero (pure-synchronization message), and any other
+    Python object falls back to ``sys.getsizeof`` — adequate for traces,
+    since the applications we care about send arrays or explicit sizes.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (int, float, complex, np.generic)):
+        return 8
+    return int(sys.getsizeof(payload))
+
+
+@dataclass(slots=True)
+class Message:
+    """One in-flight message, addressed in *world* ranks."""
+
+    src: int
+    dst: int
+    tag: int
+    comm_id: int
+    payload: Any
+    nbytes: int
+    send_time: float
+    arrival_time: float
+    kind: str = "p2p"
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Whether this message satisfies a recv posted for (source, tag)."""
+        return (source == ANY_SOURCE or source == self.src) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+
+@dataclass(slots=True)
+class Status:
+    """Completion metadata for a receive (mirrors ``MPI_Status``)."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+class Request:
+    """Base class for nonblocking-operation handles."""
+
+    __slots__ = ("done", "owner")
+
+    def __init__(self, owner: int):
+        self.done = False
+        self.owner = owner  # world rank that posted the request
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class SendRequest(Request):
+    """Handle for a posted send.
+
+    The engine models sends as buffered: the payload is captured at post
+    time, so a send request is complete as soon as it is posted. The handle
+    still exists so programs can be written in the standard
+    post-then-waitall MPI style.
+    """
+
+    __slots__ = ("message",)
+
+    def __init__(self, owner: int, message: Message):
+        super().__init__(owner)
+        self.message = message
+        self.done = True
+
+    def describe(self) -> str:
+        m = self.message
+        return f"send to {m.dst} (tag {m.tag}, {m.nbytes} B)"
+
+
+class RecvRequest(Request):
+    """Handle for a posted receive; completed by the matching engine."""
+
+    __slots__ = ("source", "tag", "comm_id", "message")
+
+    def __init__(self, owner: int, source: int, tag: int, comm_id: int):
+        super().__init__(owner)
+        self.source = source
+        self.tag = tag
+        self.comm_id = comm_id
+        self.message: Message | None = None
+
+    def complete(self, message: Message) -> None:
+        """Attach the matched message and mark the request done."""
+        self.message = message
+        self.done = True
+
+    def status(self) -> Status:
+        """Status of the completed receive (raises if still pending)."""
+        if self.message is None:
+            raise RuntimeError("status() on incomplete receive")
+        return Status(self.message.src, self.message.tag, self.message.nbytes)
+
+    def describe(self) -> str:
+        src = "ANY" if self.source == ANY_SOURCE else str(self.source)
+        tag = "ANY" if self.tag == ANY_TAG else str(self.tag)
+        return f"recv from {src} (tag {tag}, comm {self.comm_id})"

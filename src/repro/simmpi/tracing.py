@@ -1,0 +1,101 @@
+"""Communication tracing for the simulated MPI runtime.
+
+The paper's whole evaluation pipeline starts from "the communication graph
+obtained by executing a tsunami simulation" (§III). The tracer accumulates a
+dense ``(nranks, nranks)`` byte matrix — sender on the x axis, receiver on
+the y axis, exactly like Fig. 5a/5b — plus optional per-kind matrices so the
+benchmark for Fig. 5b can separate stencil traffic from the MPICH2-style
+``Allgather`` pattern and from checkpoint-encoder traffic.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+
+class TraceRecorder:
+    """Accumulates per-(src, dst) communicated bytes and message counts.
+
+    Parameters
+    ----------
+    nranks:
+        World size; fixes the matrix dimensions.
+    by_kind:
+        If true, keep a separate byte matrix per message ``kind``
+        (``"p2p"``, ``"bcast"``, ``"allgather"`` …) in addition to the total.
+    """
+
+    def __init__(self, nranks: int, *, by_kind: bool = False):
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self.bytes_matrix = np.zeros((nranks, nranks), dtype=np.float64)
+        self.count_matrix = np.zeros((nranks, nranks), dtype=np.int64)
+        self.by_kind = by_kind
+        self.kind_matrices: dict[str, np.ndarray] = {}
+        self.total_messages = 0
+        self.total_bytes = 0.0
+
+    def record(self, src: int, dst: int, nbytes: int, kind: str = "p2p") -> None:
+        """Record one message. Self-messages are recorded too (diagonal)."""
+        self.bytes_matrix[dst, src] += nbytes
+        self.count_matrix[dst, src] += 1
+        self.total_messages += 1
+        self.total_bytes += nbytes
+        if self.by_kind:
+            mat = self.kind_matrices.get(kind)
+            if mat is None:
+                mat = self.kind_matrices.setdefault(
+                    kind, np.zeros((self.nranks, self.nranks), dtype=np.float64)
+                )
+            mat[dst, src] += nbytes
+
+    # -- views ------------------------------------------------------------
+
+    def symmetric_bytes(self) -> np.ndarray:
+        """Undirected traffic matrix ``B + B.T`` (used by the partitioner)."""
+        return self.bytes_matrix + self.bytes_matrix.T
+
+    def zoom(self, n: int) -> np.ndarray:
+        """Top-left ``n x n`` corner of the byte matrix (Fig. 5b's view)."""
+        if not 0 < n <= self.nranks:
+            raise ValueError(f"zoom size must be in [1, {self.nranks}], got {n}")
+        return self.bytes_matrix[:n, :n].copy()
+
+    def kind_bytes(self, kind: str) -> np.ndarray:
+        """Byte matrix restricted to one message kind (requires by_kind)."""
+        if not self.by_kind:
+            raise RuntimeError("tracer was not created with by_kind=True")
+        mat = self.kind_matrices.get(kind)
+        if mat is None:
+            return np.zeros((self.nranks, self.nranks), dtype=np.float64)
+        return mat
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist matrices to an ``.npz`` archive."""
+        payload = {
+            "bytes": self.bytes_matrix,
+            "counts": self.count_matrix,
+        }
+        for kind, mat in self.kind_matrices.items():
+            payload[f"kind_{kind}"] = mat
+        np.savez_compressed(Path(path), **payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceRecorder":
+        """Load a tracer previously stored with :meth:`save`."""
+        with np.load(Path(path)) as data:
+            bytes_matrix = data["bytes"]
+            tracer = cls(bytes_matrix.shape[0], by_kind=True)
+            tracer.bytes_matrix = bytes_matrix.copy()
+            tracer.count_matrix = data["counts"].copy()
+            for key in data.files:
+                if key.startswith("kind_"):
+                    tracer.kind_matrices[key[len("kind_"):]] = data[key].copy()
+        tracer.total_messages = int(tracer.count_matrix.sum())
+        tracer.total_bytes = float(tracer.bytes_matrix.sum())
+        return tracer

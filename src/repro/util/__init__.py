@@ -1,0 +1,41 @@
+"""Shared utilities: unit handling, RNG plumbing, validation, table rendering.
+
+These helpers are deliberately tiny and dependency-free so that every other
+subpackage (``simmpi``, ``clustering``, ``erasure`` …) can rely on them
+without import cycles.
+"""
+
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_duration,
+    format_probability,
+    parse_size,
+)
+from repro.util.rng import resolve_rng, spawn_rngs
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+from repro.util.tables import AsciiTable
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "format_bytes",
+    "format_duration",
+    "format_probability",
+    "parse_size",
+    "resolve_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "check_power_of_two",
+    "AsciiTable",
+]

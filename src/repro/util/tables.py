@@ -1,0 +1,63 @@
+"""Minimal ASCII table renderer for benchmark/experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; this
+renderer keeps that output aligned and diff-friendly without pulling in a
+formatting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class AsciiTable:
+    """Accumulate rows and render them as a fixed-width ASCII table.
+
+    >>> t = AsciiTable(["method", "logged"], title="demo")
+    >>> t.add_row(["naive", "3.5%"])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo
+    ...
+    """
+
+    def __init__(self, columns: Sequence[str], *, title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append one row; values are stringified, count must match columns."""
+        row = [str(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def _widths(self) -> list[int]:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render the table (title, header, separator, rows) as one string."""
+        widths = self._widths()
+
+        def fmt(row: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.columns))
+        lines.append(sep)
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()

@@ -1,0 +1,105 @@
+"""Byte/size/time unit helpers used across the library.
+
+The paper quotes quantities in GB, seconds and percentages; keeping the
+conversions in one place avoids the classic off-by-2**10 mistakes between
+modules (e.g. the encoding-time model is calibrated in seconds *per GiB*).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Number of bytes in one kibibyte.
+KiB: int = 1024
+#: Number of bytes in one mebibyte.
+MiB: int = 1024 * KiB
+#: Number of bytes in one gibibyte.
+GiB: int = 1024 * MiB
+
+_SUFFIXES = (
+    ("TiB", 1024 * GiB),
+    ("GiB", GiB),
+    ("MiB", MiB),
+    ("KiB", KiB),
+    ("B", 1),
+)
+
+_PARSE_SUFFIXES = {
+    "b": 1,
+    "kb": 1000,
+    "kib": KiB,
+    "mb": 1000**2,
+    "mib": MiB,
+    "gb": 1000**3,
+    "gib": GiB,
+    "tb": 1000**4,
+    "tib": 1024 * GiB,
+}
+
+
+def format_bytes(nbytes: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``1536 -> '1.50 KiB'``.
+
+    Negative values are formatted with a leading minus sign; fractional byte
+    counts (which appear in analytic models) are allowed.
+    """
+    sign = "-" if nbytes < 0 else ""
+    nbytes = abs(float(nbytes))
+    for suffix, factor in _SUFFIXES:
+        if nbytes >= factor or suffix == "B":
+            value = nbytes / factor
+            if suffix == "B":
+                return f"{sign}{value:.0f} B"
+            return f"{sign}{value:.2f} {suffix}"
+    raise AssertionError("unreachable")
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size (``"4 GiB"``, ``"512MB"``) into bytes.
+
+    Integers and floats pass through unchanged (rounded to int). Plain
+    numeric strings are interpreted as bytes. Decimal (kB/MB/GB) and binary
+    (KiB/MiB/GiB) suffixes are both accepted, case-insensitively.
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    stripped = text.strip().lower().replace(" ", "")
+    for suffix in sorted(_PARSE_SUFFIXES, key=len, reverse=True):
+        if stripped.endswith(suffix):
+            number = stripped[: -len(suffix)]
+            if number:
+                return int(float(number) * _PARSE_SUFFIXES[suffix])
+    try:
+        return int(float(stripped))
+    except ValueError as exc:
+        raise ValueError(f"cannot parse size: {text!r}") from exc
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration: sub-second in ms, minutes past 120 s, hours past 2 h."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.1f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.1f} min"
+    return f"{seconds / 3600.0:.2f} h"
+
+
+def format_probability(p: float) -> str:
+    """Render a probability the way the paper does (``1e-4``, ``0.95``).
+
+    Probabilities above 1 % are printed as fixed-point; smaller ones in
+    scientific notation with one significant digit, matching Table II.
+    """
+    if p <= 0.0:
+        return "0"
+    if p >= 0.01:
+        return f"{p:.2f}".rstrip("0").rstrip(".")
+    exponent = math.floor(math.log10(p))
+    mantissa = p / 10**exponent
+    if abs(mantissa - 1.0) < 0.05:
+        return f"1e{exponent:d}"
+    return f"{mantissa:.1f}e{exponent:d}"

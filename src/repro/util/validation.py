@@ -1,0 +1,42 @@
+"""Argument-validation helpers with consistent, greppable error messages."""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative if not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate ``low <= value <= high`` (strict bounds if not inclusive)."""
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Validate that ``value`` is a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+    return value

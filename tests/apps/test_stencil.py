@@ -1,0 +1,163 @@
+"""Process-grid and halo-exchange tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps import ProcessGrid, halo_exchange, synthetic_halo_exchange
+from repro.simmpi import Engine, TraceRecorder, run_program
+
+
+class TestProcessGrid:
+    def test_shape_properties(self):
+        g = ProcessGrid(4, 2, 16, 8)
+        assert g.nranks == 8
+        assert g.tile_nx == 4 and g.tile_ny == 4
+
+    def test_coords_roundtrip(self):
+        g = ProcessGrid(4, 3, 8, 6)
+        for rank in range(g.nranks):
+            row, col = g.coords_of(rank)
+            assert g.rank_at(row, col) == rank
+
+    def test_row_major_numbering(self):
+        g = ProcessGrid(4, 2, 8, 8)
+        assert g.coords_of(5) == (1, 1)
+
+    def test_neighbors_interior(self):
+        g = ProcessGrid(3, 3, 9, 9)
+        north, east, south, west = g.neighbors_of(4)  # center
+        assert (north, east, south, west) == (1, 5, 7, 3)
+
+    def test_neighbors_corner(self):
+        g = ProcessGrid(3, 3, 9, 9)
+        north, east, south, west = g.neighbors_of(0)
+        assert north is None and west is None
+        assert east == 1 and south == 3
+
+    def test_east_west_are_rank_pm1(self):
+        """Row-major: EW neighbors differ by 1, NS by px (paper's layout)."""
+        g = ProcessGrid(8, 4, 32, 32)
+        _, east, south, _ = g.neighbors_of(9)
+        assert east == 10 and south == 17
+
+    def test_indivisible_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(3, 1, 10, 4)
+
+    def test_tile_slices_cover_domain(self):
+        g = ProcessGrid(2, 2, 8, 4)
+        covered = np.zeros((4, 8), dtype=int)
+        for rank in range(g.nranks):
+            ys, xs = g.tile_slices(rank)
+            covered[ys, xs] += 1
+        np.testing.assert_array_equal(covered, 1)
+
+    def test_bounds(self):
+        g = ProcessGrid(2, 2, 4, 4)
+        with pytest.raises(ValueError):
+            g.coords_of(4)
+        with pytest.raises(ValueError):
+            g.rank_at(2, 0)
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    def test_neighbor_symmetry(self, px, py):
+        g = ProcessGrid(px, py, px * 2, py * 2)
+        for rank in range(g.nranks):
+            n, e, s, w = g.neighbors_of(rank)
+            if e is not None:
+                assert g.neighbors_of(e)[3] == rank  # my east's west is me
+            if s is not None:
+                assert g.neighbors_of(s)[0] == rank  # my south's north is me
+
+
+class TestHaloExchange:
+    def _run_exchange(self, px, py, nfields=1):
+        g = ProcessGrid(px, py, px * 3, py * 3)
+
+        def program(ctx):
+            comm = ctx.comm
+            fields = [
+                np.full((g.tile_ny + 2, g.tile_nx + 2), float(ctx.rank * 10 + k))
+                for k in range(nfields)
+            ]
+            yield from halo_exchange(comm, g, fields)
+            return fields
+
+        return g, run_program(program, g.nranks)
+
+    def test_ghosts_carry_neighbor_values(self):
+        g, results = self._run_exchange(3, 3)
+        center = 4
+        fields = results[center]
+        n, e, s, w = g.neighbors_of(center)
+        f = fields[0]
+        assert np.all(f[0, 1:-1] == n * 10)
+        assert np.all(f[-1, 1:-1] == s * 10)
+        assert np.all(f[1:-1, 0] == w * 10)
+        assert np.all(f[1:-1, -1] == e * 10)
+
+    def test_physical_ghosts_untouched(self):
+        g, results = self._run_exchange(2, 2)
+        corner = results[0][0]  # rank 0: north & west are walls
+        assert np.all(corner[0, 1:-1] == 0.0 * 10)  # still its own value
+        # rank 0's field was filled with 0.0 everywhere, so check rank 3:
+        g, results = self._run_exchange(2, 2)
+        f3 = results[3][0]
+        assert np.all(f3[-1, 1:-1] == 30.0)  # south wall: unchanged own value
+
+    def test_multi_field_packing(self):
+        g, results = self._run_exchange(2, 1, nfields=3)
+        f = results[0]
+        # East ghost of rank 0 comes from rank 1's fields 10, 11, 12.
+        for k in range(3):
+            assert np.all(f[k][1:-1, -1] == 10.0 + k)
+
+    def test_wrong_field_shape_raises(self):
+        g = ProcessGrid(2, 1, 4, 2)
+
+        def program(ctx):
+            bad = [np.zeros((3, 3))]
+            yield from halo_exchange(ctx.comm, g, bad)
+            return None
+
+        with pytest.raises(ValueError):
+            run_program(program, 2)
+
+
+class TestSyntheticHalo:
+    def test_same_bytes_as_real_exchange(self):
+        """Synthetic and real exchanges produce identical traces."""
+        g = ProcessGrid(4, 4, 16, 16)
+
+        def real_program(ctx):
+            fields = [np.zeros((g.tile_ny + 2, g.tile_nx + 2)) for _ in range(2)]
+            yield from halo_exchange(ctx.comm, g, fields)
+            return None
+
+        def synth_program(ctx):
+            yield from synthetic_halo_exchange(ctx.comm, g, nfields=2)
+            return None
+
+        t_real = TraceRecorder(g.nranks)
+        Engine(g.nranks, tracer=t_real).run(real_program)
+        t_synth = TraceRecorder(g.nranks)
+        Engine(g.nranks, tracer=t_synth).run(synth_program)
+        np.testing.assert_array_equal(t_real.bytes_matrix, t_synth.bytes_matrix)
+
+    def test_traffic_only_between_neighbors(self):
+        g = ProcessGrid(4, 4, 16, 16)
+        tracer = TraceRecorder(g.nranks)
+
+        def program(ctx):
+            yield from synthetic_halo_exchange(ctx.comm, g, nfields=1)
+            return None
+
+        Engine(g.nranks, tracer=tracer).run(program)
+        for dst in range(g.nranks):
+            for src in range(g.nranks):
+                if tracer.bytes_matrix[dst, src] > 0:
+                    assert dst in [
+                        x for x in g.neighbors_of(src) if x is not None
+                    ]

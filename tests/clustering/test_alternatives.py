@@ -1,0 +1,128 @@
+"""Alternative-partitioner tests: spectral bisection & greedy modularity."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import modularity_partition, spectral_partition
+from repro.commgraph import (
+    CommGraph,
+    modularity,
+    node_graph,
+    paper_tsunami_matrix,
+    random_sparse_matrix,
+)
+from repro.machine import BlockPlacement
+
+
+@pytest.fixture(scope="module")
+def paper_ng():
+    g = paper_tsunami_matrix(iterations=5)
+    return g, node_graph(g, BlockPlacement(64, 16))
+
+
+class TestSpectral:
+    def test_paper_graph_reproduces_greedy_structure(self, paper_ng):
+        """Independent method, same answer: 16 clusters of 4 consecutive
+        nodes — strong evidence the structure is in the graph, not the
+        optimizer."""
+        _, ng = paper_ng
+        labels = spectral_partition(ng, min_cluster_nodes=4, max_cluster_nodes=4)
+        np.testing.assert_array_equal(labels, np.arange(64) // 4)
+
+    def test_sizes_respect_cap(self):
+        g = random_sparse_matrix(24, degree=3, rng=1)
+        labels = spectral_partition(g, min_cluster_nodes=2, max_cluster_nodes=6)
+        sizes = np.bincount(labels)
+        assert (sizes <= 6).all()
+        assert sizes.sum() == 24
+
+    def test_two_blobs_split_at_bridge(self):
+        m = np.zeros((8, 8))
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    m[i, j] = m[i + 4, j + 4] = 10.0
+        m[0, 4] = m[4, 0] = 0.1
+        labels = spectral_partition(
+            CommGraph(m), min_cluster_nodes=2, max_cluster_nodes=4
+        )
+        assert len(set(labels[:4])) == 1
+        assert labels[0] != labels[4]
+
+    def test_zero_traffic_graph_splits_evenly(self):
+        g = CommGraph(np.zeros((8, 8)))
+        labels = spectral_partition(g, min_cluster_nodes=2, max_cluster_nodes=2)
+        assert (np.bincount(labels) == 2).all()
+
+    def test_validation(self):
+        g = random_sparse_matrix(8, rng=0)
+        with pytest.raises(ValueError):
+            spectral_partition(g, min_cluster_nodes=0)
+        with pytest.raises(ValueError):
+            spectral_partition(g, min_cluster_nodes=4, max_cluster_nodes=2)
+        with pytest.raises(ValueError):
+            spectral_partition(g, min_cluster_nodes=99)
+
+
+class TestModularityPartition:
+    def test_paper_graph_reproduces_greedy_structure(self, paper_ng):
+        _, ng = paper_ng
+        labels = modularity_partition(ng, min_cluster_nodes=4, max_cluster_nodes=4)
+        np.testing.assert_array_equal(labels, np.arange(64) // 4)
+
+    def test_finds_planted_communities(self):
+        m = np.zeros((9, 9))
+        for blob in range(3):
+            idx = range(3 * blob, 3 * blob + 3)
+            for i in idx:
+                for j in idx:
+                    if i != j:
+                        m[i, j] = 5.0
+        m[2, 3] = m[3, 2] = m[5, 6] = m[6, 5] = 0.2
+        g = CommGraph(m)
+        labels = modularity_partition(g)
+        assert len(np.unique(labels)) == 3
+        for blob in range(3):
+            assert len(set(labels[3 * blob : 3 * blob + 3])) == 1
+
+    def test_improves_over_singletons(self):
+        g = random_sparse_matrix(16, degree=3, rng=5)
+        labels = modularity_partition(g)
+        assert modularity(g, labels) >= modularity(g, np.arange(16)) - 1e-12
+
+    def test_min_size_enforced(self):
+        g = random_sparse_matrix(12, degree=3, rng=2)
+        labels = modularity_partition(g, min_cluster_nodes=3, max_cluster_nodes=6)
+        sizes = np.bincount(labels)
+        assert (sizes[sizes > 0] >= 3).all()
+
+    def test_cap_enforced(self):
+        g = random_sparse_matrix(12, degree=3, rng=3)
+        labels = modularity_partition(g, max_cluster_nodes=4)
+        assert np.bincount(labels).max() <= 4
+
+    def test_empty_graph_respects_min_size(self):
+        g = CommGraph(np.zeros((8, 8)))
+        labels = modularity_partition(g, min_cluster_nodes=4, max_cluster_nodes=4)
+        assert (np.bincount(labels) == 4).all()
+
+    def test_validation(self):
+        g = random_sparse_matrix(6, rng=0)
+        with pytest.raises(ValueError):
+            modularity_partition(g, min_cluster_nodes=7)
+
+
+class TestCrossMethodAgreement:
+    def test_all_three_partitioners_agree_on_paper_graph(self, paper_ng):
+        """Greedy [24]-style, spectral, and modularity all produce the
+        identical paper partition — the result is method-independent."""
+        from repro.clustering import PartitionCost, partition_node_graph
+
+        g, ng = paper_ng
+        greedy = partition_node_graph(
+            ng, min_cluster_nodes=4, cost=PartitionCost(1.0, 8.0)
+        )
+        spectral = spectral_partition(ng, min_cluster_nodes=4, max_cluster_nodes=4)
+        modular = modularity_partition(ng, min_cluster_nodes=4, max_cluster_nodes=4)
+        np.testing.assert_array_equal(greedy, spectral)
+        np.testing.assert_array_equal(spectral, modular)

@@ -1,0 +1,111 @@
+"""Clustering base-type tests: labels, nesting, membership, stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clustering import Clustering
+
+
+class TestConstruction:
+    def test_flat_clustering_mirrors_l1_into_l2(self):
+        c = Clustering("flat", np.array([0, 0, 1, 1]))
+        np.testing.assert_array_equal(c.l1_labels, c.l2_labels)
+        assert not c.is_hierarchical
+
+    def test_labels_are_densified(self):
+        c = Clustering("sparse", np.array([5, 5, 9, 9]))
+        np.testing.assert_array_equal(c.l1_labels, [0, 0, 1, 1])
+
+    def test_hierarchical_nesting_accepted(self):
+        l1 = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        l2 = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        c = Clustering("h", l1, l2)
+        assert c.is_hierarchical
+        assert c.n_l1_clusters == 2 and c.n_l2_clusters == 4
+
+    def test_l2_crossing_l1_rejected(self):
+        l1 = np.array([0, 0, 1, 1])
+        l2 = np.array([0, 1, 1, 2])  # L2 cluster 1 spans both L1 clusters
+        with pytest.raises(ValueError, match="spans L1"):
+            Clustering("bad", l1, l2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Clustering("bad", np.array([0, 0, 1]), np.array([0, 1]))
+
+    def test_float_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Clustering("bad", np.array([0.0, 1.0]))
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Clustering("bad", np.array([0, -1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Clustering("bad", np.array([], dtype=int))
+
+
+class TestMembership:
+    def make(self):
+        l1 = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        l2 = np.array([0, 1, 0, 1, 2, 3, 2, 3])
+        return Clustering("h", l1, l2)
+
+    def test_l1_members(self):
+        c = self.make()
+        np.testing.assert_array_equal(c.l1_members(1), [4, 5, 6, 7])
+
+    def test_l2_members(self):
+        c = self.make()
+        np.testing.assert_array_equal(c.l2_members(2), [4, 6])
+
+    def test_cluster_of_process(self):
+        c = self.make()
+        assert c.l1_of(5) == 1
+        assert c.l2_of(5) == 3
+
+    def test_l2_within_l1(self):
+        c = self.make()
+        assert c.l2_within_l1(0) == [0, 1]
+        assert c.l2_within_l1(1) == [2, 3]
+
+    def test_all_clusters_lists(self):
+        c = self.make()
+        assert len(c.l1_clusters()) == 2
+        assert len(c.l2_clusters()) == 4
+
+    def test_bounds(self):
+        c = self.make()
+        with pytest.raises(ValueError):
+            c.l1_members(2)
+        with pytest.raises(ValueError):
+            c.l1_of(8)
+
+
+class TestStatistics:
+    def test_sizes(self):
+        c = Clustering("x", np.array([0, 0, 0, 1]))
+        np.testing.assert_array_equal(c.l1_sizes(), [3, 1])
+
+    def test_l2_node_spread(self):
+        l1 = np.array([0, 0, 0, 0])
+        l2 = np.array([0, 0, 1, 1])
+        c = Clustering("x", l1, l2)
+        # procs 0,1 on node 0 and 1; procs 2,3 both on node 1.
+        node_of = lambda p: [0, 1, 1, 1][p]
+        np.testing.assert_array_equal(c.l2_node_spread(node_of), [2, 1])
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=40))
+    def test_sizes_sum_to_n(self, raw):
+        c = Clustering("p", np.array(raw))
+        assert c.l1_sizes().sum() == c.n
+        assert c.l2_sizes().sum() == c.n
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=40))
+    def test_members_partition_processes(self, raw):
+        c = Clustering("p", np.array(raw))
+        seen = np.concatenate(c.l1_clusters())
+        assert sorted(seen.tolist()) == list(range(c.n))

@@ -1,0 +1,141 @@
+"""Partitioner tests: invariants on random graphs, paper-graph calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import PartitionCost, partition_node_graph
+from repro.commgraph import (
+    CommGraph,
+    node_graph,
+    paper_tsunami_matrix,
+    random_sparse_matrix,
+)
+from repro.machine import BlockPlacement
+
+
+#: Cost calibrated so the §V node graph yields the paper's 4-node L1 clusters.
+PAPER_COST = PartitionCost(w_logging=1.0, w_restart=8.0)
+
+
+class TestCostFunction:
+    def test_all_together_minimizes_logging(self):
+        g = random_sparse_matrix(12, rng=0)
+        cost = PartitionCost(w_logging=1.0, w_restart=0.0)
+        together = cost.evaluate(g, np.zeros(12, dtype=int))
+        apart = cost.evaluate(g, np.arange(12))
+        assert together == 0.0
+        assert apart == pytest.approx(1.0)
+
+    def test_all_apart_minimizes_restart(self):
+        g = random_sparse_matrix(12, rng=0)
+        cost = PartitionCost(w_logging=0.0, w_restart=1.0)
+        together = cost.evaluate(g, np.zeros(12, dtype=int))
+        apart = cost.evaluate(g, np.arange(12))
+        assert together == pytest.approx(1.0)
+        assert apart == pytest.approx(12 * (1 / 12) ** 2)
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_cover_and_min_size(self, seed):
+        g = random_sparse_matrix(24, degree=3, rng=seed)
+        labels = partition_node_graph(g, min_cluster_nodes=4)
+        assert labels.shape == (24,)
+        sizes = np.bincount(labels)
+        assert (sizes >= 4).all()
+        assert sizes.sum() == 24
+
+    def test_max_size_respected(self):
+        g = random_sparse_matrix(24, degree=3, rng=5)
+        labels = partition_node_graph(
+            g, min_cluster_nodes=2, max_cluster_nodes=6
+        )
+        assert np.bincount(labels).max() <= 6
+
+    def test_deterministic(self):
+        g = random_sparse_matrix(20, rng=9)
+        a = partition_node_graph(g, min_cluster_nodes=2)
+        b = partition_node_graph(g, min_cluster_nodes=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_labels_first_occurrence_ordered(self):
+        g = random_sparse_matrix(16, rng=2)
+        labels = partition_node_graph(g, min_cluster_nodes=2)
+        seen: list[int] = []
+        for lab in labels:
+            if lab not in seen:
+                seen.append(int(lab))
+        assert seen == sorted(seen)
+
+    def test_impossible_constraints_raise(self):
+        g = random_sparse_matrix(10, rng=1)
+        with pytest.raises(ValueError):
+            partition_node_graph(g, min_cluster_nodes=4, max_cluster_nodes=2)
+        with pytest.raises(ValueError):
+            partition_node_graph(g, min_cluster_nodes=11)
+        with pytest.raises(ValueError):
+            partition_node_graph(g, min_cluster_nodes=0)
+
+    def test_min_size_satisfiable_only_by_forced_merges(self):
+        # A graph with zero traffic: only the restart term exists, so the
+        # optimizer wants singletons — the floor must still be enforced.
+        g = CommGraph(np.zeros((12, 12)))
+        labels = partition_node_graph(g, min_cluster_nodes=3)
+        assert (np.bincount(labels) >= 3).all()
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(0, 10_000), st.integers(6, 20))
+    def test_random_graphs_partition_cleanly(self, seed, n):
+        g = random_sparse_matrix(n, degree=3, rng=seed)
+        labels = partition_node_graph(g, min_cluster_nodes=2)
+        sizes = np.bincount(labels)
+        assert sizes.sum() == n
+        assert (sizes[sizes > 0] >= 2).all()
+
+
+class TestQuality:
+    def test_two_communities_are_separated(self):
+        """Two dense blobs with a thin bridge must split at the bridge."""
+        m = np.zeros((8, 8))
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    m[i, j] = 100.0
+                    m[i + 4, j + 4] = 100.0
+        m[4, 3] = m[3, 4] = 1.0  # thin bridge
+        g = CommGraph(m)
+        labels = partition_node_graph(g, min_cluster_nodes=2)
+        assert len(set(labels[:4])) == 1
+        assert len(set(labels[4:])) == 1
+        assert labels[0] != labels[4]
+
+    def test_refinement_never_worsens_cost(self):
+        g = random_sparse_matrix(30, degree=4, rng=11)
+        cost = PartitionCost()
+        rough = partition_node_graph(g, min_cluster_nodes=3, refine=False)
+        refined = partition_node_graph(g, min_cluster_nodes=3, refine=True)
+        assert cost.evaluate(g, refined) <= cost.evaluate(g, rough) + 1e-12
+
+
+class TestPaperGraph:
+    def test_yields_16_clusters_of_4_consecutive_nodes(self):
+        """§V: 'the L1 clusters of 4 nodes correspond to 64 consecutive
+        MPI processes'."""
+        g = paper_tsunami_matrix(iterations=10)
+        ng = node_graph(g, BlockPlacement(64, 16))
+        labels = partition_node_graph(ng, min_cluster_nodes=4, cost=PAPER_COST)
+        sizes = np.bincount(labels)
+        assert len(sizes) == 16
+        assert (sizes == 4).all()
+        # Clusters are 4 *consecutive* nodes.
+        np.testing.assert_array_equal(labels, np.arange(64) // 4)
+
+    def test_logged_fraction_matches_table2(self):
+        """Table II hierarchical row: 1.9 % of messages logged."""
+        g = paper_tsunami_matrix(iterations=10)
+        ng = node_graph(g, BlockPlacement(64, 16))
+        labels = partition_node_graph(ng, min_cluster_nodes=4, cost=PAPER_COST)
+        proc_labels = np.repeat(labels, 16)
+        assert g.logged_fraction(proc_labels) == pytest.approx(0.019, abs=0.005)

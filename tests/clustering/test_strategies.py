@@ -1,0 +1,89 @@
+"""Tests for the three flat strategies of §III."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    consecutive_clustering,
+    distributed_clustering,
+    naive_clustering,
+    size_guided_clustering,
+)
+from repro.machine import BlockPlacement
+
+
+class TestConsecutive:
+    def test_basic_blocks(self):
+        c = consecutive_clustering(8, 4)
+        np.testing.assert_array_equal(c.l1_labels, [0, 0, 0, 0, 1, 1, 1, 1])
+
+    def test_remainder_cluster(self):
+        c = consecutive_clustering(10, 4)
+        assert c.n_l1_clusters == 3
+        assert c.l1_sizes().tolist() == [4, 4, 2]
+
+    def test_naive_default_is_32(self):
+        c = naive_clustering(1024)
+        assert c.name == "naive-32"
+        assert c.n_l1_clusters == 32
+        assert (c.l1_sizes() == 32).all()
+
+    def test_size_guided_default_is_8(self):
+        c = size_guided_clustering(1024)
+        assert c.name == "size-guided-8"
+        assert (c.l1_sizes() == 8).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            consecutive_clustering(8, 0)
+        with pytest.raises(ValueError):
+            consecutive_clustering(0, 4)
+
+    def test_flat_l2_equals_l1(self):
+        c = naive_clustering(64, 8)
+        np.testing.assert_array_equal(c.l1_labels, c.l2_labels)
+
+
+class TestDistributed:
+    def test_members_on_distinct_nodes(self):
+        placement = BlockPlacement(8, 4)
+        c = distributed_clustering(placement, 4)
+        for cluster in c.l1_clusters():
+            nodes = [placement.node_of_rank(int(r)) for r in cluster]
+            assert len(set(nodes)) == len(nodes), "co-located members"
+
+    def test_cluster_size_exact(self):
+        placement = BlockPlacement(8, 4)
+        c = distributed_clustering(placement, 4)
+        assert (c.l1_sizes() == 4).all()
+        assert c.n_l1_clusters == 8  # (8/4 bands) * 4 slots
+
+    def test_paper_shape_64x16(self):
+        """§III-C: one node failure with 16-wide striping touches 16 clusters."""
+        placement = BlockPlacement(64, 16)
+        c = distributed_clustering(placement, 16)
+        node0_ranks = placement.ranks_of_node(0)
+        touched = {c.l1_of(r) for r in node0_ranks}
+        assert len(touched) == 16
+        # Union of those clusters covers the whole 16-node band: 256 procs.
+        union = set()
+        for cl in touched:
+            union.update(c.l1_members(cl).tolist())
+        assert len(union) == 256
+
+    def test_band_locality(self):
+        """Clusters never span bands (keeps them within s consecutive nodes)."""
+        placement = BlockPlacement(8, 2)
+        c = distributed_clustering(placement, 4)
+        for cluster in c.l1_clusters():
+            bands = {placement.node_of_rank(int(r)) // 4 for r in cluster}
+            assert len(bands) == 1
+
+    def test_validation(self):
+        placement = BlockPlacement(8, 4)
+        with pytest.raises(ValueError):
+            distributed_clustering(placement, 0)
+        with pytest.raises(ValueError):
+            distributed_clustering(placement, 16)  # > nnodes
+        with pytest.raises(ValueError):
+            distributed_clustering(placement, 3)  # does not divide 8

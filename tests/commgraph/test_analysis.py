@@ -1,0 +1,121 @@
+"""Network-analysis tests (§IV-A measures), networkx as the oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.commgraph import (
+    CommGraph,
+    degree_statistics,
+    hierarchical_modularity_profile,
+    modularity,
+    node_graph,
+    paper_tsunami_matrix,
+    random_sparse_matrix,
+    weighted_clustering_coefficient,
+)
+from repro.machine import BlockPlacement
+
+
+def two_blobs():
+    m = np.zeros((8, 8))
+    for i in range(4):
+        for j in range(4):
+            if i != j:
+                m[i, j] = 10.0
+                m[i + 4, j + 4] = 10.0
+    m[0, 4] = m[4, 0] = 1.0
+    return CommGraph(m)
+
+
+class TestModularity:
+    def test_community_partition_scores_high(self):
+        g = two_blobs()
+        labels = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        assert modularity(g, labels) > 0.4
+
+    def test_random_partition_scores_low(self):
+        g = two_blobs()
+        labels = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+        assert modularity(g, labels) < 0.05
+
+    def test_single_cluster_is_zero(self):
+        g = two_blobs()
+        assert modularity(g, np.zeros(8, dtype=int)) == pytest.approx(0.0)
+
+    def test_empty_graph(self):
+        g = CommGraph(np.zeros((4, 4)))
+        assert modularity(g, np.arange(4)) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            modularity(two_blobs(), np.zeros(3, dtype=int))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        """Our Q equals networkx's weighted modularity on random graphs."""
+        g = random_sparse_matrix(12, degree=3, rng=seed)
+        w = g.symmetric() / 2.0
+        np.fill_diagonal(w, 0.0)
+        nxg = nx.from_numpy_array(w)
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 3, size=12)
+        communities = [
+            set(np.flatnonzero(labels == c)) for c in range(3)
+        ]
+        communities = [c for c in communities if c]
+        expected = nx.community.modularity(nxg, communities, weight="weight")
+        assert modularity(g, labels) == pytest.approx(expected)
+
+    def test_paper_node_graph_is_strongly_modular(self):
+        """§IV-A's premise: the workload's node graph has real community
+        structure for the L1 partition to exploit (Q >= 0.3 rule of thumb)."""
+        g = paper_tsunami_matrix(iterations=5)
+        ng = node_graph(g, BlockPlacement(64, 16))
+        labels = np.arange(64) // 4  # the paper's L1 partition
+        assert modularity(ng, labels) > 0.3
+
+
+class TestDegreeStatistics:
+    def test_stencil_degrees(self):
+        g = paper_tsunami_matrix(iterations=1)
+        stats = degree_statistics(g)
+        assert stats["max"] == 4.0  # interior: N/E/S/W
+        assert stats["min"] == 2.0  # corners
+        assert 2.0 < stats["mean"] < 4.0
+
+    def test_uniform_graph(self):
+        g = CommGraph(np.ones((5, 5)))
+        stats = degree_statistics(g)
+        assert stats["min"] == stats["max"] == 4.0
+
+
+class TestClusteringCoefficient:
+    def test_triangle_graph(self):
+        m = np.zeros((3, 3))
+        m[0, 1] = m[1, 2] = m[2, 0] = 1.0
+        assert weighted_clustering_coefficient(CommGraph(m)) == pytest.approx(1.0)
+
+    def test_stencil_has_no_triangles(self):
+        """Grid graphs are triangle-free — why HPC needs *constructed*
+        clusters rather than emergent communities."""
+        g = paper_tsunami_matrix(iterations=1)
+        assert weighted_clustering_coefficient(g) == 0.0
+
+    def test_empty(self):
+        assert weighted_clustering_coefficient(CommGraph(np.zeros((3, 3)))) == 0.0
+
+
+class TestHierarchicalProfile:
+    def test_l1_modular_l2_not(self):
+        """The designed trade-off: L1 keeps segregation, the L2 refinement
+        sacrifices it for distribution."""
+        g = paper_tsunami_matrix(iterations=5)
+        from repro.clustering import PartitionCost, hierarchical_clustering
+
+        placement = BlockPlacement(64, 16)
+        ng = node_graph(g, placement)
+        c = hierarchical_clustering(ng, placement, cost=PartitionCost(1.0, 8.0))
+        profile = hierarchical_modularity_profile(g, c.l1_labels, c.l2_labels)
+        assert profile["l1_modularity"] > 0.3
+        assert profile["l2_modularity"] < profile["l1_modularity"]

@@ -1,0 +1,134 @@
+"""CommGraph tests: cut/logged fractions, collapse, persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.commgraph import CommGraph
+
+
+def simple_graph():
+    # 4 endpoints: heavy pair (0,1), heavy pair (2,3), light cross link.
+    m = np.zeros((4, 4))
+    m[1, 0] = m[0, 1] = 100.0
+    m[3, 2] = m[2, 3] = 100.0
+    m[2, 1] = 10.0
+    return CommGraph(m)
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        g = CommGraph.from_edges(3, [(0, 1, 5), (0, 1, 3), (2, 0, 7)])
+        assert g.matrix[1, 0] == 8
+        assert g.matrix[0, 2] == 7
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            CommGraph(np.zeros((2, 3)))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CommGraph(np.array([[0.0, -1.0], [0.0, 0.0]]))
+
+    def test_total_excludes_diagonal(self):
+        m = np.array([[5.0, 1.0], [2.0, 7.0]])
+        assert CommGraph(m).total_bytes == 3.0
+
+
+class TestCutAndLoggedFraction:
+    def test_no_cut_when_together(self):
+        g = simple_graph()
+        assert g.cut_bytes(np.zeros(4, dtype=int)) == 0.0
+        assert g.logged_fraction(np.zeros(4, dtype=int)) == 0.0
+
+    def test_full_cut_when_all_separate(self):
+        g = simple_graph()
+        labels = np.arange(4)
+        assert g.cut_bytes(labels) == pytest.approx(410.0)
+        assert g.logged_fraction(labels) == pytest.approx(1.0)
+
+    def test_natural_partition_cuts_only_bridge(self):
+        g = simple_graph()
+        labels = np.array([0, 0, 1, 1])
+        assert g.cut_bytes(labels) == pytest.approx(10.0)
+        assert g.logged_fraction(labels) == pytest.approx(10.0 / 410.0)
+
+    def test_intra_fraction_complements(self):
+        g = simple_graph()
+        labels = np.array([0, 0, 1, 1])
+        assert g.intra_fraction(labels) == pytest.approx(1.0 - 10.0 / 410.0)
+
+    def test_empty_graph_logs_nothing(self):
+        g = CommGraph(np.zeros((3, 3)))
+        assert g.logged_fraction(np.arange(3)) == 0.0
+
+    def test_label_shape_validation(self):
+        g = simple_graph()
+        with pytest.raises(ValueError):
+            g.cut_bytes(np.zeros(3, dtype=int))
+
+    def test_cluster_traffic(self):
+        g = simple_graph()
+        labels = np.array([0, 0, 1, 1])
+        out = g.cluster_traffic(labels)
+        assert out[0] == pytest.approx(10.0)  # 1 -> 2 crosses out of cluster 0
+        assert out[1] == pytest.approx(0.0)
+
+    @given(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3), st.integers(0, 3))
+    def test_logged_fraction_in_unit_interval(self, a, b, c, d):
+        g = simple_graph()
+        frac = g.logged_fraction(np.array([a, b, c, d]))
+        assert 0.0 <= frac <= 1.0
+
+
+class TestCollapse:
+    def test_process_to_node_collapse(self):
+        g = simple_graph()
+        node_of = np.array([0, 0, 1, 1])
+        ng = g.collapse(node_of)
+        assert ng.n == 2
+        assert ng.matrix[0, 0] == 200.0  # intra-node traffic on diagonal
+        assert ng.matrix[1, 0] == 10.0
+
+    def test_collapse_preserves_total(self):
+        g = simple_graph()
+        ng = g.collapse(np.array([0, 1, 0, 1]))
+        assert ng.matrix.sum() == pytest.approx(g.matrix.sum())
+
+    def test_explicit_group_count(self):
+        g = simple_graph()
+        ng = g.collapse(np.array([0, 0, 1, 1]), n_groups=5)
+        assert ng.n == 5
+
+    def test_bad_group_indices(self):
+        g = simple_graph()
+        with pytest.raises(ValueError):
+            g.collapse(np.array([0, 0, 7, 1]), n_groups=3)
+
+    def test_shape_validation(self):
+        g = simple_graph()
+        with pytest.raises(ValueError):
+            g.collapse(np.array([0, 1]))
+
+
+class TestDegreeDistribution:
+    def test_star_graph(self):
+        m = np.zeros((4, 4))
+        m[1:, 0] = 10.0  # endpoint 0 sends to everyone
+        g = CommGraph(m)
+        deg = g.degree_distribution()
+        assert deg[0] == 3
+        assert list(deg[1:]) == [1, 1, 1]
+
+    def test_self_traffic_ignored(self):
+        m = np.eye(3) * 100
+        assert CommGraph(m).degree_distribution().sum() == 0
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        g = simple_graph()
+        g.save(tmp_path / "g.npz")
+        loaded = CommGraph.load(tmp_path / "g.npz")
+        np.testing.assert_array_equal(loaded.matrix, g.matrix)

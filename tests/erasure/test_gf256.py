@@ -1,0 +1,146 @@
+"""GF(2^8) field tests — axioms verified property-based with hypothesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.erasure import (
+    cauchy_matrix,
+    gf_div,
+    gf_inv,
+    gf_mat_inv,
+    gf_matmul,
+    gf_mul,
+    gf_mul_scalar_vec,
+    gf_pow,
+)
+
+elements = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_commutativity(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_associativity(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributivity_over_xor(self, a, b, c):
+        left = gf_mul(a, b ^ c)
+        right = int(gf_mul(a, b)) ^ int(gf_mul(a, c))
+        assert left == right
+
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf_div(gf_mul(a, b), b) == a
+
+    def test_zero_inverse_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    @given(nonzero, st.integers(0, 20))
+    def test_pow_matches_repeated_mul(self, a, n):
+        expected = 1
+        for _ in range(n):
+            expected = int(gf_mul(expected, a))
+        assert gf_pow(a, n) == expected
+
+    @given(nonzero)
+    def test_pow_negative_one_is_inverse(self, a):
+        assert gf_pow(a, -1) == gf_inv(a)
+
+    def test_pow_zero_base(self):
+        assert gf_pow(0, 3) == 0
+        assert gf_pow(0, 0) == 1
+        with pytest.raises(ZeroDivisionError):
+            gf_pow(0, -1)
+
+
+class TestVectorized:
+    def test_broadcasting(self):
+        a = np.arange(256, dtype=np.uint8)
+        out = gf_mul(a, 7)
+        assert out.shape == (256,)
+        assert out[0] == 0 and out[1] == 7
+
+    def test_mul_scalar_vec_matches_mul(self):
+        v = np.arange(256, dtype=np.uint8)
+        np.testing.assert_array_equal(gf_mul_scalar_vec(29, v), gf_mul(29, v))
+
+    def test_mul_scalar_vec_zero_coeff(self):
+        v = np.arange(10, dtype=np.uint8)
+        assert gf_mul_scalar_vec(0, v).sum() == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            gf_mul(300, 2)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_no_zero_divisors(self, a, b):
+        if a != 0 and b != 0:
+            assert gf_mul(a, b) != 0
+
+
+class TestMatrices:
+    def test_matmul_identity(self):
+        rng = np.random.default_rng(0)
+        b = rng.integers(0, 256, size=(4, 16), dtype=np.uint8)
+        eye = np.eye(4, dtype=np.uint8)
+        np.testing.assert_array_equal(gf_matmul(eye, b), b)
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gf_matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((4, 5), dtype=np.uint8))
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_inverse_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        # Cauchy matrices are always invertible — use one as the test case.
+        n = int(rng.integers(1, 8))
+        perm = rng.permutation(256).astype(np.uint8)
+        xs, ys = perm[:n], perm[n : 2 * n]
+        mat = cauchy_matrix(xs, ys)
+        inv = gf_mat_inv(mat)
+        eye = np.eye(n, dtype=np.uint8)
+        np.testing.assert_array_equal(gf_matmul(mat, inv), eye)
+        np.testing.assert_array_equal(gf_matmul(inv, mat), eye)
+
+    def test_singular_matrix_raises(self):
+        mat = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            gf_mat_inv(mat)
+
+    def test_non_square_inverse_rejected(self):
+        with pytest.raises(ValueError):
+            gf_mat_inv(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_cauchy_requires_disjoint_sets(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix(np.array([1, 2]), np.array([2, 3]))
+
+    def test_cauchy_definition(self):
+        xs = np.array([4, 5], dtype=np.uint8)
+        ys = np.array([0, 1], dtype=np.uint8)
+        c = cauchy_matrix(xs, ys)
+        for i, x in enumerate(xs):
+            for j, y in enumerate(ys):
+                assert gf_mul(c[i, j], x ^ y) == 1

@@ -1,0 +1,136 @@
+"""Reed–Solomon code tests: any-k-of-n recovery, property-based."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import DecodeError, ReedSolomonCode
+
+
+def random_data(k, length, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(k, length), dtype=np.uint8)
+
+
+class TestEncode:
+    def test_parity_shape(self):
+        code = ReedSolomonCode(k=4, m=2)
+        parity = code.encode(random_data(4, 64))
+        assert parity.shape == (2, 64)
+
+    def test_zero_parity_count(self):
+        code = ReedSolomonCode(k=3, m=0)
+        assert code.encode(random_data(3, 8)).shape == (0, 8)
+
+    def test_encode_shards_stacks(self):
+        code = ReedSolomonCode(k=2, m=1)
+        data = random_data(2, 16)
+        shards = code.encode_shards(data)
+        assert shards.shape == (3, 16)
+        np.testing.assert_array_equal(shards[:2], data)
+
+    def test_wrong_shard_count(self):
+        code = ReedSolomonCode(k=4, m=2)
+        with pytest.raises(ValueError):
+            code.encode(random_data(3, 8))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(k=0, m=1)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(k=200, m=100)
+
+    def test_linearity(self):
+        """RS is linear: parity(a ^ b) = parity(a) ^ parity(b)."""
+        code = ReedSolomonCode(k=3, m=2)
+        a = random_data(3, 32, seed=1)
+        b = random_data(3, 32, seed=2)
+        pa, pb = code.encode(a), code.encode(b)
+        np.testing.assert_array_equal(code.encode(a ^ b), pa ^ pb)
+
+
+class TestDecode:
+    def test_all_data_survives_fast_path(self):
+        code = ReedSolomonCode(k=3, m=2)
+        data = random_data(3, 20)
+        shards = {i: data[i] for i in range(3)}
+        np.testing.assert_array_equal(code.decode(shards), data)
+
+    @pytest.mark.parametrize("lost", [(0,), (2,), (0, 3), (1, 2)])
+    def test_recovery_from_specific_losses(self, lost):
+        code = ReedSolomonCode(k=4, m=2)
+        data = random_data(4, 50)
+        all_shards = code.encode_shards(data)
+        survivors = {
+            i: all_shards[i] for i in range(code.n) if i not in lost
+        }
+        np.testing.assert_array_equal(code.decode(survivors), data)
+
+    def test_too_few_shards_raises(self):
+        code = ReedSolomonCode(k=4, m=2)
+        data = random_data(4, 10)
+        shards = code.encode_shards(data)
+        with pytest.raises(DecodeError):
+            code.decode({0: shards[0], 1: shards[1], 2: shards[2]})
+
+    def test_inconsistent_lengths_raise(self):
+        code = ReedSolomonCode(k=2, m=1)
+        with pytest.raises(DecodeError):
+            code.decode({0: np.zeros(4, np.uint8), 1: np.zeros(5, np.uint8)})
+
+    def test_bad_indices_raise(self):
+        code = ReedSolomonCode(k=2, m=1)
+        with pytest.raises(DecodeError):
+            code.decode({0: np.zeros(4, np.uint8), 7: np.zeros(4, np.uint8)})
+
+    def test_reconstruct_parity_shard(self):
+        code = ReedSolomonCode(k=3, m=2)
+        data = random_data(3, 16)
+        shards = code.encode_shards(data)
+        # Lose parity shard 4, rebuild it from the rest.
+        survivors = {i: shards[i] for i in range(4)}
+        np.testing.assert_array_equal(
+            code.reconstruct_shard(survivors, 4), shards[4]
+        )
+
+    def test_reconstruct_data_shard(self):
+        code = ReedSolomonCode(k=3, m=1)
+        data = random_data(3, 16)
+        shards = code.encode_shards(data)
+        survivors = {0: shards[0], 2: shards[2], 3: shards[3]}
+        np.testing.assert_array_equal(
+            code.reconstruct_shard(survivors, 1), data[1]
+        )
+
+    def test_reconstruct_bad_index(self):
+        code = ReedSolomonCode(k=2, m=1)
+        data = random_data(2, 4)
+        shards = code.encode_shards(data)
+        with pytest.raises(DecodeError):
+            code.reconstruct_shard({i: shards[i] for i in range(3)}, 9)
+
+
+class TestAnyKOfNProperty:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.integers(1, 8),
+        st.integers(0, 4),
+        st.integers(1, 64),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_any_k_survivors_reconstruct(self, k, m, length, seed):
+        """THE Reed–Solomon property: any k of k+m shards suffice."""
+        code = ReedSolomonCode(k=k, m=m)
+        data = random_data(k, length, seed=seed)
+        shards = code.encode_shards(data)
+        rng = np.random.default_rng(seed)
+        keep = sorted(rng.choice(code.n, size=k, replace=False).tolist())
+        survivors = {int(i): shards[i] for i in keep}
+        np.testing.assert_array_equal(code.decode(survivors), data)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(2, 6), st.integers(1, 3), st.integers(0, 2**31))
+    def test_byte_ops_model(self, k, m, seed):
+        code = ReedSolomonCode(k=k, m=m)
+        assert code.encoding_byte_ops(1000) == k * m * 1000

@@ -1,0 +1,81 @@
+"""XOR single-parity code tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import XorCode, XorDecodeError
+
+
+def random_data(k, length, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(k, length), dtype=np.uint8)
+
+
+class TestEncode:
+    def test_parity_is_xor(self):
+        code = XorCode(k=3)
+        data = np.array([[1, 2], [4, 8], [16, 32]], dtype=np.uint8)
+        np.testing.assert_array_equal(code.encode(data), [21, 42])
+
+    def test_counts(self):
+        code = XorCode(k=5)
+        assert code.n == 6 and code.m == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            XorCode(k=0)
+        with pytest.raises(ValueError):
+            XorCode(k=2).encode(random_data(3, 4))
+
+
+class TestDecode:
+    def test_no_loss_passthrough(self):
+        code = XorCode(k=3)
+        data = random_data(3, 10)
+        shards = {i: data[i] for i in range(3)}
+        np.testing.assert_array_equal(code.decode(shards), data)
+
+    @pytest.mark.parametrize("lost", [0, 1, 2])
+    def test_single_data_loss_recovered(self, lost):
+        code = XorCode(k=3)
+        data = random_data(3, 25)
+        parity = code.encode(data)
+        shards = {i: data[i] for i in range(3) if i != lost}
+        shards[3] = parity
+        np.testing.assert_array_equal(code.decode(shards), data)
+
+    def test_double_loss_fails(self):
+        code = XorCode(k=3)
+        data = random_data(3, 8)
+        shards = {0: data[0], 3: code.encode(data)}
+        with pytest.raises(XorDecodeError):
+            code.decode(shards)
+
+    def test_loss_without_parity_fails(self):
+        code = XorCode(k=3)
+        data = random_data(3, 8)
+        shards = {0: data[0], 1: data[1]}
+        with pytest.raises(XorDecodeError):
+            code.decode(shards)
+
+    def test_inconsistent_lengths(self):
+        code = XorCode(k=2)
+        with pytest.raises(XorDecodeError):
+            code.decode({0: np.zeros(4, np.uint8), 2: np.zeros(6, np.uint8)})
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(1, 10), st.integers(1, 50), st.integers(0, 2**32 - 1))
+    def test_any_single_loss_recovered(self, k, length, seed):
+        code = XorCode(k=k)
+        data = random_data(k, length, seed=seed)
+        parity = code.encode(data)
+        rng = np.random.default_rng(seed)
+        lost = int(rng.integers(0, k))
+        shards = {i: data[i] for i in range(k) if i != lost}
+        shards[k] = parity
+        np.testing.assert_array_equal(code.decode(shards), data)
+
+    def test_byte_ops_model(self):
+        assert XorCode(k=4).encoding_byte_ops(100) == 400

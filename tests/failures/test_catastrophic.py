@@ -1,0 +1,183 @@
+"""Catastrophic-model tests: Table II reliability column + cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    PartitionCost,
+    distributed_clustering,
+    hierarchical_clustering,
+    naive_clustering,
+    size_guided_clustering,
+)
+from repro.commgraph import node_graph, paper_tsunami_matrix
+from repro.failures import (
+    CatastrophicModel,
+    FailureEvent,
+    FailureTaxonomy,
+    MonteCarloEstimator,
+    rs_half_tolerance,
+    xor_tolerance,
+)
+from repro.machine import BlockPlacement
+
+
+@pytest.fixture(scope="module")
+def paper_setup():
+    placement = BlockPlacement(64, 16)
+    model = CatastrophicModel(placement)
+    g = paper_tsunami_matrix(iterations=5)
+    ng = node_graph(g, placement)
+    hier = hierarchical_clustering(ng, placement, cost=PartitionCost(1.0, 8.0))
+    return placement, model, hier
+
+
+class TestTolerances:
+    def test_rs_half(self):
+        assert rs_half_tolerance(4) == 2
+        assert rs_half_tolerance(32) == 16
+        assert rs_half_tolerance(1) == 0
+
+    def test_xor(self):
+        assert xor_tolerance(4) == 1
+        assert xor_tolerance(1) == 0
+
+
+class TestEventPredicate:
+    def test_node_loss_within_tolerance_survives(self, paper_setup):
+        placement, model, hier = paper_setup
+        event = FailureEvent(kind="node", nodes=(0,))
+        # Hierarchical: one node = 1 member of each L2 cluster of 4 (m=2).
+        assert not model.event_is_catastrophic(hier, event)
+
+    def test_three_nodes_of_a_group_break_hierarchical(self, paper_setup):
+        placement, model, hier = paper_setup
+        event = FailureEvent(kind="node", nodes=(0, 1, 2))
+        assert model.event_is_catastrophic(hier, event)
+
+    def test_nonconsecutive_spread_survives(self, paper_setup):
+        placement, model, hier = paper_setup
+        # Three nodes in three different L2 groups: 1 loss each, tolerated.
+        event = FailureEvent(kind="node", nodes=(0, 8, 16))
+        assert not model.event_is_catastrophic(hier, event)
+
+    def test_soft_error_never_catastrophic_with_rs(self, paper_setup):
+        placement, model, hier = paper_setup
+        event = FailureEvent(kind="soft", process=100)
+        assert not model.event_is_catastrophic(hier, event)
+
+    def test_single_node_kills_colocated_cluster(self, paper_setup):
+        placement, model, _ = paper_setup
+        sg = size_guided_clustering(1024, 8)  # 8 consecutive = half a node
+        event = FailureEvent(kind="node", nodes=(5,))
+        assert model.event_is_catastrophic(sg, event)
+
+
+class TestTable2Reliability:
+    """Orders of magnitude must match Table II's last column."""
+
+    def test_naive_32_order_1e_minus_4(self, paper_setup):
+        placement, model, _ = paper_setup
+        p = model.probability(naive_clustering(1024, 32))
+        assert 3e-5 < p < 3e-4
+
+    def test_size_guided_is_095(self, paper_setup):
+        placement, model, _ = paper_setup
+        p = model.probability(size_guided_clustering(1024, 8))
+        assert p == pytest.approx(0.95, abs=0.001)
+
+    def test_distributed_16_order_1e_minus_15(self, paper_setup):
+        placement, model, _ = paper_setup
+        p = model.probability(distributed_clustering(placement, 16))
+        assert 1e-16 < p < 1e-13
+
+    def test_hierarchical_order_1e_minus_6(self, paper_setup):
+        placement, model, hier = paper_setup
+        p = model.probability(hier)
+        assert 3e-7 < p < 3e-5
+
+    def test_paper_ordering(self, paper_setup):
+        """distributed ≪ hierarchical ≪ naive ≪ size-guided."""
+        placement, model, hier = paper_setup
+        p_dist = model.probability(distributed_clustering(placement, 16))
+        p_hier = model.probability(hier)
+        p_naive = model.probability(naive_clustering(1024, 32))
+        p_sg = model.probability(size_guided_clustering(1024, 8))
+        assert p_dist < p_hier < p_naive < p_sg
+
+
+class TestFig4aDistributionStudy:
+    """§III-C: 128 nodes × 8 ppn; distributed vs non-distributed, sizes 4/8/16."""
+
+    def test_non_distributed_small_clusters_die_on_one_node(self):
+        placement = BlockPlacement(128, 8)
+        model = CatastrophicModel(placement)
+        for size in (4, 8):
+            p = model.probability(naive_clustering(1024, size))
+            assert p == pytest.approx(0.95, abs=0.001), f"size {size}"
+
+    def test_distribution_gains_orders_of_magnitude(self):
+        placement = BlockPlacement(128, 8)
+        model = CatastrophicModel(placement)
+        for size in (4, 8, 16):
+            p_non = model.probability(naive_clustering(1024, size))
+            p_dist = model.probability(distributed_clustering(placement, size))
+            assert p_dist < p_non / 1e3, f"size {size}"
+
+    def test_distributed_reliability_improves_with_size(self):
+        placement = BlockPlacement(128, 8)
+        model = CatastrophicModel(placement)
+        ps = [
+            model.probability(distributed_clustering(placement, s))
+            for s in (4, 8, 16)
+        ]
+        assert ps[0] > ps[1] > ps[2]
+
+
+class TestBreakingRunFraction:
+    def test_zero_when_tolerance_huge(self, paper_setup):
+        placement, model, hier = paper_setup
+        lenient = CatastrophicModel(placement, tolerance=lambda s: s)
+        assert lenient.breaking_run_fraction(hier, 3) == 0.0
+
+    def test_one_when_tolerance_zero(self, paper_setup):
+        placement, _, hier = paper_setup
+        strict = CatastrophicModel(placement, tolerance=lambda s: 0)
+        assert strict.breaking_run_fraction(hier, 1) == 1.0
+
+    def test_run_longer_than_machine_is_clamped(self, paper_setup):
+        placement, model, hier = paper_setup
+        assert model.breaking_run_fraction(hier, 10_000) == 1.0
+
+    def test_xor_tolerance_weaker_than_rs(self, paper_setup):
+        placement, model, hier = paper_setup
+        xor_model = CatastrophicModel(placement, tolerance=xor_tolerance)
+        assert xor_model.probability(hier) >= model.probability(hier)
+
+
+class TestMonteCarloCrossValidation:
+    def test_agrees_with_closed_form_on_fragile_clustering(self, paper_setup):
+        placement, model, _ = paper_setup
+        # Use the size-guided clustering: P = 0.95, so 2000 samples give
+        # tight confidence.
+        sg = size_guided_clustering(1024, 8)
+        mc = MonteCarloEstimator(model, rng=1234)
+        estimate = mc.estimate(sg, n_samples=2000)
+        assert estimate == pytest.approx(0.95, abs=0.02)
+
+    def test_sampled_events_are_wellformed(self, paper_setup):
+        placement, model, _ = paper_setup
+        mc = MonteCarloEstimator(model, rng=7)
+        for _ in range(200):
+            e = mc.sample_event()
+            if e.kind == "node":
+                assert all(0 <= n < placement.nnodes for n in e.nodes)
+                diffs = np.diff(sorted(e.nodes))
+                assert (diffs == 1).all() or len(e.nodes) == 1
+            else:
+                assert 0 <= e.process < placement.nranks
+
+    def test_bad_sample_count(self, paper_setup):
+        placement, model, hier = paper_setup
+        with pytest.raises(ValueError):
+            MonteCarloEstimator(model).estimate(hier, n_samples=0)

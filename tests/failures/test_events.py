@@ -1,0 +1,72 @@
+"""Failure-taxonomy tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.failures import PAPER_TAXONOMY, FailureEvent, FailureTaxonomy
+
+
+class TestFailureEvent:
+    def test_node_event(self):
+        e = FailureEvent(kind="node", nodes=(3, 4))
+        assert e.n_nodes == 2
+
+    def test_soft_event(self):
+        e = FailureEvent(kind="soft", process=17)
+        assert e.n_nodes == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureEvent(kind="meteor")
+        with pytest.raises(ValueError):
+            FailureEvent(kind="node", nodes=())
+        with pytest.raises(ValueError):
+            FailureEvent(kind="soft")
+
+
+class TestTaxonomy:
+    def test_pmf_sums_to_one(self):
+        pmf = PAPER_TAXONOMY.node_count_pmf()
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_single_node_dominates(self):
+        pmf = PAPER_TAXONOMY.node_count_pmf()
+        assert pmf[0] > 0.999
+        assert pmf[1] == pytest.approx(2e-4 * 0.97, rel=1e-6)
+
+    def test_tail_decays_geometrically(self):
+        pmf = FailureTaxonomy(p_multi=1e-3, escalation=0.1).node_count_pmf()
+        # P(f=3)/P(f=2) = escalation (both scaled by (1 - escalation)).
+        assert pmf[2] / pmf[1] == pytest.approx(0.1)
+
+    def test_event_probabilities(self):
+        probs = PAPER_TAXONOMY.event_probabilities()
+        assert probs["soft"] == pytest.approx(0.05)
+        assert probs["node"] == pytest.approx(0.95)
+
+    def test_paper_complement_is_095(self):
+        """The 0.95 in Table II is literally 1 - p_soft."""
+        assert 1.0 - PAPER_TAXONOMY.p_soft == pytest.approx(0.95)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureTaxonomy(p_soft=1.5)
+        with pytest.raises(ValueError):
+            FailureTaxonomy(escalation=0.0)
+        with pytest.raises(ValueError):
+            FailureTaxonomy(max_simultaneous=0)
+
+    @given(
+        st.floats(1e-6, 0.5),
+        st.floats(1e-6, 0.9),
+        st.integers(2, 30),
+    )
+    def test_pmf_always_normalized(self, p_multi, esc, fmax):
+        tax = FailureTaxonomy(
+            p_multi=p_multi, escalation=esc, max_simultaneous=fmax
+        )
+        pmf = tax.node_count_pmf()
+        assert pmf.sum() == pytest.approx(1.0)
+        assert (pmf >= 0).all()

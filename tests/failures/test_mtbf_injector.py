@@ -1,0 +1,82 @@
+"""MTBF and failure-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.failures import FailureInjector, FailureScenario, MTBFModel, ScheduledFailure
+from repro.failures.events import FailureEvent
+from repro.machine import BlockPlacement
+
+
+class TestMTBF:
+    def test_system_mtbf_scales_inversely_with_nodes(self):
+        m = MTBFModel(node_mtbf_s=1e6, nnodes=1000)
+        assert m.system_mtbf_s == pytest.approx(1000.0)
+
+    def test_expected_failures(self):
+        m = MTBFModel(node_mtbf_s=1e6, nnodes=100)
+        assert m.expected_failures(1e5) == pytest.approx(10.0)
+
+    def test_failure_times_within_horizon(self):
+        m = MTBFModel(node_mtbf_s=1e4, nnodes=100)
+        times = m.failure_times(1000.0, rng=0)
+        assert (times >= 0).all() and (times < 1000.0).all()
+        assert (np.diff(times) > 0).all()
+
+    def test_failure_count_statistics(self):
+        m = MTBFModel(node_mtbf_s=1e5, nnodes=100)  # system mtbf = 1000 s
+        counts = [len(m.failure_times(10_000.0, rng=seed)) for seed in range(30)]
+        assert np.mean(counts) == pytest.approx(10.0, rel=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MTBFModel(node_mtbf_s=0.0, nnodes=10)
+        with pytest.raises(ValueError):
+            MTBFModel(node_mtbf_s=1.0, nnodes=0)
+        with pytest.raises(ValueError):
+            MTBFModel(node_mtbf_s=1.0, nnodes=10).failure_times(-1.0)
+
+
+class TestFailureScenario:
+    def test_node_failure_factory(self):
+        s = FailureScenario.node_failure(iteration=5, node=3)
+        assert s.n_failures == 1
+        events = s.events_at(5)
+        assert events[0].nodes == (3,)
+        assert s.events_at(4) == []
+
+    def test_multi_node_factory(self):
+        s = FailureScenario.multi_node_failure(2, (0, 1))
+        assert s.events_at(2)[0].n_nodes == 2
+
+    def test_scheduled_failure_validation(self):
+        with pytest.raises(ValueError):
+            ScheduledFailure(-1, FailureEvent(kind="node", nodes=(0,)))
+
+    def test_empty_scenario(self):
+        s = FailureScenario()
+        assert s.n_failures == 0
+        assert s.events_at(0) == []
+
+
+class TestFailureInjector:
+    def test_deterministic_given_seed(self):
+        placement = BlockPlacement(8, 2)
+        a = FailureInjector(placement, rng=5).sample_scenario(100, 0.1)
+        b = FailureInjector(placement, rng=5).sample_scenario(100, 0.1)
+        assert a == b
+
+    def test_rate_zero_gives_no_failures(self):
+        placement = BlockPlacement(8, 2)
+        s = FailureInjector(placement, rng=0).sample_scenario(50, 0.0)
+        assert s.n_failures == 0
+
+    def test_rate_one_fails_every_iteration(self):
+        placement = BlockPlacement(8, 2)
+        s = FailureInjector(placement, rng=0).sample_scenario(20, 1.0)
+        assert s.n_failures == 20
+
+    def test_invalid_rate(self):
+        placement = BlockPlacement(8, 2)
+        with pytest.raises(ValueError):
+            FailureInjector(placement).sample_scenario(10, 1.5)

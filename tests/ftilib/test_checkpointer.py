@@ -1,0 +1,206 @@
+"""Multilevel-checkpointer tests: levels, decode fallback, expiry."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import Clustering, distributed_clustering, naive_clustering
+from repro.ftilib import (
+    MultilevelCheckpointer,
+    RestoreError,
+    fti_rs_code,
+    half_parity_code,
+)
+from repro.machine import Machine
+
+
+def small_machine(nnodes=4, ppn=2):
+    return Machine(nnodes, ppn)
+
+
+def state_for(rank, it=0):
+    return {
+        "eta": np.full((4, 4), float(rank) + 0.25),
+        "iteration": it,
+    }
+
+
+def make_checkpointer(machine, clustering=None, **kw):
+    clustering = clustering or distributed_clustering(machine.placement, 4)
+    return MultilevelCheckpointer(machine, clustering, **kw)
+
+
+class TestSaveRestoreLocal:
+    def test_local_roundtrip(self):
+        m = small_machine()
+        ck = make_checkpointer(m)
+        t = ck.save_local(3, state_for(3), version=0)
+        assert t > 0
+        state, seconds, level = ck.restore(3, 0)
+        assert level == "local"
+        np.testing.assert_array_equal(state["eta"], state_for(3)["eta"])
+
+    def test_sidecar_meta(self):
+        m = small_machine()
+        ck = make_checkpointer(m)
+        ck.save_local(0, state_for(0), 0, meta={"world_coll_seq": 5})
+        assert ck.sidecar_meta(0, 0)["world_coll_seq"] == 5
+
+    def test_missing_version_raises(self):
+        ck = make_checkpointer(small_machine())
+        with pytest.raises(RestoreError):
+            ck.restore(0, 99)
+        with pytest.raises(RestoreError):
+            ck.sidecar_meta(0, 99)
+
+    def test_versions_tracking(self):
+        m = small_machine()
+        ck = make_checkpointer(m, keep_versions=5)
+        for v in (0, 4, 8):
+            ck.save_local(1, state_for(1, v), v)
+        assert ck.versions_of(1) == [0, 4, 8]
+
+    def test_latest_common_version(self):
+        m = small_machine()
+        ck = make_checkpointer(m, keep_versions=5)
+        ck.save_local(0, state_for(0, 0), 0)
+        ck.save_local(0, state_for(0, 4), 4)
+        ck.save_local(1, state_for(1, 0), 0)
+        assert ck.latest_common_version([0, 1]) == 0
+        with pytest.raises(RestoreError):
+            ck.latest_common_version([0, 2])
+
+
+class TestEncodedRestore:
+    def _checkpoint_cluster(self, machine, ck, version=0):
+        cluster0 = ck.clustering.l2_members(0)
+        for rank in cluster0:
+            ck.save_local(int(rank), state_for(int(rank), version), version)
+        ck.encode_cluster(0, version)
+        return [int(r) for r in cluster0]
+
+    def test_decode_after_node_wipe(self):
+        """The core FTI property: a node loss is rebuilt from parity."""
+        m = small_machine()
+        ck = make_checkpointer(m)
+        members = self._checkpoint_cluster(m, ck)
+        victim = members[0]
+        m.wipe_node(m.node_of_rank(victim))
+        state, seconds, level = ck.restore(victim, 0)
+        assert level == "decoded"
+        np.testing.assert_array_equal(state["eta"], state_for(victim)["eta"])
+        assert ck.stats.restores_decoded == 1
+
+    def test_decode_with_half_cluster_lost(self):
+        """FTI's m = k RS: losing half the cluster's nodes is recoverable
+        (each lost node costs a data shard AND a parity shard)."""
+        m = small_machine()
+        ck = make_checkpointer(m)
+        members = self._checkpoint_cluster(m, ck)
+        # Distributed clustering: members on 4 distinct nodes; kill 2 = k/2.
+        for victim in members[:2]:
+            m.wipe_node(m.node_of_rank(victim))
+        for victim in members[:2]:
+            state, _, level = ck.restore(victim, 0)
+            assert level == "decoded"
+            np.testing.assert_array_equal(state["eta"], state_for(victim)["eta"])
+
+    def test_too_many_losses_without_pfs_is_catastrophic(self):
+        m = small_machine()
+        ck = make_checkpointer(m)
+        members = self._checkpoint_cluster(m, ck)
+        for victim in members[:3]:  # 3 > m = 2
+            m.wipe_node(m.node_of_rank(victim))
+        with pytest.raises(RestoreError, match="catastrophic"):
+            ck.restore(members[0], 0)
+
+    def test_pfs_fallback_saves_the_day(self):
+        m = small_machine()
+        ck = make_checkpointer(m)
+        members = self._checkpoint_cluster(m, ck)
+        ck.flush_to_pfs(0)
+        for victim in members[:3]:
+            m.wipe_node(m.node_of_rank(victim))
+        state, _, level = ck.restore(members[0], 0)
+        assert level == "pfs"
+        np.testing.assert_array_equal(
+            state["eta"], state_for(members[0])["eta"]
+        )
+
+    def test_encode_requires_all_members_saved(self):
+        m = small_machine()
+        ck = make_checkpointer(m)
+        ck.save_local(int(ck.clustering.l2_members(0)[0]), state_for(0), 0)
+        with pytest.raises(RestoreError):
+            ck.encode_cluster(0, 0)
+
+    def test_half_parity_ablation_is_weaker(self):
+        """With m = k/2 co-located parity, one node loss costs 2 of 6
+        shards (k=4): recoverable; two node losses are not."""
+        m = small_machine()
+        ck = make_checkpointer(m, code_factory=half_parity_code)
+        members = self._checkpoint_cluster(m, ck)
+        m.wipe_node(m.node_of_rank(members[0]))
+        state, _, level = ck.restore(members[0], 0)
+        assert level == "decoded"
+        m.wipe_node(m.node_of_rank(members[1]))
+        with pytest.raises(RestoreError):
+            ck.restore(members[1], 0)
+
+    def test_colocated_cluster_cannot_decode(self):
+        """Non-distributed clusters lose data AND parity with the node —
+        the §III-B reliability failure, reproduced mechanically."""
+        m = small_machine(nnodes=4, ppn=4)
+        colocated = naive_clustering(16, 4)  # 4 consecutive = 1 node
+        ck = MultilevelCheckpointer(m, colocated)
+        for rank in range(4):
+            ck.save_local(rank, state_for(rank), 0)
+        ck.encode_cluster(0, 0)
+        m.wipe_node(0)
+        with pytest.raises(RestoreError):
+            ck.restore(0, 0)
+
+
+class TestHousekeeping:
+    def test_old_versions_expire(self):
+        m = small_machine()
+        ck = make_checkpointer(m, keep_versions=2)
+        for v in range(5):
+            ck.save_local(0, state_for(0, v), v)
+        assert ck.versions_of(0) == [3, 4]
+        with pytest.raises(RestoreError):
+            ck.restore(0, 0)
+
+    def test_parity_expires_with_cluster(self):
+        m = small_machine()
+        ck = make_checkpointer(m, keep_versions=1)
+        members = [int(r) for r in ck.clustering.l2_members(0)]
+        for v in (0, 1):
+            for rank in members:
+                ck.save_local(rank, state_for(rank, v), v)
+            ck.encode_cluster(0, v)
+        # Version 0 shards must be gone from every node SSD.
+        for node in range(m.nnodes):
+            for key in list(m.node_ssds[node].keys()):
+                assert key[-1] != 0 or key[0] != "parity" or key[2] != 0
+
+    def test_stats_accumulate(self):
+        m = small_machine()
+        ck = make_checkpointer(m)
+        members = [int(r) for r in ck.clustering.l2_members(0)]
+        for rank in members:
+            ck.save_local(rank, state_for(rank), 0)
+        ck.encode_cluster(0, 0)
+        assert ck.stats.local_writes == 4
+        assert ck.stats.encodings == 1
+        assert ck.stats.total_write_time_s > 0
+        assert ck.stats.total_encode_time_s > 0
+
+    def test_validation(self):
+        m = small_machine()
+        with pytest.raises(ValueError):
+            MultilevelCheckpointer(m, naive_clustering(99, 4))
+        with pytest.raises(ValueError):
+            make_checkpointer(m, keep_versions=0)
+        ck = make_checkpointer(m)
+        with pytest.raises(RestoreError):
+            ck.flush_to_pfs(42)

@@ -1,0 +1,109 @@
+"""Property-based checkpointer tests: recovery under random loss patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import distributed_clustering
+from repro.ftilib import MultilevelCheckpointer, RestoreError
+from repro.machine import Machine
+
+
+def build(nnodes=8, ppn=2, cluster_size=4):
+    machine = Machine(nnodes, ppn)
+    clustering = distributed_clustering(machine.placement, cluster_size)
+    ck = MultilevelCheckpointer(machine, clustering)
+    return machine, clustering, ck
+
+
+def random_state(rank, rng):
+    return {
+        "field": rng.random((rng.integers(1, 6), rng.integers(1, 6))),
+        "iteration": int(rng.integers(0, 100)),
+        "rank": rank,
+    }
+
+
+@settings(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_wiped=st.integers(0, 2),
+)
+def test_any_tolerable_wipe_pattern_recovers_bitwise(seed, n_wiped):
+    """Wipe up to m = k/2 = 2 random nodes of a 4-wide encoding cluster:
+    every member's state must come back bit-identical."""
+    machine, clustering, ck = build()
+    rng = np.random.default_rng(seed)
+    members = [int(r) for r in clustering.l2_members(0)]
+    originals = {}
+    for rank in members:
+        originals[rank] = random_state(rank, rng)
+        ck.save_local(rank, originals[rank], version=0)
+    ck.encode_cluster(0, 0)
+
+    member_nodes = sorted({machine.node_of_rank(r) for r in members})
+    wiped = rng.choice(member_nodes, size=n_wiped, replace=False)
+    for node in wiped:
+        machine.wipe_node(int(node))
+
+    for rank in members:
+        state, _, level = ck.restore(rank, 0)
+        np.testing.assert_array_equal(
+            state["field"], originals[rank]["field"]
+        )
+        assert state["iteration"] == originals[rank]["iteration"]
+        expected_level = (
+            "decoded" if machine.node_of_rank(rank) in wiped else "local"
+        )
+        assert level == expected_level
+
+
+@settings(
+    deadline=None,
+    max_examples=15,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_beyond_tolerance_is_always_detected(seed):
+    """Wiping 3 of 4 member nodes (> m = 2) must raise, never return
+    silently wrong data."""
+    machine, clustering, ck = build()
+    rng = np.random.default_rng(seed)
+    members = [int(r) for r in clustering.l2_members(0)]
+    for rank in members:
+        ck.save_local(rank, random_state(rank, rng), version=0)
+    ck.encode_cluster(0, 0)
+    member_nodes = sorted({machine.node_of_rank(r) for r in members})
+    for node in rng.choice(member_nodes, size=3, replace=False):
+        machine.wipe_node(int(node))
+    # Any member whose node was wiped must fail to restore, loudly.
+    wiped_members = [
+        r for r in members
+        if ("ckpt", r, 0) not in machine.ssd_of_rank(r)
+    ]
+    with pytest.raises(RestoreError):
+        ck.restore(wiped_members[0], 0)
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    versions=st.lists(st.integers(0, 50), min_size=1, max_size=6, unique=True),
+)
+def test_multiversion_bookkeeping(seed, versions):
+    """Saving many versions keeps exactly the newest keep_versions ones."""
+    machine, clustering, ck = build()
+    ck.keep_versions = 3
+    rng = np.random.default_rng(seed)
+    for v in sorted(versions):
+        ck.save_local(0, random_state(0, rng), version=v)
+    kept = ck.versions_of(0)
+    assert kept == sorted(versions)[-3:]
+    for v in kept:
+        state, _, level = ck.restore(0, v)
+        assert level == "local"

@@ -1,0 +1,59 @@
+"""Checkpoint serialization tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ftilib import bytes_to_state, pad_to, state_to_bytes
+
+
+class TestRoundTrip:
+    def test_simple_state(self):
+        state = {"eta": np.arange(12.0).reshape(3, 4), "iteration": 7}
+        blob = state_to_bytes(state)
+        out = bytes_to_state(blob)
+        np.testing.assert_array_equal(out["eta"], state["eta"])
+        assert out["iteration"] == 7
+
+    def test_roundtrip_through_padding(self):
+        state = {"x": np.array([1.5, -2.5])}
+        blob = state_to_bytes(state)
+        padded = pad_to(blob, blob.size + 100)
+        out = bytes_to_state(padded, true_length=blob.size)
+        np.testing.assert_array_equal(out["x"], state["x"])
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(max_dims=2, max_side=8),
+            elements=st.floats(allow_nan=False, width=64),
+        ),
+        st.integers(0, 10**6),
+    )
+    def test_bit_exact_roundtrip(self, arr, it):
+        state = {"field": arr, "iteration": it}
+        out = bytes_to_state(state_to_bytes(state))
+        np.testing.assert_array_equal(out["field"], arr)
+        assert out["field"].dtype == arr.dtype
+        assert out["iteration"] == it
+
+
+class TestPadTo:
+    def test_noop_when_exact(self):
+        buf = np.arange(4, dtype=np.uint8)
+        assert pad_to(buf, 4) is buf or (pad_to(buf, 4) == buf).all()
+
+    def test_pads_with_zeros(self):
+        out = pad_to(np.array([1, 2], dtype=np.uint8), 5)
+        np.testing.assert_array_equal(out, [1, 2, 0, 0, 0])
+
+    def test_rejects_shrink(self):
+        with pytest.raises(ValueError):
+            pad_to(np.zeros(10, dtype=np.uint8), 5)
+
+    def test_true_length_validation(self):
+        with pytest.raises(ValueError):
+            bytes_to_state(np.zeros(4, dtype=np.uint8), true_length=10)

@@ -1,0 +1,79 @@
+"""Message-log unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.hydee import MessageLog, ReplayMismatchError
+
+
+def make_log():
+    # 4 processes, clusters {0,1} and {2,3}.
+    return MessageLog(np.array([0, 0, 1, 1]))
+
+
+class TestWants:
+    def test_inter_cluster_logged(self):
+        log = make_log()
+        assert log.wants(1, 2)
+        assert log.wants(3, 0)
+
+    def test_intra_cluster_not_logged(self):
+        log = make_log()
+        assert not log.wants(0, 1)
+        assert not log.wants(2, 3)
+
+
+class TestRecord:
+    def test_accumulates_bytes_and_counts(self):
+        log = make_log()
+        log.record(1, 2, tag=5, payload=b"xy", nbytes=2, kind="p2p")
+        log.record(1, 2, tag=6, payload=b"z", nbytes=1, kind="p2p")
+        assert log.logged_bytes == 3
+        assert log.logged_messages == 2
+        assert len(log.channel(1, 2)) == 2
+        assert log.channel(1, 2)[0].tag == 5
+
+    def test_payload_snapshot_is_isolated(self):
+        log = make_log()
+        arr = np.arange(4)
+        log.record(1, 2, tag=0, payload=arr, nbytes=32, kind="p2p")
+        arr[:] = -1
+        np.testing.assert_array_equal(log.channel(1, 2)[0].payload, np.arange(4))
+
+    def test_entries_to(self):
+        log = make_log()
+        log.record(0, 2, 0, None, 0, "p2p")
+        log.record(1, 2, 0, None, 0, "p2p")
+        by_sender = log.entries_to(2)
+        assert set(by_sender) == {0, 1}
+
+
+class TestCursor:
+    def test_replays_in_order_from_position(self):
+        log = make_log()
+        for i in range(5):
+            log.record(1, 2, tag=i, payload=i * 10, nbytes=8, kind="p2p")
+        cursor = log.cursor({(1, 2): 2})  # receiver had consumed 2 already
+        assert cursor.next_message(1, 2).payload == 20
+        assert cursor.next_message(1, 2).payload == 30
+        assert cursor.remaining(1, 2) == 1
+
+    def test_exhausted_channel_raises(self):
+        log = make_log()
+        log.record(1, 2, tag=0, payload="a", nbytes=1, kind="p2p")
+        cursor = log.cursor({})
+        cursor.next_message(1, 2)
+        with pytest.raises(ReplayMismatchError):
+            cursor.next_message(1, 2)
+
+    def test_tag_verification(self):
+        log = make_log()
+        log.record(1, 2, tag=7, payload="a", nbytes=1, kind="p2p")
+        cursor = log.cursor({})
+        with pytest.raises(ReplayMismatchError, match="tag"):
+            cursor.next_message(1, 2, expected_tag=9)
+
+    def test_empty_channel(self):
+        cursor = make_log().cursor({})
+        with pytest.raises(ReplayMismatchError):
+            cursor.next_message(0, 3)

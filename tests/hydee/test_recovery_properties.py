@@ -1,0 +1,132 @@
+"""Property-based recovery tests: equivalence across the parameter space.
+
+These randomize what the hand-written integration tests fix — failure
+iteration, checkpoint cadence, victim node, workload — and assert the same
+invariant every time: contained recovery reproduces the failure-free
+states bit for bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    HeatConfig,
+    HeatSimulation,
+    SpectralConfig,
+    SpectralSimulation,
+    TsunamiConfig,
+    TsunamiSimulation,
+)
+from repro.clustering import Clustering
+from repro.failures import FailureEvent
+from repro.hydee import RecoveryManager, run_with_protocol
+from repro.machine import Machine
+from repro.simmpi import run_program
+
+
+def hier_clustering_16():
+    l1 = np.array([0] * 8 + [1] * 8)
+    l2 = np.array([(r // 2 // 4) * 2 + (r % 2) for r in range(16)])
+    return Clustering("hier-8-4", l1, l2)
+
+
+@settings(
+    deadline=None,
+    max_examples=12,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    checkpoint_every=st.integers(3, 8),
+    failure_iteration=st.integers(1, 14),
+    victim=st.integers(0, 7),
+)
+def test_tsunami_recovery_equivalence_property(
+    checkpoint_every, failure_iteration, victim
+):
+    """For any cadence/failure point/victim: recovery is bit-exact."""
+    cfg = TsunamiConfig(px=4, py=4, nx=16, ny=16, iterations=14,
+                        allreduce_every=4)
+    sim = TsunamiSimulation(cfg)
+    machine = Machine(8, 2)
+    run = run_with_protocol(
+        sim, machine, hier_clustering_16(), iterations=14,
+        checkpoint_every=checkpoint_every, keep_versions=8,
+    )
+    manager = RecoveryManager(sim, machine, run)
+    result = manager.recover(
+        FailureEvent(kind="node", nodes=(victim,)),
+        failure_iteration=failure_iteration,
+    )
+    reference = run_program(sim.make_program(iterations=failure_iteration), 16)
+    for rank in result.restarted_ranks:
+        np.testing.assert_array_equal(
+            result.recovered_states[rank]["eta"], reference[rank]["eta"]
+        )
+        assert result.recovered_states[rank]["iteration"] == failure_iteration
+
+
+def test_heat_recovery_equivalence():
+    """Second workload: the protocol is application-agnostic."""
+    cfg = HeatConfig(px=4, py=4, nx=16, ny=16, iterations=12)
+    sim = HeatSimulation(cfg)
+    machine = Machine(8, 2)
+    run = run_with_protocol(
+        sim, machine, hier_clustering_16(), iterations=12, checkpoint_every=5
+    )
+    manager = RecoveryManager(sim, machine, run)
+    result = manager.recover(
+        FailureEvent(kind="node", nodes=(2,)), failure_iteration=9
+    )
+    reference = run_program(sim.make_program(iterations=9), 16)
+    for rank in result.restarted_ranks:
+        np.testing.assert_array_equal(
+            result.recovered_states[rank]["t"], reference[rank]["t"]
+        )
+
+
+class TestSpectralRecovery:
+    """The hardest replay case: every iteration is a world all-to-all, so
+    the replay window is dense with cross-cluster collective fragments."""
+
+    def _setup(self):
+        cfg = SpectralConfig(nranks=8, n=16, iterations=10)
+        sim = SpectralSimulation(cfg)
+        machine = Machine(4, 2)
+        l1 = np.array([0, 0, 0, 0, 1, 1, 1, 1])  # 2 clusters of 2 nodes
+        l2 = np.array([0, 1, 0, 1, 2, 3, 2, 3])  # stripes across the pair
+        clustering = Clustering("spectral-hier", l1, l2)
+        return sim, machine, clustering
+
+    @pytest.mark.parametrize("failure_iteration", [5, 8, 10])
+    def test_alltoall_replay_bitwise(self, failure_iteration):
+        sim, machine, clustering = self._setup()
+        run = run_with_protocol(
+            sim, machine, clustering, iterations=10, checkpoint_every=4
+        )
+        manager = RecoveryManager(sim, machine, run)
+        result = manager.recover(
+            FailureEvent(kind="node", nodes=(1,)),
+            failure_iteration=failure_iteration,
+        )
+        reference = run_program(
+            sim.make_program(iterations=failure_iteration), 8
+        )
+        for rank in result.restarted_ranks:
+            np.testing.assert_array_equal(
+                result.recovered_states[rank]["pencil"],
+                reference[rank]["pencil"],
+            )
+
+    def test_alltoall_send_determinism(self):
+        sim, machine, clustering = self._setup()
+        run = run_with_protocol(
+            sim, machine, clustering, iterations=10, checkpoint_every=4
+        )
+        manager = RecoveryManager(sim, machine, run)
+        result = manager.recover(
+            FailureEvent(kind="node", nodes=(0,)), failure_iteration=7
+        )
+        assert result.outbound
+        manager.verify_send_determinism(result)

@@ -1,0 +1,146 @@
+"""Direct ReplayCommunicator unit tests (edge cases beyond the recovery
+integration suite)."""
+
+import numpy as np
+import pytest
+
+from repro.hydee import MessageLog, ReplayCommunicator
+from repro.hydee.logging import ReplayMismatchError
+from repro.simmpi import CommunicatorError, Engine
+from repro.simmpi.request import ANY_SOURCE
+
+
+def replay_engine(members, original_size, log, counts, body):
+    """Run `body(comm)` as the single replayed member program."""
+    outbound = []
+    cursor = log.cursor(counts)
+
+    def make_program(i):
+        def program(ctx):
+            comm = ReplayCommunicator(
+                ctx, members, original_size, cursor, outbound
+            )
+            result = yield from body(comm)
+            return result
+
+        return program
+
+    engine = Engine(len(members))
+    results = engine.run([make_program(i) for i in range(len(members))])
+    return results, outbound
+
+
+def make_log():
+    # World of 4: clusters {0,1} vs {2,3}; we replay {0,1}.
+    log = MessageLog(np.array([0, 0, 1, 1]))
+    return log
+
+
+class TestIdentity:
+    def test_rank_and_size_report_original_world(self):
+        log = make_log()
+
+        def body(comm):
+            if False:
+                yield
+            return (comm.rank, comm.size)
+
+        results, _ = replay_engine([0, 1], 4, log, {}, body)
+        assert results == [(0, 4), (1, 4)]
+
+
+class TestRouting:
+    def test_intra_member_messages_flow(self):
+        log = make_log()
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send("hello", dest=1, tag=3)
+                return None
+            return (yield from comm.recv(source=0, tag=3))
+
+        results, _ = replay_engine([0, 1], 4, log, {}, body)
+        assert results[1] == "hello"
+
+    def test_external_recv_served_from_log_at_position(self):
+        log = make_log()
+        for i in range(3):
+            log.record(2, 0, tag=9, payload=f"m{i}", nbytes=2, kind="p2p")
+
+        def body(comm):
+            if comm.rank == 0:
+                return (yield from comm.recv(source=2, tag=9))
+            if False:
+                yield
+            return None
+
+        results, _ = replay_engine([0, 1], 4, log, {(2, 0): 1}, body)
+        assert results[0] == "m1"  # position 0 was consumed pre-checkpoint
+
+    def test_external_send_suppressed_and_captured(self):
+        log = make_log()
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(b"data", dest=3, tag=4)
+            return None
+
+        _, outbound = replay_engine([0, 1], 4, log, {}, body)
+        assert len(outbound) == 1
+        record = outbound[0]
+        assert (record.src, record.dst, record.tag) == (0, 3, 4)
+        assert record.nbytes == 4
+
+
+class TestRefusals:
+    def test_wildcard_source_rejected(self):
+        log = make_log()
+
+        def body(comm):
+            if comm.rank == 0:
+                with pytest.raises(CommunicatorError, match="wildcard"):
+                    yield from comm.recv(source=ANY_SOURCE, tag=0)
+            if False:
+                yield
+            return None
+
+        replay_engine([0, 1], 4, log, {}, body)
+
+    def test_split_rejected(self):
+        log = make_log()
+
+        def body(comm):
+            if comm.rank == 0:
+                with pytest.raises(CommunicatorError, match="replay"):
+                    yield from comm.split(color=0)
+            if False:
+                yield
+            return None
+
+        replay_engine([0, 1], 4, log, {}, body)
+
+    def test_out_of_world_destination_rejected(self):
+        log = make_log()
+
+        def body(comm):
+            if comm.rank == 0:
+                with pytest.raises(CommunicatorError):
+                    yield from comm.send("x", dest=99)
+            if False:
+                yield
+            return None
+
+        replay_engine([0, 1], 4, log, {}, body)
+
+    def test_exhausted_log_raises_mismatch(self):
+        log = make_log()
+
+        def body(comm):
+            if comm.rank == 0:
+                with pytest.raises(ReplayMismatchError):
+                    yield from comm.recv(source=2, tag=0)
+            if False:
+                yield
+            return None
+
+        replay_engine([0, 1], 4, log, {}, body)

@@ -1,0 +1,109 @@
+"""Machine-model tests: topology queries, PSU groups, network wiring."""
+
+import pytest
+
+from repro.machine import (
+    FTIPlacement,
+    Machine,
+    RoundRobinPlacement,
+    reliability_study_machine,
+    tsubame2_fti_machine,
+    tsubame2_machine,
+)
+from repro.machine.tsubame2 import TSUBAME2
+
+
+class TestMachineTopology:
+    def test_default_block_placement(self):
+        m = Machine(4, 8)
+        assert m.nranks == 32
+        assert m.node_of_rank(9) == 1
+        assert m.ranks_of_node(3) == list(range(24, 32))
+
+    def test_custom_placement(self):
+        m = Machine(4, 2, placement=RoundRobinPlacement(4, 2))
+        assert m.node_of_rank(5) == 1
+
+    def test_placement_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Machine(8, 2, placement=RoundRobinPlacement(4, 2))
+
+    def test_nodes_of_ranks(self):
+        m = Machine(4, 4)
+        assert m.nodes_of_ranks([0, 1, 5, 15]) == {0, 1, 3}
+
+    def test_node_info(self):
+        m = Machine(4, 2, psu_group_size=2)
+        info = m.node_info(3)
+        assert info.index == 3
+        assert info.ranks == (6, 7)
+        assert info.psu_group == 1
+
+
+class TestPsuGroups:
+    def test_grouping(self):
+        m = Machine(6, 1, psu_group_size=2)
+        assert m.psu_group_of_node(0) == m.psu_group_of_node(1) == 0
+        assert m.psu_group_of_node(4) == 2
+        assert m.nodes_in_psu_group(1) == [2, 3]
+        assert m.n_psu_groups() == 3
+
+    def test_uneven_last_group(self):
+        m = Machine(5, 1, psu_group_size=2)
+        assert m.n_psu_groups() == 3
+        assert m.nodes_in_psu_group(2) == [4]
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            Machine(4, 1, psu_group_size=0)
+
+    def test_bounds(self):
+        m = Machine(4, 1)
+        with pytest.raises(ValueError):
+            m.psu_group_of_node(4)
+        with pytest.raises(ValueError):
+            m.nodes_in_psu_group(99)
+
+
+class TestStorageWiring:
+    def test_one_ssd_per_node(self):
+        m = Machine(3, 2)
+        assert len(m.node_ssds) == 3
+        assert m.ssd_of_rank(0) is m.node_ssds[0]
+        assert m.ssd_of_rank(5) is m.node_ssds[2]
+
+    def test_wipe_node(self):
+        m = Machine(2, 1)
+        m.node_ssds[0].write("ckpt", b"data", 4)
+        m.wipe_node(0)
+        assert len(m.node_ssds[0]) == 0
+
+    def test_network_uses_placement(self):
+        m = Machine(2, 2)
+        assert m.network.same_node(0, 1)
+        assert not m.network.same_node(1, 2)
+
+
+class TestTsubame2Presets:
+    def test_spec_matches_table1(self):
+        assert TSUBAME2.total_nodes == 1408
+        assert TSUBAME2.cores_per_node == 12
+        assert TSUBAME2.gpus_per_node == 3
+        assert TSUBAME2.gpu_total == 4224
+        assert TSUBAME2.ssd_write_MBps == 360.0
+        assert TSUBAME2.ib_total_Bps == pytest.approx(8e9)
+        assert TSUBAME2.pfs_write_GBps == 10.0
+
+    def test_default_evaluation_machine(self):
+        m = tsubame2_machine()
+        assert m.nnodes == 64 and m.nranks == 1024
+
+    def test_fti_machine_shape(self):
+        m = tsubame2_fti_machine()
+        assert m.nranks == 1088
+        assert isinstance(m.placement, FTIPlacement)
+        assert m.placement.encoder_ranks()[:4] == [0, 17, 34, 51]
+
+    def test_reliability_machine_shape(self):
+        m = reliability_study_machine()
+        assert m.nnodes == 128 and m.procs_per_node == 8 and m.nranks == 1024

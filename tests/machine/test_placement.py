@@ -1,0 +1,125 @@
+"""Placement-policy tests, including the FTI encoder layout of §V."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import (
+    BlockPlacement,
+    ExplicitPlacement,
+    FTIPlacement,
+    RoundRobinPlacement,
+)
+
+
+class TestBlockPlacement:
+    def test_consecutive_ranks_share_node(self):
+        p = BlockPlacement(4, 16)
+        assert p.node_of_rank(0) == p.node_of_rank(15) == 0
+        assert p.node_of_rank(16) == 1
+
+    def test_ranks_of_node(self):
+        p = BlockPlacement(4, 4)
+        assert p.ranks_of_node(2) == [8, 9, 10, 11]
+
+    def test_bounds(self):
+        p = BlockPlacement(2, 2)
+        with pytest.raises(ValueError):
+            p.node_of_rank(4)
+        with pytest.raises(ValueError):
+            p.ranks_of_node(2)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            BlockPlacement(0, 4)
+
+    @given(st.integers(1, 16), st.integers(1, 16))
+    def test_bijection(self, nnodes, ppn):
+        p = BlockPlacement(nnodes, ppn)
+        seen = []
+        for node in range(nnodes):
+            seen.extend(p.ranks_of_node(node))
+        assert sorted(seen) == list(range(nnodes * ppn))
+
+
+class TestRoundRobinPlacement:
+    def test_cyclic(self):
+        p = RoundRobinPlacement(4, 2)
+        assert [p.node_of_rank(r) for r in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_ranks_of_node(self):
+        p = RoundRobinPlacement(4, 2)
+        assert p.ranks_of_node(1) == [1, 5]
+
+    @given(st.integers(1, 12), st.integers(1, 12))
+    def test_bijection(self, nnodes, ppn):
+        p = RoundRobinPlacement(nnodes, ppn)
+        seen = []
+        for node in range(nnodes):
+            seen.extend(p.ranks_of_node(node))
+        assert sorted(seen) == list(range(nnodes * ppn))
+
+
+class TestExplicitPlacement:
+    def test_table(self):
+        p = ExplicitPlacement([1, 0, 1, 0], nnodes=2)
+        assert p.node_of_rank(0) == 1
+        assert p.ranks_of_node(0) == [1, 3]
+        assert p.nranks == 4
+
+    def test_rejects_bad_node(self):
+        with pytest.raises(ValueError):
+            ExplicitPlacement([0, 5], nnodes=2)
+
+
+class TestFTIPlacement:
+    """The §V layout: 17 procs per node, first is the encoder."""
+
+    def test_paper_encoder_ranks(self):
+        p = FTIPlacement(64, 16)
+        assert p.nranks == 1088
+        assert p.encoder_ranks()[:4] == [0, 17, 34, 51]
+        assert p.is_encoder(0) and p.is_encoder(17)
+        assert not p.is_encoder(1) and not p.is_encoder(16)
+
+    def test_app_rank_count(self):
+        p = FTIPlacement(64, 16)
+        assert len(p.app_ranks()) == 1024
+
+    def test_app_index_roundtrip(self):
+        p = FTIPlacement(4, 16)
+        for app_index in range(4 * 16):
+            world = p.world_rank_of_app(app_index)
+            assert not p.is_encoder(world)
+            assert p.app_index(world) == app_index
+
+    def test_app_index_of_encoder_raises(self):
+        p = FTIPlacement(4, 16)
+        with pytest.raises(ValueError):
+            p.app_index(17)
+
+    def test_layout_record(self):
+        p = FTIPlacement(4, 16)
+        enc = p.layout(17)
+        assert enc.is_encoder and enc.node == 1 and enc.app_index is None
+        app = p.layout(18)
+        assert not app.is_encoder and app.node == 1 and app.app_index == 16
+
+    def test_node_of_rank(self):
+        p = FTIPlacement(4, 16)
+        assert p.node_of_rank(16) == 0
+        assert p.node_of_rank(17) == 1
+
+    def test_world_rank_of_app_bounds(self):
+        p = FTIPlacement(2, 4)
+        with pytest.raises(ValueError):
+            p.world_rank_of_app(8)
+
+    @given(st.integers(1, 8), st.integers(1, 16))
+    def test_partition_into_encoders_and_apps(self, nnodes, app_per_node):
+        p = FTIPlacement(nnodes, app_per_node)
+        encoders = set(p.encoder_ranks())
+        apps = set(p.app_ranks())
+        assert encoders.isdisjoint(apps)
+        assert encoders | apps == set(range(p.nranks))
+        assert len(encoders) == nnodes

@@ -1,0 +1,96 @@
+"""Storage device/spec tests."""
+
+import numpy as np
+import pytest
+
+from repro.machine import StorageDevice, StorageFullError, StorageSpec
+from repro.machine.storage import TSUBAME2_PFS, TSUBAME2_SSD
+
+
+def small_spec(capacity=1000, shared=False):
+    return StorageSpec(
+        name="test",
+        read_bw_Bps=100.0,
+        write_bw_Bps=50.0,
+        capacity_bytes=capacity,
+        latency_s=0.5,
+        shared=shared,
+    )
+
+
+class TestStorageSpec:
+    def test_write_time(self):
+        spec = small_spec()
+        assert spec.write_time(100) == pytest.approx(0.5 + 2.0)
+
+    def test_read_time(self):
+        spec = small_spec()
+        assert spec.read_time(100) == pytest.approx(0.5 + 1.0)
+
+    def test_shared_contention(self):
+        spec = small_spec(shared=True)
+        assert spec.write_time(100, concurrent=4) == pytest.approx(0.5 + 8.0)
+
+    def test_private_ignores_concurrency(self):
+        spec = small_spec(shared=False)
+        assert spec.write_time(100, concurrent=4) == spec.write_time(100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StorageSpec("x", read_bw_Bps=0, write_bw_Bps=1, capacity_bytes=1)
+
+    def test_tsubame2_presets(self):
+        assert TSUBAME2_SSD.write_bw_Bps == pytest.approx(360e6)
+        assert TSUBAME2_PFS.shared and not TSUBAME2_SSD.shared
+
+
+class TestStorageDevice:
+    def test_write_read_roundtrip(self):
+        dev = StorageDevice(small_spec())
+        payload = np.arange(10)
+        t_write = dev.write("ckpt", payload, 80)
+        assert t_write > 0
+        out, t_read = dev.read("ckpt")
+        np.testing.assert_array_equal(out, payload)
+        assert t_read > 0
+
+    def test_capacity_tracking(self):
+        dev = StorageDevice(small_spec(capacity=100))
+        dev.write("a", b"", 60)
+        assert dev.free_bytes == 40
+        dev.delete("a")
+        assert dev.free_bytes == 100
+
+    def test_overwrite_replaces_allocation(self):
+        dev = StorageDevice(small_spec(capacity=100))
+        dev.write("a", b"", 80)
+        dev.write("a", b"", 90)  # fits because the old copy is released
+        assert dev.used_bytes == 90
+
+    def test_full_raises(self):
+        dev = StorageDevice(small_spec(capacity=100))
+        dev.write("a", b"", 60)
+        with pytest.raises(StorageFullError):
+            dev.write("b", b"", 60)
+
+    def test_read_missing_raises(self):
+        dev = StorageDevice(small_spec())
+        with pytest.raises(KeyError):
+            dev.read("nope")
+
+    def test_delete_missing_is_noop(self):
+        dev = StorageDevice(small_spec())
+        dev.delete("nope")
+
+    def test_clear(self):
+        dev = StorageDevice(small_spec())
+        dev.write("a", b"", 10)
+        dev.write("b", b"", 20)
+        dev.clear()
+        assert len(dev) == 0 and dev.used_bytes == 0
+
+    def test_contains_and_size_of(self):
+        dev = StorageDevice(small_spec())
+        dev.write("k", b"xy", 2)
+        assert "k" in dev
+        assert dev.size_of("k") == 2

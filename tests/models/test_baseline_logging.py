@@ -1,0 +1,152 @@
+"""Baseline requirements, four-dim scores, and logging-overhead model tests."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import naive_clustering
+from repro.commgraph import paper_tsunami_matrix
+from repro.models import (
+    PAPER_BASELINE,
+    BaselineRequirements,
+    FourDimScore,
+    LogMemoryModel,
+    logged_bytes,
+    logged_fraction,
+)
+
+
+def score(**kw):
+    defaults = dict(
+        name="test",
+        logging_fraction=0.02,
+        recovery_fraction=0.06,
+        encoding_s_per_gb=25.0,
+        prob_catastrophic=1e-6,
+    )
+    defaults.update(kw)
+    return FourDimScore(**defaults)
+
+
+class TestBaseline:
+    def test_paper_thresholds(self):
+        assert PAPER_BASELINE.max_logging_fraction == 0.20
+        assert PAPER_BASELINE.max_encoding_s_per_gb == 60.0
+        assert PAPER_BASELINE.max_prob_catastrophic == 1e-3
+        assert PAPER_BASELINE.max_recovery_fraction == 0.20
+
+    def test_hierarchical_like_score_passes(self):
+        assert PAPER_BASELINE.satisfied(score())
+
+    def test_each_dimension_can_fail_alone(self):
+        assert not PAPER_BASELINE.satisfied(score(logging_fraction=0.5))
+        assert not PAPER_BASELINE.satisfied(score(recovery_fraction=0.5))
+        assert not PAPER_BASELINE.satisfied(score(encoding_s_per_gb=204.0))
+        assert not PAPER_BASELINE.satisfied(score(prob_catastrophic=0.95))
+
+    def test_check_reports_dimensions(self):
+        checks = PAPER_BASELINE.check(score(encoding_s_per_gb=204.0))
+        assert checks["encoding"] is False
+        assert checks["logging"] is True
+
+    def test_normalized_inside_polygon(self):
+        norm = PAPER_BASELINE.normalized(score())
+        assert all(v <= 1.0 for v in norm.values())
+
+    def test_normalized_reliability_log_scale(self):
+        # P = baseline -> ratio 1; P worse (larger) -> ratio > 1.
+        at_limit = PAPER_BASELINE.normalized(score(prob_catastrophic=1e-3))
+        worse = PAPER_BASELINE.normalized(score(prob_catastrophic=0.5))
+        better = PAPER_BASELINE.normalized(score(prob_catastrophic=1e-9))
+        assert at_limit["reliability"] == pytest.approx(1.0)
+        assert worse["reliability"] > 1.0
+        assert better["reliability"] < 1.0
+
+    def test_normalized_reliability_edge_cases(self):
+        assert PAPER_BASELINE.normalized(score(prob_catastrophic=0.0))[
+            "reliability"
+        ] == 0.0
+        assert PAPER_BASELINE.normalized(score(prob_catastrophic=1.0))[
+            "reliability"
+        ] == float("inf")
+
+    def test_score_row_formatting(self):
+        row = score(name="hier").as_row()
+        assert row[0] == "hier"
+        assert row[1] == "2.0%"
+        assert "1e-6" in row[4]
+
+    def test_score_validation(self):
+        with pytest.raises(ValueError):
+            score(logging_fraction=1.5)
+        with pytest.raises(ValueError):
+            score(encoding_s_per_gb=-1.0)
+
+
+class TestLoggingOverheadModel:
+    def test_fraction_and_bytes_consistent(self):
+        g = paper_tsunami_matrix(iterations=2)
+        c = naive_clustering(1024, 32)
+        frac = logged_fraction(g, c)
+        absolute = logged_bytes(g, c)
+        assert absolute == pytest.approx(frac * g.total_bytes)
+
+    def test_size_mismatch(self):
+        g = paper_tsunami_matrix(iterations=1)
+        c = naive_clustering(64, 8)
+        with pytest.raises(ValueError):
+            logged_fraction(g, c)
+        with pytest.raises(ValueError):
+            logged_bytes(g, c)
+
+    def test_log_memory_model(self):
+        g = paper_tsunami_matrix(iterations=10)
+        c = naive_clustering(1024, 32)
+        model = LogMemoryModel(memory_per_process_bytes=10 * 2**20)
+        peak = model.peak_log_bytes_per_process(
+            g, c, trace_duration_s=100.0, window_s=10.0
+        )
+        assert peak.shape == (1024,)
+        assert (peak >= 0).all()
+        # Interior cluster-border processes log the most.
+        assert peak.max() > 0
+        assert model.fits(peak) == bool((peak <= 10 * 2**20).all())
+
+    def test_log_memory_validation(self):
+        g = paper_tsunami_matrix(iterations=1)
+        c = naive_clustering(1024, 32)
+        model = LogMemoryModel(memory_per_process_bytes=1.0)
+        with pytest.raises(ValueError):
+            model.peak_log_bytes_per_process(
+                g, c, trace_duration_s=0.0, window_s=1.0
+            )
+
+
+class TestDalyExtension:
+    def test_young_interval_formula(self):
+        from repro.models import young_interval
+
+        assert young_interval(100.0, 50_000.0) == pytest.approx(
+            np.sqrt(2 * 100 * 50_000)
+        )
+
+    def test_daly_close_to_young_for_small_cost(self):
+        from repro.models import daly_interval, young_interval
+
+        y = young_interval(10.0, 1e6)
+        d = daly_interval(10.0, 1e6)
+        assert abs(d - y) / y < 0.05
+
+    def test_waste_minimized_near_optimum(self):
+        from repro.models import WasteModel
+
+        wm = WasteModel(checkpoint_cost_s=60.0, restart_cost_s=120.0, mtbf_s=3600.0)
+        opt = wm.optimal_interval()
+        w_opt = wm.waste(opt)
+        assert w_opt <= wm.waste(opt / 4) and w_opt <= wm.waste(opt * 4)
+
+    def test_cheaper_checkpoints_reduce_waste(self):
+        from repro.models import WasteModel
+
+        fast = WasteModel(25.0, 60.0, 3600.0).optimal_waste()
+        slow = WasteModel(204.0, 60.0, 3600.0).optimal_waste()
+        assert fast < slow

@@ -1,0 +1,130 @@
+"""Campaign-simulator tests: composition of the four dimensions."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    PartitionCost,
+    distributed_clustering,
+    hierarchical_clustering,
+    naive_clustering,
+    size_guided_clustering,
+)
+from repro.commgraph import node_graph, paper_tsunami_matrix
+from repro.failures import FailureTaxonomy
+from repro.machine import tsubame2_machine
+from repro.models import CampaignConfig, CampaignResult, CampaignSimulator
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return tsubame2_machine(64, 16)
+
+
+@pytest.fixture(scope="module")
+def hierarchical(machine):
+    g = paper_tsunami_matrix(iterations=5)
+    ng = node_graph(g, machine.placement)
+    return hierarchical_clustering(
+        ng, machine.placement, cost=PartitionCost(1.0, 8.0)
+    )
+
+
+def fast_config(**kw):
+    defaults = dict(
+        horizon_s=7 * 24 * 3600.0,
+        checkpoint_interval_s=1800.0,
+        node_mtbf_s=0.25 * 365 * 24 * 3600.0,  # busy machine: ~7 failures/wk
+    )
+    defaults.update(kw)
+    return CampaignConfig(**defaults)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(horizon_s=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(pfs_flush_every=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(checkpoint_gb_per_node=-1)
+
+
+class TestCosts:
+    def test_checkpoint_cost_tracks_l2_size(self, machine, hierarchical):
+        sim = CampaignSimulator(machine, fast_config())
+        hier_cost = sim.checkpoint_cost_s(hierarchical)
+        naive_cost = sim.checkpoint_cost_s(naive_clustering(1024, 32))
+        # 4-wide vs 32-wide encoding: ~8x gap plus the shared SSD write.
+        assert naive_cost > 4 * hier_cost
+
+    def test_clustering_size_mismatch(self, machine):
+        sim = CampaignSimulator(machine, fast_config())
+        with pytest.raises(ValueError):
+            sim.run(naive_clustering(64, 8))
+
+
+class TestCampaigns:
+    def test_deterministic_under_seed(self, machine, hierarchical):
+        sim = CampaignSimulator(machine, fast_config())
+        a = sim.run(hierarchical, rng=7)
+        b = sim.run(hierarchical, rng=7)
+        assert a == b
+
+    def test_result_accounting(self, machine, hierarchical):
+        sim = CampaignSimulator(machine, fast_config())
+        r = sim.run(hierarchical, rng=3)
+        assert r.total_waste_s == pytest.approx(
+            r.checkpoint_overhead_s
+            + r.rework_s
+            + r.restore_s
+            + r.catastrophic_penalty_s
+        )
+        assert 0.0 <= r.waste_fraction <= 1.0
+        assert r.efficiency == pytest.approx(1.0 - r.waste_fraction)
+
+    def test_hierarchical_wins_the_campaign(self, machine, hierarchical):
+        """The composed end-to-end result: hierarchical wastes the least."""
+        sim = CampaignSimulator(machine, fast_config())
+        wastes = {}
+        for clustering in [
+            naive_clustering(1024, 32),
+            size_guided_clustering(1024, 8),
+            distributed_clustering(machine.placement, 16),
+            hierarchical,
+        ]:
+            wastes[clustering.name] = sim.expected_waste(
+                clustering, n_campaigns=3, rng=11
+            )
+        assert min(wastes, key=wastes.get) == "hierarchical-64-4"
+
+    def test_fragile_clustering_pays_catastrophic_penalties(self, machine):
+        """Size-guided-8 dies on ~every node failure: campaigns show
+        catastrophic events and their PFS penalty."""
+        sim = CampaignSimulator(machine, fast_config())
+        r = sim.run(size_guided_clustering(1024, 8), rng=5)
+        assert r.n_failures > 0
+        assert r.n_catastrophic > 0
+        assert r.catastrophic_penalty_s > 0
+
+    def test_reliable_clustering_avoids_catastrophes(self, machine, hierarchical):
+        sim = CampaignSimulator(machine, fast_config())
+        total_cat = sum(
+            sim.run(hierarchical, rng=seed).n_catastrophic
+            for seed in range(5)
+        )
+        assert total_cat == 0
+
+    def test_more_failures_more_waste(self, machine, hierarchical):
+        calm = CampaignSimulator(
+            machine, fast_config(node_mtbf_s=20 * 365 * 24 * 3600.0)
+        ).expected_waste(hierarchical, n_campaigns=3, rng=1)
+        busy = CampaignSimulator(
+            machine, fast_config(node_mtbf_s=0.05 * 365 * 24 * 3600.0)
+        ).expected_waste(hierarchical, n_campaigns=3, rng=1)
+        assert busy > calm
+
+    def test_expected_waste_validation(self, machine, hierarchical):
+        sim = CampaignSimulator(machine, fast_config())
+        with pytest.raises(ValueError):
+            sim.expected_waste(hierarchical, n_campaigns=0)

@@ -1,0 +1,73 @@
+"""Encoding-time model tests against Table II's measured values."""
+
+import pytest
+
+from repro.models import EncodingTimeModel, measure_throughput
+
+
+class TestLinearLaw:
+    def test_table2_values(self):
+        """Table II: 204 s @ 32, 51 s @ 8, 102 s @ 16, ~25 s @ 4."""
+        model = EncodingTimeModel()
+        assert model.seconds_per_gb(32) == pytest.approx(204.0)
+        assert model.seconds_per_gb(16) == pytest.approx(102.0)
+        assert model.seconds_per_gb(8) == pytest.approx(51.0)
+        assert model.seconds_per_gb(4) == pytest.approx(25.5)
+
+    def test_fig3b_order_of_magnitude_claim(self):
+        """§III-B: from 4 to 32 processes the time grows ~an order of
+        magnitude; 32-cluster encoding of 1 GB takes > 3 minutes."""
+        model = EncodingTimeModel()
+        assert model.seconds_per_gb(32) / model.seconds_per_gb(4) == pytest.approx(8.0)
+        assert model.seconds_per_gb(32) > 180.0
+        assert model.seconds_per_gb(4) < 30.0
+
+    def test_20gb_hour_claim(self):
+        """§III-B: 'encoding 20GBs of data will take more than one hour
+        while it could take less than five minutes' (32 vs 4)."""
+        model = EncodingTimeModel()
+        assert model.seconds(20.0, 32) > 3600.0
+        assert model.seconds(20.0, 4) < 600.0
+
+    def test_scaling_with_volume(self):
+        model = EncodingTimeModel()
+        assert model.seconds(2.0, 8) == pytest.approx(102.0)
+
+    def test_budget_inversion(self):
+        model = EncodingTimeModel()
+        # 60 s/GB budget (the baseline): clusters up to 9 qualify.
+        assert model.max_cluster_for_budget(60.0) == 9
+        assert model.seconds_per_gb(model.max_cluster_for_budget(60.0)) <= 60.0
+
+    def test_intercept(self):
+        model = EncodingTimeModel(slope_s_per_gb=2.0, intercept_s_per_gb=10.0)
+        assert model.seconds_per_gb(5) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EncodingTimeModel(slope_s_per_gb=0.0)
+        with pytest.raises(ValueError):
+            EncodingTimeModel().seconds_per_gb(0)
+        with pytest.raises(ValueError):
+            EncodingTimeModel().max_cluster_for_budget(0.0)
+
+
+class TestMeasuredThroughput:
+    def test_measurement_shape(self):
+        out = measure_throughput(4, shard_bytes=1 << 14, rng=0)
+        assert out["cluster_size"] == 4
+        assert out["parity_shards"] == 2
+        assert out["seconds"] > 0
+        assert out["seconds_per_gb"] > 0
+
+    def test_linear_growth_in_cluster_size(self):
+        """The real encoder shows the paper's linear-in-k cost shape."""
+        small = measure_throughput(4, shard_bytes=1 << 15, repeats=2, rng=0)
+        large = measure_throughput(16, shard_bytes=1 << 15, repeats=2, rng=0)
+        ratio = large["seconds_per_gb"] / small["seconds_per_gb"]
+        # byte_ops ratio is (16*8)/(4*2) = 16 per shard, /4 shards = 4x per GB.
+        assert 2.0 < ratio < 9.0
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            measure_throughput(1)

@@ -1,0 +1,92 @@
+"""PFS checkpoint-scheduling model tests (§II-C's quantitative argument)."""
+
+import pytest
+
+from repro.machine import TSUBAME2_PFS, TSUBAME2_SSD
+from repro.models import PfsSchedulingModel
+from repro.util import GiB
+
+
+def paper_model(n_clusters=16, gb_per_cluster=4):
+    return PfsSchedulingModel(
+        n_clusters=n_clusters,
+        bytes_per_cluster=gb_per_cluster * GiB,
+        pfs=TSUBAME2_PFS,
+        ssd=TSUBAME2_SSD,
+        nodes_per_cluster=4,
+    )
+
+
+class TestStrategies:
+    def test_simultaneous_divides_bandwidth(self):
+        m = paper_model()
+        simultaneous = m.simultaneous_pfs()
+        single = m.pfs.write_time(m.bytes_per_cluster)
+        assert simultaneous.makespan_s == pytest.approx(
+            m.pfs.write_time(m.bytes_per_cluster, concurrent=16)
+        )
+        assert simultaneous.makespan_s > 10 * single
+
+    def test_staggered_same_makespan_plus_noise(self):
+        """Staggering doesn't finish earlier — it only spreads the pain."""
+        m = paper_model()
+        staggered = m.staggered_pfs()
+        simultaneous = m.simultaneous_pfs()
+        assert staggered.makespan_s == pytest.approx(
+            simultaneous.makespan_s, rel=0.05
+        )
+        assert staggered.noise_window_s > 0
+        assert not staggered.is_coordinated
+        assert simultaneous.is_coordinated
+
+    def test_local_ssd_wins_at_scale(self):
+        """At full-machine scale (the paper's premise) the FTI path beats
+        both PFS strategies — the reason HydEE is combined with FTI
+        instead of scheduling PFS checkpoints."""
+        m = paper_model(n_clusters=352)  # 1408 nodes / 4 per cluster
+        outcomes = m.compare()
+        assert outcomes[0].name == "local-ssd+rs"
+        pfs_best = min(o.makespan_s for o in outcomes[1:])
+        assert pfs_best / outcomes[0].makespan_s > 2.0
+
+    def test_crossover_small_partitions_fit_the_pfs(self):
+        """The I/O bottleneck is a *scale* phenomenon: with few clusters
+        the unsaturated PFS is actually faster than SSD + encoding."""
+        small = paper_model(n_clusters=4)
+        assert small.simultaneous_pfs().makespan_s < small.local_ssd().makespan_s
+        big = paper_model(n_clusters=352)
+        assert big.simultaneous_pfs().makespan_s > big.local_ssd().makespan_s
+
+    def test_ssd_path_has_no_noise(self):
+        assert paper_model().local_ssd().is_coordinated
+
+    def test_encoding_charge_scales_with_l2_size(self):
+        m = paper_model()
+        small = m.local_ssd(l2_cluster_size=4).makespan_s
+        large = m.local_ssd(l2_cluster_size=16).makespan_s
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PfsSchedulingModel(
+                n_clusters=0, bytes_per_cluster=1,
+                pfs=TSUBAME2_PFS, ssd=TSUBAME2_SSD,
+            )
+        with pytest.raises(ValueError):
+            PfsSchedulingModel(
+                n_clusters=1, bytes_per_cluster=0,
+                pfs=TSUBAME2_PFS, ssd=TSUBAME2_SSD,
+            )
+
+
+class TestScaling:
+    def test_pfs_gap_grows_with_cluster_count(self):
+        """The more clusters contend, the bigger FTI's advantage — the
+        extreme-scale argument of §II-A."""
+        gaps = []
+        for n in (4, 16, 64):
+            m = paper_model(n_clusters=n)
+            ssd = m.local_ssd().makespan_s
+            pfs = m.simultaneous_pfs().makespan_s
+            gaps.append(pfs / ssd)
+        assert gaps == sorted(gaps)

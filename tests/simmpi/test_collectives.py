@@ -1,0 +1,220 @@
+"""Collective-algorithm tests against straightforward oracles."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import Engine, TraceRecorder, run_program
+from repro.simmpi.collectives import max_op, min_op, prod_op, sum_op
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8, 13, 16])
+class TestBcast:
+    def test_bcast_from_zero(self, size):
+        def program(ctx):
+            obj = {"v": 99} if ctx.rank == 0 else None
+            return (yield from ctx.comm.bcast(obj, root=0))
+
+        assert run_program(program, size) == [{"v": 99}] * size
+
+    def test_bcast_from_nonzero_root(self, size):
+        root = size - 1
+
+        def program(ctx):
+            obj = "payload" if ctx.rank == root else None
+            return (yield from ctx.comm.bcast(obj, root=root))
+
+        assert run_program(program, size) == ["payload"] * size
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8, 16])
+class TestReduce:
+    def test_sum_to_root(self, size):
+        def program(ctx):
+            return (yield from ctx.comm.reduce(ctx.rank + 1, sum_op, root=0))
+
+        results = run_program(program, size)
+        assert results[0] == size * (size + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    def test_max(self, size):
+        def program(ctx):
+            return (yield from ctx.comm.reduce(float(ctx.rank), max_op, root=0))
+
+        assert run_program(program, size)[0] == size - 1
+
+    def test_array_reduce(self, size):
+        def program(ctx):
+            data = np.full(3, ctx.rank, dtype=np.int64)
+            return (yield from ctx.comm.reduce(data, sum_op, root=0))
+
+        expected = np.full(3, sum(range(size)))
+        np.testing.assert_array_equal(run_program(program, size)[0], expected)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 6, 8, 16, 17])
+class TestAllreduce:
+    def test_sum(self, size):
+        def program(ctx):
+            return (yield from ctx.comm.allreduce(ctx.rank + 1, sum_op))
+
+        assert run_program(program, size) == [size * (size + 1) // 2] * size
+
+    def test_min(self, size):
+        def program(ctx):
+            return (yield from ctx.comm.allreduce(10 + ctx.rank, min_op))
+
+        assert run_program(program, size) == [10] * size
+
+    def test_prod(self, size):
+        def program(ctx):
+            v = 2 if ctx.rank == 0 else 1
+            return (yield from ctx.comm.allreduce(v, prod_op))
+
+        assert run_program(program, size) == [2] * size
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8, 12, 16, 17])
+class TestAllgather:
+    def test_gathers_in_rank_order(self, size):
+        def program(ctx):
+            return (yield from ctx.comm.allgather(ctx.rank * 2))
+
+        expected = [r * 2 for r in range(size)]
+        assert run_program(program, size) == [expected] * size
+
+    def test_array_payloads(self, size):
+        def program(ctx):
+            data = np.arange(2) + 10 * ctx.rank
+            chunks = yield from ctx.comm.allgather(data)
+            return np.concatenate(chunks)
+
+        expected = np.concatenate([np.arange(2) + 10 * r for r in range(size)])
+        for result in run_program(program, size):
+            np.testing.assert_array_equal(result, expected)
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 5, 8])
+class TestGatherScatter:
+    def test_gather(self, size):
+        def program(ctx):
+            return (yield from ctx.comm.gather(chr(ord("a") + ctx.rank), root=0))
+
+        results = run_program(program, size)
+        assert results[0] == [chr(ord("a") + r) for r in range(size)]
+        assert all(r is None for r in results[1:])
+
+    def test_gather_nonzero_root(self, size):
+        root = size - 1
+
+        def program(ctx):
+            return (yield from ctx.comm.gather(ctx.rank, root=root))
+
+        results = run_program(program, size)
+        assert results[root] == list(range(size))
+
+    def test_scatter(self, size):
+        def program(ctx):
+            values = [f"item{i}" for i in range(size)] if ctx.rank == 0 else None
+            return (yield from ctx.comm.scatter(values, root=0))
+
+        assert run_program(program, size) == [f"item{i}" for i in range(size)]
+
+    def test_scatter_wrong_length_raises(self, size):
+        def program(ctx):
+            values = [0] * (size + 1) if ctx.rank == 0 else None
+            return (yield from ctx.comm.scatter(values, root=0))
+
+        with pytest.raises(Exception):
+            run_program(program, size)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 8])
+class TestAlltoall:
+    def test_transpose_semantics(self, size):
+        def program(ctx):
+            values = [(ctx.rank, dst) for dst in range(size)]
+            return (yield from ctx.comm.alltoall(values))
+
+        results = run_program(program, size)
+        for rank, received in enumerate(results):
+            assert received == [(src, rank) for src in range(size)]
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+class TestScan:
+    def test_inclusive_prefix_sum(self, size):
+        def program(ctx):
+            return (yield from ctx.comm.scan(ctx.rank + 1, sum_op))
+
+        expected = [sum(range(1, r + 2)) for r in range(size)]
+        assert run_program(program, size) == expected
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 8, 13])
+    def test_completes(self, size):
+        def program(ctx):
+            yield from ctx.comm.barrier()
+            return "past"
+
+        assert run_program(program, size) == ["past"] * size
+
+
+class TestCollectiveTraces:
+    def test_allgather_pow2_uses_xor_partners(self):
+        """Recursive doubling puts traffic exactly at XOR distances 1,2,4…"""
+        size = 8
+        tracer = TraceRecorder(size)
+
+        def program(ctx):
+            return (yield from ctx.comm.allgather(b"x" * 100))
+
+        Engine(size, tracer=tracer).run(program)
+        counts = tracer.count_matrix
+        for dst in range(size):
+            for src in range(size):
+                if counts[dst, src]:
+                    assert bin(dst ^ src).count("1") == 1, (
+                        f"unexpected traffic {src}->{dst}"
+                    )
+
+    def test_allgather_nonpow2_uses_pow2_ring_distances(self):
+        """Bruck's algorithm communicates at ± power-of-two ring distances."""
+        size = 6
+        tracer = TraceRecorder(size)
+
+        def program(ctx):
+            return (yield from ctx.comm.allgather(ctx.rank))
+
+        Engine(size, tracer=tracer).run(program)
+        counts = tracer.count_matrix
+        for dst in range(size):
+            for src in range(size):
+                if counts[dst, src]:
+                    dist = (src - dst) % size
+                    assert dist in {1, 2, 4}, f"unexpected distance {dist}"
+
+    def test_bcast_total_bytes_scale_with_tree(self):
+        """A binomial bcast moves exactly (size-1) payload copies."""
+        size = 16
+        payload = b"y" * 1000
+        tracer = TraceRecorder(size)
+
+        def program(ctx):
+            return (yield from ctx.comm.bcast(payload if ctx.rank == 0 else None))
+
+        Engine(size, tracer=tracer).run(program)
+        assert tracer.total_bytes == pytest.approx(1000 * (size - 1))
+
+    def test_kind_tagging(self):
+        size = 4
+        tracer = TraceRecorder(size, by_kind=True)
+
+        def program(ctx):
+            yield from ctx.comm.allgather(b"z" * 10)
+            yield from ctx.comm.barrier()
+            return None
+
+        Engine(size, tracer=tracer).run(program)
+        assert tracer.kind_bytes("allgather").sum() > 0
+        assert "barrier" in tracer.kind_matrices

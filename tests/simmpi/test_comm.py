@@ -1,0 +1,123 @@
+"""Communicator API tests: groups, split, rank translation, validation."""
+
+import pytest
+
+from repro.simmpi import CommunicatorError, run_program
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        def program(ctx):
+            comm = ctx.comm
+            sub = yield from comm.split(color=ctx.rank % 2)
+            return (sub.rank, sub.size, sub.group)
+
+        results = run_program(program, 6)
+        evens = tuple(r for r in range(6) if r % 2 == 0)
+        odds = tuple(r for r in range(6) if r % 2 == 1)
+        for rank, (sub_rank, sub_size, group) in enumerate(results):
+            assert sub_size == 3
+            assert group == (evens if rank % 2 == 0 else odds)
+            assert group[sub_rank] == rank
+
+    def test_split_key_reorders(self):
+        def program(ctx):
+            comm = ctx.comm
+            # Reverse ordering within the new communicator.
+            sub = yield from comm.split(color=0, key=-ctx.rank)
+            return sub.group
+
+        groups = run_program(program, 4)
+        assert groups[0] == (3, 2, 1, 0)
+
+    def test_split_none_color_returns_none(self):
+        def program(ctx):
+            comm = ctx.comm
+            color = 0 if ctx.rank == 0 else None
+            sub = yield from comm.split(color)
+            return sub if sub is None else sub.size
+
+        results = run_program(program, 3)
+        assert results == [1, None, None]
+
+    def test_communication_within_split(self):
+        def program(ctx):
+            comm = ctx.comm
+            sub = yield from comm.split(color=ctx.rank // 2)
+            total = yield from sub.allreduce(ctx.rank)
+            return total
+
+        # Pairs (0,1), (2,3): sums 1 and 5.
+        assert run_program(program, 4) == [1, 1, 5, 5]
+
+    def test_nested_split(self):
+        def program(ctx):
+            comm = ctx.comm
+            half = yield from comm.split(color=ctx.rank // 4)
+            quarter = yield from half.split(color=half.rank // 2)
+            return (yield from quarter.allreduce(1))
+
+        assert run_program(program, 8) == [2] * 8
+
+    def test_sequential_splits_get_distinct_comm_ids(self):
+        def program(ctx):
+            comm = ctx.comm
+            a = yield from comm.split(color=0)
+            b = yield from comm.split(color=0)
+            return (a.comm_id, b.comm_id)
+
+        ids = run_program(program, 2)[0]
+        assert ids[0] != ids[1]
+
+
+class TestValidation:
+    def test_send_to_invalid_rank(self):
+        def program(ctx):
+            with pytest.raises(CommunicatorError):
+                yield from ctx.comm.send("x", dest=99)
+            return None
+
+        run_program(program, 2)
+
+    def test_negative_send_tag_rejected(self):
+        def program(ctx):
+            with pytest.raises(CommunicatorError):
+                yield from ctx.comm.send("x", dest=0, tag=-5)
+            return None
+
+        run_program(program, 1)
+
+    def test_bad_root_rejected(self):
+        def program(ctx):
+            with pytest.raises(CommunicatorError):
+                yield from ctx.comm.bcast("x", root=10)
+            return None
+
+        run_program(program, 2)
+
+    def test_translate_rank(self):
+        def program(ctx):
+            comm = ctx.comm
+            sub = yield from comm.split(color=0, key=-ctx.rank)
+            return sub.translate_rank(0)
+
+        # key reverses order: local 0 is world rank nranks-1.
+        assert run_program(program, 3)[0] == 2
+
+
+class TestSyntheticPayloads:
+    def test_explicit_nbytes_with_none_payload(self):
+        from repro.simmpi import Engine, TraceRecorder
+
+        tracer = TraceRecorder(2)
+
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                yield from comm.send(None, dest=1, tag=0, nbytes=12345)
+            else:
+                yield from comm.recv(source=0, tag=0)
+            return None
+
+        Engine(2, tracer=tracer).run(program)
+        assert tracer.bytes_matrix[1, 0] == 12345

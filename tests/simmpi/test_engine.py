@@ -1,0 +1,331 @@
+"""Engine-level tests: scheduling, matching, determinism, deadlock."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    DeadlockError,
+    Engine,
+    TraceRecorder,
+    run_program,
+)
+from repro.simmpi.network import LinkParameters, NetworkModel
+
+
+class TestBasicPingPong:
+    def test_two_rank_send_recv(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                yield from comm.send({"a": 7}, dest=1, tag=11)
+                return "sent"
+            data = yield from comm.recv(source=0, tag=11)
+            return data
+
+        results = run_program(program, 2)
+        assert results == ["sent", {"a": 7}]
+
+    def test_round_trip(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                yield from comm.send(21, dest=1)
+                doubled = yield from comm.recv(source=1)
+                return doubled
+            v = yield from comm.recv(source=0)
+            yield from comm.send(v * 2, dest=0)
+            return None
+
+        assert run_program(program, 2)[0] == 42
+
+    def test_numpy_payload_is_copied_at_send(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                buf = np.arange(4)
+                yield from comm.send(buf, dest=1, tag=0)
+                buf[:] = -1  # mutate after send: receiver must not see it
+                yield from comm.send(None, dest=1, tag=1)
+                return None
+            data = yield from comm.recv(source=0, tag=0)
+            yield from comm.recv(source=0, tag=1)
+            return data
+
+        received = run_program(program, 2)[1]
+        np.testing.assert_array_equal(received, np.arange(4))
+
+    def test_self_send(self):
+        def program(ctx):
+            comm = ctx.comm
+            yield from comm.isend("me", dest=0, tag=3)
+            return (yield from comm.recv(source=0, tag=3))
+
+        assert run_program(program, 1) == ["me"]
+
+
+class TestMatchingSemantics:
+    def test_tag_selectivity(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                yield from comm.send("first", dest=1, tag=1)
+                yield from comm.send("second", dest=1, tag=2)
+                return None
+            second = yield from comm.recv(source=0, tag=2)
+            first = yield from comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert run_program(program, 2)[1] == ("first", "second")
+
+    def test_non_overtaking_same_tag(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                for i in range(5):
+                    yield from comm.send(i, dest=1, tag=9)
+                return None
+            out = []
+            for _ in range(5):
+                out.append((yield from comm.recv(source=0, tag=9)))
+            return out
+
+        assert run_program(program, 2)[1] == [0, 1, 2, 3, 4]
+
+    def test_any_source(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                got = set()
+                for _ in range(2):
+                    payload, status = yield from comm.recv_status(
+                        source=ANY_SOURCE, tag=5
+                    )
+                    got.add((status.source, payload))
+                return got
+            yield from comm.send(f"from{ctx.rank}", dest=0, tag=5)
+            return None
+
+        got = run_program(program, 3)[0]
+        assert got == {(1, "from1"), (2, "from2")}
+
+    def test_any_tag(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                yield from comm.send("x", dest=1, tag=17)
+                return None
+            payload, status = yield from comm.recv_status(source=0, tag=ANY_TAG)
+            return (payload, status.tag, status.nbytes)
+
+        payload, tag, nbytes = run_program(program, 2)[1]
+        assert payload == "x"
+        assert tag == 17
+        assert nbytes > 0
+
+    def test_unexpected_message_queue(self):
+        # Send completes before the receive is posted; message parks in the
+        # unexpected queue and is matched later.
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                yield from comm.send("early", dest=1, tag=0)
+                return None
+            # Rank 1 does local work first (no yield), then receives.
+            ctx.advance(1.0)
+            return (yield from comm.recv(source=0, tag=0))
+
+        assert run_program(program, 2)[1] == "early"
+
+    def test_communicator_isolation(self):
+        # Same (source, tag) on two communicators must not cross-match.
+        def program(ctx):
+            comm = ctx.comm
+            sub = yield from comm.split(color=0)
+            if ctx.rank == 0:
+                yield from comm.send("world", dest=1, tag=4)
+                yield from sub.send("sub", dest=1, tag=4)
+                return None
+            a = yield from sub.recv(source=0, tag=4)
+            b = yield from comm.recv(source=0, tag=4)
+            return (a, b)
+
+        assert run_program(program, 2)[1] == ("sub", "world")
+
+
+class TestNonblocking:
+    def test_isend_irecv_waitall(self):
+        def program(ctx):
+            comm = ctx.comm
+            right = (ctx.rank + 1) % ctx.nranks
+            left = (ctx.rank - 1) % ctx.nranks
+            sreq = yield from comm.isend(ctx.rank, dest=right, tag=0)
+            rreq = yield from comm.irecv(source=left, tag=0)
+            results = yield from comm.waitall([sreq, rreq])
+            return results[1]
+
+        results = run_program(program, 4)
+        assert results == [3, 0, 1, 2]
+
+    def test_sendrecv_shift_does_not_deadlock(self):
+        def program(ctx):
+            comm = ctx.comm
+            right = (ctx.rank + 1) % ctx.nranks
+            left = (ctx.rank - 1) % ctx.nranks
+            return (
+                yield from comm.sendrecv(
+                    ctx.rank, dest=right, source=left, sendtag=2, recvtag=2
+                )
+            )
+
+        assert run_program(program, 8) == [7, 0, 1, 2, 3, 4, 5, 6]
+
+
+class TestDeadlockDetection:
+    def test_recv_without_send_raises(self):
+        def only_recv(ctx):
+            if ctx.rank == 1:
+                yield from ctx.comm.recv(source=0, tag=0)
+            else:
+                if False:
+                    yield
+            return None
+
+        with pytest.raises(DeadlockError) as exc:
+            run_program(only_recv, 2)
+        assert 1 in exc.value.blocked
+        assert "recv" in exc.value.blocked[1]
+
+    def test_mismatched_tags_deadlock(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                yield from comm.send("x", dest=1, tag=1)
+                yield from comm.recv(source=1, tag=1)
+            else:
+                yield from comm.recv(source=0, tag=2)  # wrong tag
+            return None
+
+        with pytest.raises(DeadlockError):
+            run_program(program, 2)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def program(ctx):
+            comm = ctx.comm
+            data = np.full(8, ctx.rank, dtype=np.float64)
+            total = yield from comm.allreduce(data)
+            yield from comm.barrier()
+            return float(total[0])
+
+        def run_once():
+            tracer = TraceRecorder(8)
+            engine = Engine(8, tracer=tracer)
+            results = engine.run(program)
+            return results, tracer.bytes_matrix.copy()
+
+        r1, m1 = run_once()
+        r2, m2 = run_once()
+        assert r1 == r2
+        np.testing.assert_array_equal(m1, m2)
+
+    def test_results_in_rank_order(self):
+        def program(ctx):
+            if False:
+                yield
+            return ctx.rank * 10
+
+        assert run_program(program, 5) == [0, 10, 20, 30, 40]
+
+
+class TestVirtualTime:
+    def test_transfer_time_advances_receiver_clock(self):
+        link = LinkParameters(latency_s=1.0, bandwidth_Bps=100.0)
+        network = NetworkModel(intra_node=link, inter_node=link)
+
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                yield from comm.send(None, dest=1, tag=0, nbytes=200)
+                return ctx.now
+            yield from comm.recv(source=0, tag=0)
+            return ctx.now
+
+        engine = Engine(2, network=network)
+        t_send, t_recv = engine.run(program)
+        # arrival = 0 + 1.0 latency + 200/100 transfer = 3.0
+        assert t_recv == pytest.approx(3.0)
+        assert t_send == pytest.approx(0.0)  # buffered send costs nothing
+
+    def test_compute_advance(self):
+        def program(ctx):
+            ctx.advance(2.5)
+            if False:
+                yield
+            return ctx.now
+
+        assert run_program(program, 1) == [2.5]
+
+    def test_recv_does_not_go_back_in_time(self):
+        link = LinkParameters(latency_s=0.0, bandwidth_Bps=float("inf"))
+        network = NetworkModel(intra_node=link, inter_node=link)
+
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                yield from comm.send(None, dest=1, tag=0)
+                return ctx.now
+            ctx.advance(5.0)  # receiver is already past the arrival time
+            yield from comm.recv(source=0, tag=0)
+            return ctx.now
+
+        engine = Engine(2, network=network)
+        assert engine.run(program)[1] == pytest.approx(5.0)
+
+    def test_negative_advance_rejected(self):
+        def program(ctx):
+            with pytest.raises(ValueError):
+                ctx.advance(-1.0)
+            if False:
+                yield
+            return None
+
+        run_program(program, 1)
+
+
+class TestEngineValidation:
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(0)
+
+    def test_non_generator_program_rejected(self):
+        def not_a_generator(ctx):
+            return 42
+
+        engine = Engine(1)
+        with pytest.raises(TypeError, match="generator"):
+            engine.run(not_a_generator)
+
+    def test_program_list_length_must_match(self):
+        def program(ctx):
+            if False:
+                yield
+            return None
+
+        engine = Engine(3)
+        with pytest.raises(ValueError):
+            engine.run([program, program])
+
+    def test_max_time_property(self):
+        def program(ctx):
+            ctx.advance(float(ctx.rank))
+            if False:
+                yield
+            return None
+
+        engine = Engine(4)
+        engine.run(program)
+        assert engine.max_time == pytest.approx(3.0)
+        assert engine.rank_times() == pytest.approx([0.0, 1.0, 2.0, 3.0])

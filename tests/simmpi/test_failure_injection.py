@@ -1,0 +1,70 @@
+"""Engine-level failure injection (the RankFailedError path)."""
+
+import pytest
+
+from repro.simmpi import DeadlockError, Engine, RankFailedError
+
+
+class TestFailureRanks:
+    def test_failed_rank_terminates_without_result(self):
+        """Failure strikes at the rank's next communication point."""
+        engine = Engine(2)
+        engine.failure_ranks.add(1)
+
+        def program(ctx):
+            yield from ctx.comm.isend(ctx.rank, dest=ctx.rank, tag=0)
+            return f"done-{ctx.rank}"
+
+        results = engine.run(program)
+        assert results[0] == "done-0"
+        assert results[1] is None
+
+    def test_purely_local_program_outruns_the_failure(self):
+        """A rank that never communicates cannot observe the injection —
+        crashes are modeled at communication points only."""
+        engine = Engine(1)
+        engine.failure_ranks.add(0)
+
+        def program(ctx):
+            ctx.advance(1.0)
+            if False:
+                yield
+            return "local-only"
+
+        assert engine.run(program) == ["local-only"]
+
+    def test_program_can_catch_and_cleanup(self):
+        """Programs may intercept the injected failure for cleanup, but the
+        engine still terminates them."""
+        cleaned = []
+
+        def program(ctx):
+            try:
+                yield from ctx.comm.barrier()
+            except RankFailedError:
+                cleaned.append(ctx.rank)
+                raise
+            return "survived"
+
+        engine = Engine(2)
+        engine.failure_ranks.add(0)
+        with pytest.raises(DeadlockError):
+            # Rank 1 blocks forever on the barrier with a dead partner:
+            # exactly the real-world symptom of an unhandled rank death.
+            engine.run(program)
+        assert cleaned == [0]
+
+    def test_partner_of_failed_rank_deadlocks_visibly(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                yield from comm.send("x", dest=1)
+            else:
+                yield from comm.recv(source=0)
+            return None
+
+        engine = Engine(2)
+        engine.failure_ranks.add(0)
+        with pytest.raises(DeadlockError) as err:
+            engine.run(program)
+        assert 1 in err.value.blocked

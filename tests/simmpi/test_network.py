@@ -1,0 +1,54 @@
+"""Network-model tests."""
+
+import pytest
+
+from repro.simmpi.network import LinkParameters, NetworkModel, zero_latency_network
+
+
+class TestLinkParameters:
+    def test_transfer_time(self):
+        link = LinkParameters(latency_s=1e-6, bandwidth_Bps=1e9)
+        assert link.transfer_time(0) == pytest.approx(1e-6)
+        assert link.transfer_time(10**9) == pytest.approx(1.0 + 1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkParameters(latency_s=-1.0, bandwidth_Bps=1.0)
+        with pytest.raises(ValueError):
+            LinkParameters(latency_s=0.0, bandwidth_Bps=0.0)
+
+
+class TestNetworkModel:
+    def test_default_all_ranks_on_own_node(self):
+        net = NetworkModel()
+        assert not net.same_node(0, 1)
+        assert net.node_of(5) == 5
+
+    def test_locator_callable(self):
+        net = NetworkModel(locator=lambda rank: rank // 4)
+        assert net.same_node(0, 3)
+        assert not net.same_node(3, 4)
+
+    def test_locator_object(self):
+        class Loc:
+            def node_of_rank(self, rank):
+                return rank // 2
+
+        net = NetworkModel(locator=Loc())
+        assert net.same_node(0, 1)
+        assert not net.same_node(1, 2)
+
+    def test_intra_vs_inter_selection(self):
+        intra = LinkParameters(latency_s=0.0, bandwidth_Bps=100.0)
+        inter = LinkParameters(latency_s=0.0, bandwidth_Bps=10.0)
+        net = NetworkModel(intra_node=intra, inter_node=inter, locator=lambda r: r // 2)
+        assert net.transfer_time(0, 1, 100) == pytest.approx(1.0)  # intra
+        assert net.transfer_time(0, 2, 100) == pytest.approx(10.0)  # inter
+
+    def test_self_transfer_is_free(self):
+        net = NetworkModel()
+        assert net.transfer_time(3, 3, 10**9) == 0.0
+
+    def test_zero_latency_network(self):
+        net = zero_latency_network()
+        assert net.transfer_time(0, 1, 10**12) == 0.0

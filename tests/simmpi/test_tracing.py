@@ -1,0 +1,115 @@
+"""Trace-recorder tests: accumulation, views, persistence, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simmpi import TraceRecorder
+
+
+class TestRecord:
+    def test_orientation_receiver_rows(self):
+        """Matrix is [receiver, sender], matching Fig. 5's axes."""
+        t = TraceRecorder(4)
+        t.record(src=1, dst=2, nbytes=100)
+        assert t.bytes_matrix[2, 1] == 100
+        assert t.bytes_matrix[1, 2] == 0
+
+    def test_accumulation(self):
+        t = TraceRecorder(2)
+        t.record(0, 1, 10)
+        t.record(0, 1, 5)
+        assert t.bytes_matrix[1, 0] == 15
+        assert t.count_matrix[1, 0] == 2
+        assert t.total_messages == 2
+        assert t.total_bytes == 15
+
+    def test_symmetric_view(self):
+        t = TraceRecorder(3)
+        t.record(0, 1, 10)
+        t.record(1, 0, 4)
+        sym = t.symmetric_bytes()
+        assert sym[0, 1] == sym[1, 0] == 14
+
+    def test_zoom(self):
+        t = TraceRecorder(8)
+        t.record(0, 1, 7)
+        t.record(6, 7, 9)
+        z = t.zoom(4)
+        assert z.shape == (4, 4)
+        assert z[1, 0] == 7
+
+    def test_zoom_bounds(self):
+        t = TraceRecorder(4)
+        with pytest.raises(ValueError):
+            t.zoom(5)
+        with pytest.raises(ValueError):
+            t.zoom(0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(0)
+
+    def test_kind_matrices(self):
+        t = TraceRecorder(2, by_kind=True)
+        t.record(0, 1, 10, kind="p2p")
+        t.record(0, 1, 20, kind="allgather")
+        assert t.kind_bytes("p2p")[1, 0] == 10
+        assert t.kind_bytes("allgather")[1, 0] == 20
+        assert t.kind_bytes("missing").sum() == 0
+
+    def test_kind_requires_flag(self):
+        t = TraceRecorder(2)
+        with pytest.raises(RuntimeError):
+            t.kind_bytes("p2p")
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        t = TraceRecorder(4, by_kind=True)
+        t.record(0, 1, 100, kind="p2p")
+        t.record(2, 3, 50, kind="bcast")
+        path = tmp_path / "trace.npz"
+        t.save(path)
+        loaded = TraceRecorder.load(path)
+        np.testing.assert_array_equal(loaded.bytes_matrix, t.bytes_matrix)
+        np.testing.assert_array_equal(loaded.count_matrix, t.count_matrix)
+        np.testing.assert_array_equal(
+            loaded.kind_bytes("bcast"), t.kind_bytes("bcast")
+        )
+        assert loaded.total_messages == 2
+        assert loaded.total_bytes == 150
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 7),
+                st.integers(0, 7),
+                st.integers(0, 10_000),
+            ),
+            max_size=50,
+        )
+    )
+    def test_totals_are_conserved(self, events):
+        """Sum of the matrix always equals the sum of recorded sizes."""
+        t = TraceRecorder(8)
+        for src, dst, n in events:
+            t.record(src, dst, n)
+        assert t.bytes_matrix.sum() == sum(n for _, _, n in events)
+        assert t.count_matrix.sum() == len(events)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(1, 100)),
+            max_size=30,
+        )
+    )
+    def test_symmetric_bytes_is_symmetric(self, events):
+        t = TraceRecorder(6)
+        for src, dst, n in events:
+            t.record(src, dst, n)
+        sym = t.symmetric_bytes()
+        np.testing.assert_array_equal(sym, sym.T)

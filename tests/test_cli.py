@@ -1,0 +1,62 @@
+"""CLI tests: every subcommand produces its exhibit."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figZ"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "TSUBAME2" in out and "1408" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--iterations", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "hierarchical-64-4" in out
+        assert "['hierarchical-64-4']" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--iterations", "10", "--sizes", "8", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "sweet spot: 32" in out
+
+    def test_fig4a(self, capsys):
+        assert main(["fig4a", "--sizes", "4", "8"]) == 0
+        assert "P[cat]" in capsys.readouterr().out
+
+    def test_fig4bc(self, capsys):
+        assert main(["fig4bc", "--iterations", "10", "--sizes", "32"]) == 0
+        assert "restart%" in capsys.readouterr().out
+
+    def test_fig5_small(self, capsys):
+        assert main(
+            ["fig5", "--nodes", "4", "--app-per-node", "4",
+             "--iterations", "6", "--checkpoint-every", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5a" in out and "Fig. 5b" in out
+
+    def test_radar(self, capsys):
+        assert main(["radar", "--iterations", "10"]) == 0
+        assert "inside baseline" in capsys.readouterr().out
+
+    def test_campaign(self, capsys):
+        assert main(
+            ["campaign", "--iterations", "10", "--days", "7",
+             "--node-mtbf-years", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "failure campaign" in out
+        assert "hierarchical-64-4" in out

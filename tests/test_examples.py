@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example must run green end to end.
+
+The examples are the library's front door; they execute as subprocesses
+exactly as a user would run them, and each must exit 0 with its headline
+output present.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, args, a string its stdout must contain)
+CASES = [
+    ("quickstart.py", [], "hierarchical clustering is the only"),
+    ("failure_recovery.py", [], "bit-identical"),
+    ("design_space_sweep.py", [], "sweet spot"),
+    ("trace_gallery.py", [], "Fig. 5b"),
+    ("checkpoint_interval_study.py", [], "waste"),
+    ("network_analysis.py", [], "all three agree exactly"),
+    ("month_of_failures.py", [], "Best end-to-end efficiency: hierarchical"),
+]
+
+
+def test_all_examples_are_covered():
+    """Every script in examples/ has a smoke case (no orphan examples)."""
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {name for name, _, _ in CASES}
+    assert shipped == covered
+
+
+@pytest.mark.parametrize("name,args,needle", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_green(name, args, needle):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert needle in proc.stdout

@@ -1,0 +1,62 @@
+"""Unit tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util import resolve_rng, spawn_rngs
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = resolve_rng(123).random(5)
+        b = resolve_rng(123).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = resolve_rng(1).random(8)
+        b = resolve_rng(2).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert resolve_rng(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(99)
+        out = resolve_rng(seq)
+        assert isinstance(out, np.random.Generator)
+
+    def test_numpy_integer_seed(self):
+        out = resolve_rng(np.int64(5))
+        assert isinstance(out, np.random.Generator)
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            resolve_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(42, 5)
+        assert len(children) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(42, 2)
+        a = children[0].random(16)
+        b = children[1].random(16)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_seed(self):
+        a = spawn_rngs(7, 3)[2].random(4)
+        b = spawn_rngs(7, 3)[2].random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_children(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)

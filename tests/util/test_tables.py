@@ -1,0 +1,48 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util import AsciiTable
+
+
+class TestAsciiTable:
+    def test_basic_render(self):
+        t = AsciiTable(["a", "bb"])
+        t.add_row([1, 22])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert lines[2].startswith("1")
+
+    def test_title(self):
+        t = AsciiTable(["x"], title="Table II")
+        t.add_row(["v"])
+        assert t.render().splitlines()[0] == "Table II"
+
+    def test_column_alignment(self):
+        t = AsciiTable(["method", "v"])
+        t.add_row(["hierarchical", 1])
+        t.add_row(["naive", 2])
+        lines = t.render().splitlines()
+        # Both value columns start at the same offset.
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_wrong_row_width_raises(self):
+        t = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_raises(self):
+        with pytest.raises(ValueError):
+            AsciiTable([])
+
+    def test_values_stringified(self):
+        t = AsciiTable(["a"])
+        t.add_row([3.14])
+        assert "3.14" in t.render()
+
+    def test_str_dunder(self):
+        t = AsciiTable(["a"])
+        t.add_row([1])
+        assert str(t) == t.render()

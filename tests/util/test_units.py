@@ -1,0 +1,134 @@
+"""Unit tests for repro.util.units."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_duration,
+    format_probability,
+    parse_size,
+)
+
+
+class TestConstants:
+    def test_kib(self):
+        assert KiB == 1024
+
+    def test_mib(self):
+        assert MiB == 1024**2
+
+    def test_gib(self):
+        assert GiB == 1024**3
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+    def test_kib(self):
+        assert format_bytes(1536) == "1.50 KiB"
+
+    def test_mib(self):
+        assert format_bytes(2 * MiB) == "2.00 MiB"
+
+    def test_gib(self):
+        assert format_bytes(GiB) == "1.00 GiB"
+
+    def test_tib(self):
+        assert format_bytes(3 * 1024 * GiB) == "3.00 TiB"
+
+    def test_negative(self):
+        assert format_bytes(-1536) == "-1.50 KiB"
+
+    def test_fractional(self):
+        assert format_bytes(0.5) == "0 B" or format_bytes(0.5).endswith("B")
+
+
+class TestParseSize:
+    def test_plain_int(self):
+        assert parse_size(42) == 42
+
+    def test_plain_float(self):
+        assert parse_size(42.7) == 42
+
+    def test_numeric_string(self):
+        assert parse_size("1000") == 1000
+
+    def test_binary_suffixes(self):
+        assert parse_size("4 GiB") == 4 * GiB
+        assert parse_size("2MiB") == 2 * MiB
+        assert parse_size("1 KiB") == KiB
+
+    def test_decimal_suffixes(self):
+        assert parse_size("1 kB") == 1000
+        assert parse_size("1GB") == 10**9
+
+    def test_case_insensitive(self):
+        assert parse_size("1gib") == GiB
+
+    def test_fractional_value(self):
+        assert parse_size("1.5 KiB") == 1536
+
+    def test_bare_b_suffix(self):
+        assert parse_size("17B") == 17
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("lots of bytes")
+
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_roundtrip_via_format_is_monotone(self, n):
+        # format is lossy (2 decimals) but parse(format(n)) stays within 1%.
+        text = format_bytes(n)
+        parsed = parse_size(text)
+        assert abs(parsed - n) <= max(1.0, 0.01 * n)
+
+
+class TestFormatDuration:
+    def test_milliseconds(self):
+        assert format_duration(0.0123) == "12.3 ms"
+
+    def test_seconds(self):
+        assert format_duration(51.0) == "51.0 s"
+
+    def test_minutes(self):
+        assert format_duration(204.0) == "3.4 min"
+
+    def test_hours(self):
+        assert format_duration(7200.0) == "2.00 h"
+
+    def test_negative(self):
+        assert format_duration(-51.0) == "-51.0 s"
+
+
+class TestFormatProbability:
+    def test_table2_values(self):
+        # These are the exact renderings Table II uses.
+        assert format_probability(1e-4) == "1e-4"
+        assert format_probability(0.95) == "0.95"
+        assert format_probability(1e-15) == "1e-15"
+        assert format_probability(1e-6) == "1e-6"
+
+    def test_zero(self):
+        assert format_probability(0.0) == "0"
+
+    def test_fixed_point(self):
+        assert format_probability(0.5) == "0.5"
+
+    def test_scientific_mantissa(self):
+        assert format_probability(3.2e-5) == "3.2e-5"
+
+    @given(st.floats(min_value=1e-30, max_value=1.0, allow_nan=False))
+    def test_never_raises(self, p):
+        out = format_probability(p)
+        assert isinstance(out, str) and out

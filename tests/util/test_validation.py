@@ -1,0 +1,66 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.util import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3.5) == 3.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0, strict=False) == 0
+
+    def test_rejects_negative_even_when_not_strict(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("y", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("y", 2.0, 1.0, 2.0) == 2.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("y", 1.0, 1.0, 2.0, inclusive=False)
+
+    def test_outside_raises(self):
+        with pytest.raises(ValueError, match="y"):
+            check_in_range("y", 5.0, 1.0, 2.0)
+
+
+class TestCheckProbability:
+    def test_accepts_unit_interval(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        assert check_probability("p", 0.5) == 0.5
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability("p", -0.1)
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 1024, 2**20])
+    def test_accepts_powers(self, n):
+        assert check_power_of_two("n", n) == n
+
+    @pytest.mark.parametrize("n", [0, -2, 3, 6, 12, 1000])
+    def test_rejects_non_powers(self, n):
+        with pytest.raises(ValueError):
+            check_power_of_two("n", n)
