@@ -5,6 +5,21 @@ evaluation section: it regenerates the same rows/series, prints them (run
 with ``-s`` to see the rendered exhibits), and asserts the paper's *shape*
 claims — orderings, crossovers and rough factors — hold. Absolute numbers
 are not expected to match: the substrate is a simulator, not TSUBAME2.
+
+Performance notes
+-----------------
+The sampling-heavy benches (``bench_montecarlo_validation``,
+``bench_campaign``) run on the batched evaluation engine: failure events
+are drawn as whole NumPy batches and scored by indexing the precomputed
+per-(clustering, placement) lookup tables of :mod:`repro.core.tables`,
+which the session-scoped fixtures below implicitly share across benches
+(tables are memoized on the clustering/placement objects). To profile the
+hot path or record the perf trajectory, run
+``PYTHONPATH=src python benchmarks/record_bench.py`` — it times the scalar
+reference path against the batched engine at ``n_samples=2000`` and
+appends samples/sec to ``BENCH_montecarlo.json``; for finer profiling,
+``python -m cProfile -m benchmarks.record_bench`` attributes the remaining
+time (it should be RNG draws and table lookups, not per-event Python).
 """
 
 from __future__ import annotations

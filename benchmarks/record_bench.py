@@ -1,0 +1,207 @@
+"""Record the Monte-Carlo / campaign perf trajectory into a JSON artifact.
+
+Runs the failure-sampling hot paths both ways — the per-event scalar
+reference (``montecarlo_scores_scalar``) and the batched engine
+(``montecarlo_scores``) — on the TSUBAME2 paper scenario, times a batched
+month-long campaign sweep, and *appends* one record to
+``BENCH_montecarlo.json`` at the repo root. Future PRs rerun this script so
+the samples/sec curve (before vs after each change) is tracked in-tree.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_bench.py [--n-samples 2000]
+
+The script asserts the two paths are statistically equivalent at a fixed
+seed and that the batched path clears the 10× floor the batching work
+promised, so a perf regression fails loudly rather than silently bending
+the curve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.clustering import (
+    distributed_clustering,
+    hierarchical_clustering,
+    naive_clustering,
+    size_guided_clustering,
+)
+from repro.core import (
+    montecarlo_scores,
+    montecarlo_scores_scalar,
+    paper_scenario,
+)
+from repro.models import CampaignConfig, CampaignSimulator
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_montecarlo.json"
+MIN_SPEEDUP = 10.0
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=ARTIFACT.parent,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _strategies(scenario):
+    return [
+        naive_clustering(1024, 32),
+        size_guided_clustering(1024, 8),
+        distributed_clustering(scenario.placement, 16),
+        hierarchical_clustering(
+            scenario.node_comm_graph(),
+            scenario.placement,
+            cost=scenario.partition_cost,
+        ),
+    ]
+
+
+def time_montecarlo(scenario, strategies, n_samples: int, seed: int = 42):
+    """Time scalar vs batched sampling; assert statistical equivalence."""
+    per_strategy = []
+    scalar_total = batched_total = 0.0
+    for clustering in strategies:
+        # Warm the lookup-table caches outside the timed region so both
+        # paths are measured on identical footing.
+        montecarlo_scores(scenario, clustering, n_samples=2, rng=0)
+
+        t0 = time.perf_counter()
+        scalar = montecarlo_scores_scalar(
+            scenario, clustering, n_samples=n_samples, rng=seed
+        )
+        t1 = time.perf_counter()
+        batched = montecarlo_scores(
+            scenario, clustering, n_samples=n_samples, rng=seed
+        )
+        t2 = time.perf_counter()
+
+        if (
+            abs(batched.restart_fraction_mean - scalar.restart_fraction_mean)
+            >= 0.01
+            or abs(batched.catastrophic_rate - scalar.catastrophic_rate)
+            >= 0.03
+        ):
+            raise RuntimeError(
+                f"{clustering.name}: batched and scalar paths disagree — "
+                f"restart {batched.restart_fraction_mean:.4f} vs "
+                f"{scalar.restart_fraction_mean:.4f}, cat rate "
+                f"{batched.catastrophic_rate:.4f} vs "
+                f"{scalar.catastrophic_rate:.4f}"
+            )
+
+        scalar_s, batched_s = t1 - t0, t2 - t1
+        scalar_total += scalar_s
+        batched_total += batched_s
+        per_strategy.append(
+            {
+                "clustering": clustering.name,
+                "scalar_s": round(scalar_s, 6),
+                "batched_s": round(batched_s, 6),
+                "speedup": round(scalar_s / batched_s, 1),
+                "restart_fraction_mean": round(
+                    batched.restart_fraction_mean, 6
+                ),
+                "catastrophic_rate": round(batched.catastrophic_rate, 6),
+            }
+        )
+    return {
+        "n_samples": n_samples,
+        "scalar_samples_per_s": round(
+            n_samples * len(strategies) / scalar_total
+        ),
+        "batched_samples_per_s": round(
+            n_samples * len(strategies) / batched_total
+        ),
+        "speedup": round(scalar_total / batched_total, 1),
+        "per_strategy": per_strategy,
+    }
+
+
+def time_campaign(scenario, strategies, n_runs: int = 3):
+    """Time the batched month-long campaign sweep of ``bench_campaign``."""
+    simulator = CampaignSimulator(
+        scenario.machine,
+        CampaignConfig(
+            horizon_s=30 * 24 * 3600.0,
+            checkpoint_interval_s=1800.0,
+            node_mtbf_s=0.25 * 365 * 24 * 3600.0,
+        ),
+    )
+    t0 = time.perf_counter()
+    n_failures = 0
+    for i, clustering in enumerate(strategies):
+        for k in range(n_runs):
+            n_failures += simulator.run(clustering, rng=100 * i + k).n_failures
+    elapsed = time.perf_counter() - t0
+    return {
+        "campaigns": len(strategies) * n_runs,
+        "total_failures": n_failures,
+        "total_s": round(elapsed, 4),
+        "campaigns_per_s": round(len(strategies) * n_runs / elapsed, 1),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-samples", type=int, default=2000)
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=5,
+        help="tsunami iterations for the scenario graph (perf-irrelevant)",
+    )
+    args = parser.parse_args()
+
+    scenario = paper_scenario(iterations=args.iterations)
+    strategies = _strategies(scenario)
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": _git_rev(),
+        "scenario": scenario.name,
+        "montecarlo": time_montecarlo(scenario, strategies, args.n_samples),
+        "campaign": time_campaign(scenario, strategies),
+    }
+
+    # Gate before recording: a regressed run must fail loudly, not bend
+    # the in-tree trajectory.
+    mc = record["montecarlo"]
+    if mc["speedup"] < MIN_SPEEDUP:
+        raise RuntimeError(
+            f"batched Monte-Carlo regressed to {mc['speedup']}x "
+            f"(floor {MIN_SPEEDUP}x) — not recording"
+        )
+
+    trajectory = []
+    if ARTIFACT.exists():
+        trajectory = json.loads(ARTIFACT.read_text())
+    trajectory.append(record)
+    ARTIFACT.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    print(
+        f"montecarlo: scalar {mc['scalar_samples_per_s']}/s, "
+        f"batched {mc['batched_samples_per_s']}/s "
+        f"({mc['speedup']}x)"
+    )
+    print(
+        f"campaign: {record['campaign']['campaigns']} campaigns in "
+        f"{record['campaign']['total_s']}s"
+    )
+    print(f"recorded -> {ARTIFACT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -98,6 +98,17 @@ def cmd_radar(args) -> int:
     return 0
 
 
+def cmd_montecarlo(args) -> int:
+    from repro.core import experiment_montecarlo
+
+    print(
+        experiment_montecarlo(
+            _scenario(args), n_samples=args.samples, rng=args.seed
+        )
+    )
+    return 0
+
+
 def cmd_campaign(args) -> int:
     from repro.clustering import (
         distributed_clustering,
@@ -191,6 +202,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("radar", help="Fig. 5c — normalized comparison")
     _add_scenario_args(p)
     p.set_defaults(func=cmd_radar)
+
+    p = sub.add_parser(
+        "montecarlo",
+        help="Monte-Carlo cross-validation of Table II (batched sampling)",
+    )
+    _add_scenario_args(p)
+    p.add_argument(
+        "--samples", type=int, default=2000,
+        help="failure events sampled per strategy (default 2000)",
+    )
+    p.add_argument("--seed", type=int, default=2012)
+    p.set_defaults(func=cmd_montecarlo)
 
     p = sub.add_parser(
         "campaign", help="long-run failure campaign (4 dims composed)"

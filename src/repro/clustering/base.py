@@ -57,17 +57,43 @@ class Clustering:
                 )
             object.__setattr__(self, "l2_labels", l2)
             self._check_nesting()
+        # Memoization slot for derived lookup structures (sizes, label
+        # matrices, per-placement evaluation tables). The labels are frozen,
+        # so anything derived from them can be computed exactly once.
+        object.__setattr__(self, "_derived", {})
 
     def _check_nesting(self) -> None:
         """Every L2 cluster must live inside exactly one L1 cluster."""
-        for l2_id in range(self.n_l2_clusters):
-            members = np.flatnonzero(self.l2_labels == l2_id)
-            owners = np.unique(self.l1_labels[members])
-            if owners.size != 1:
-                raise ValueError(
-                    f"L2 cluster {l2_id} spans L1 clusters {owners.tolist()}: "
-                    "encoding clusters must checkpoint/restart as one unit"
-                )
+        pairs = np.unique(
+            np.stack([self.l2_labels, self.l1_labels], axis=0), axis=1
+        )
+        owners_per_l2 = np.bincount(pairs[0], minlength=self.n_l2_clusters)
+        split = np.flatnonzero(owners_per_l2 > 1)
+        if split.size:
+            l2_id = int(split[0])
+            owners = pairs[1, pairs[0] == l2_id]
+            raise ValueError(
+                f"L2 cluster {l2_id} spans L1 clusters {owners.tolist()}: "
+                "encoding clusters must checkpoint/restart as one unit"
+            )
+
+    # -- derived-structure cache ---------------------------------------------
+
+    def cached(self, key, build):
+        """Memoize ``build()`` under ``key`` for this clustering's lifetime.
+
+        The hook the evaluation tables (:mod:`repro.core.tables`) use to
+        attach per-(clustering, placement) lookup structures; cached values
+        must be treated as read-only by every consumer. Entries live as
+        long as the clustering does and are never evicted — sweeps that
+        pair one long-lived clustering with very many placements should
+        use fresh clustering objects per placement batch.
+        """
+        try:
+            return self._derived[key]
+        except KeyError:
+            value = self._derived[key] = build()
+            return value
 
     # -- shape ---------------------------------------------------------------
 
@@ -127,12 +153,18 @@ class Clustering:
     # -- statistics -------------------------------------------------------------
 
     def l1_sizes(self) -> np.ndarray:
-        """Member counts per L1 cluster."""
-        return np.bincount(self.l1_labels, minlength=self.n_l1_clusters)
+        """Member counts per L1 cluster (cached; treat as read-only)."""
+        return self.cached(
+            "l1_sizes",
+            lambda: np.bincount(self.l1_labels, minlength=self.n_l1_clusters),
+        )
 
     def l2_sizes(self) -> np.ndarray:
-        """Member counts per L2 cluster."""
-        return np.bincount(self.l2_labels, minlength=self.n_l2_clusters)
+        """Member counts per L2 cluster (cached; treat as read-only)."""
+        return self.cached(
+            "l2_sizes",
+            lambda: np.bincount(self.l2_labels, minlength=self.n_l2_clusters),
+        )
 
     def l2_node_spread(self, node_of) -> np.ndarray:
         """Distinct node count per L2 cluster under mapping ``node_of``.
@@ -140,11 +172,11 @@ class Clustering:
         ``node_of`` maps a process index to its node; the reliability of the
         erasure code is entirely determined by this spread (§II-C1).
         """
-        spreads = np.empty(self.n_l2_clusters, dtype=np.int64)
-        for c in range(self.n_l2_clusters):
-            members = self.l2_members(c)
-            spreads[c] = len({node_of(int(p)) for p in members})
-        return spreads
+        nodes = np.fromiter(
+            (node_of(int(p)) for p in range(self.n)), dtype=np.int64, count=self.n
+        )
+        pairs = np.unique(np.stack([self.l2_labels, nodes], axis=0), axis=1)
+        return np.bincount(pairs[0], minlength=self.n_l2_clusters)
 
     # -- internals -----------------------------------------------------------
 

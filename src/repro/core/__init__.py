@@ -11,13 +11,22 @@ from repro.core.experiments import (
     experiment_fig4bc,
     experiment_fig5ab,
     experiment_fig5c,
+    experiment_montecarlo,
     experiment_table1,
     experiment_table2,
 )
 from repro.core.montecarlo import (
     MonteCarloScores,
+    analytic_restart_mixture,
     montecarlo_scores,
+    montecarlo_scores_scalar,
     validate_against_analytic,
+)
+from repro.core.tables import (
+    CatastrophicTables,
+    RestartTables,
+    catastrophic_tables,
+    restart_tables,
 )
 from repro.core.plotting import ascii_bars, ascii_heatmap, radar_table
 from repro.core.scenario import (
@@ -31,27 +40,34 @@ from repro.core.scenario import (
 default_tsunami_scenario = paper_scenario
 
 __all__ = [
+    "CatastrophicTables",
     "ClusterSizeStudy",
     "ClusteringEvaluator",
     "DistributionStudy",
     "EvaluationReport",
     "MonteCarloScores",
     "PAPER_PARTITION_COST",
+    "RestartTables",
     "Scenario",
     "TraceStudy",
+    "analytic_restart_mixture",
     "ascii_bars",
     "ascii_heatmap",
+    "catastrophic_tables",
     "default_tsunami_scenario",
     "experiment_fig3",
     "experiment_fig4a",
     "experiment_fig4bc",
     "experiment_fig5ab",
     "experiment_fig5c",
+    "experiment_montecarlo",
     "experiment_table1",
     "experiment_table2",
     "montecarlo_scores",
+    "montecarlo_scores_scalar",
     "paper_scenario",
     "radar_table",
     "reliability_scenario",
+    "restart_tables",
     "validate_against_analytic",
 ]

@@ -27,10 +27,10 @@ from repro.clustering.strategies import (
     size_guided_clustering,
 )
 from repro.core.scenario import Scenario
-from repro.failures.catastrophic import CatastrophicModel
+from repro.core.tables import restart_tables
+from repro.failures.catastrophic import CatastrophicModel, rs_half_tolerance
 from repro.models.baseline import PAPER_BASELINE, BaselineRequirements, FourDimScore
 from repro.models.encoding_time import EncodingTimeModel
-from repro.models.recovery_cost import expected_restart_fraction
 from repro.util.tables import AsciiTable
 
 
@@ -104,7 +104,14 @@ class EvaluationReport:
 
 
 class ClusteringEvaluator:
-    """Scores clusterings on one scenario; builds the paper's strategy set."""
+    """Scores clusterings on one scenario; builds the paper's strategy set.
+
+    Scoring goes through the precomputed per-(clustering, placement) lookup
+    tables (:mod:`repro.core.tables`), which are cached and keyed by the
+    scenario placement and ``tolerance`` — a Table II sweep over many
+    strategies computes each placement-derived table exactly once, and
+    repeated evaluations of the same clustering are pure lookups.
+    """
 
     def __init__(
         self,
@@ -112,12 +119,14 @@ class ClusteringEvaluator:
         *,
         baseline: BaselineRequirements = PAPER_BASELINE,
         encoding_model: EncodingTimeModel | None = None,
+        tolerance=rs_half_tolerance,
     ):
         self.scenario = scenario
         self.baseline = baseline
         self.encoding_model = encoding_model or EncodingTimeModel()
+        self.tolerance = tolerance
         self.catastrophic = CatastrophicModel(
-            scenario.placement, taxonomy=scenario.taxonomy
+            scenario.placement, taxonomy=scenario.taxonomy, tolerance=tolerance
         )
 
     @classmethod
@@ -134,14 +143,13 @@ class ClusteringEvaluator:
     def evaluate(self, clustering: Clustering) -> FourDimScore:
         """Score one clustering along all four dimensions."""
         scenario = self.scenario
+        recovery = restart_tables(clustering, scenario.placement)
         return FourDimScore(
             name=clustering.name,
             logging_fraction=scenario.graph.logged_fraction(
                 clustering.l1_labels
             ),
-            recovery_fraction=expected_restart_fraction(
-                clustering, scenario.placement
-            ),
+            recovery_fraction=float(recovery.node_restart_fraction.mean()),
             encoding_s_per_gb=self.encoding_model.seconds_per_gb(
                 self.typical_l2_size(clustering)
             ),

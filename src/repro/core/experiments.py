@@ -5,6 +5,12 @@ returns a structured result with a ``render()`` for terminal display; the
 benchmark harness (``benchmarks/``) wraps these, printing the same rows or
 series the paper reports and asserting the *shape* claims (orderings,
 crossovers, factors) hold.
+
+All model-derived columns are served from the precomputed lookup tables of
+:mod:`repro.core.tables`, cached per (clustering, placement): sweeping the
+same strategies across figures reuses each table instead of recomputing it,
+and the Monte-Carlo cross-check (:func:`experiment_montecarlo`) scores its
+sampled event batches by pure array indexing.
 """
 
 from __future__ import annotations
@@ -267,6 +273,62 @@ def experiment_table2(scenario: Scenario | None = None) -> EvaluationReport:
     """Table II: the four strategies scored on all four dimensions."""
     evaluator = ClusteringEvaluator(scenario or paper_scenario())
     return evaluator.evaluate_all()
+
+
+def experiment_montecarlo(
+    scenario: Scenario | None = None,
+    *,
+    n_samples: int = 2000,
+    rng=0,
+) -> str:
+    """Monte-Carlo cross-validation of Table II's model-derived columns.
+
+    Samples ``n_samples`` failures per strategy through the batched engine
+    and renders analytic vs sampled restart fraction and catastrophic rate
+    side by side. The analytic restart column is the full event-mixture
+    expectation (soft + node, :func:`repro.core.montecarlo
+    .analytic_restart_mixture`) so the two columns estimate the same
+    quantity. Note the sampled side scores events against the same cached
+    lookup tables the closed forms average over — agreement checks the
+    probability-weighting of the models and the sampler, while the
+    per-event equivalence tests (``tests/core/test_eval_tables.py``) pin
+    the tables themselves to independent scalar predicates.
+    """
+    from repro.core.montecarlo import analytic_restart_mixture, montecarlo_scores
+    from repro.util.rng import spawn_rngs
+
+    scenario = scenario or paper_scenario()
+    evaluator = ClusteringEvaluator(scenario)
+    strategies = evaluator.paper_strategies()
+    model = evaluator.catastrophic
+    table = AsciiTable(
+        [
+            "clustering",
+            "restart (analytic)",
+            "restart (sampled)",
+            "P[cat] (analytic)",
+            "cat rate (sampled)",
+        ],
+        title=f"Monte-Carlo validation ({n_samples} failures per strategy)",
+    )
+    for clustering, gen in zip(strategies, spawn_rngs(rng, len(strategies))):
+        mc = montecarlo_scores(
+            scenario,
+            clustering,
+            n_samples=n_samples,
+            rng=gen,
+            tolerance=evaluator.tolerance,
+        )
+        table.add_row(
+            [
+                clustering.name,
+                f"{100 * analytic_restart_mixture(scenario, clustering):.2f}%",
+                f"{100 * mc.restart_fraction_mean:.2f}%",
+                format_probability(model.probability(clustering)),
+                format_probability(mc.catastrophic_rate),
+            ]
+        )
+    return table.render()
 
 
 def experiment_fig5c(scenario: Scenario | None = None) -> str:

@@ -6,6 +6,21 @@ failure events from the same taxonomy, apply each to the clustering, and
 measure the restart fraction and catastrophic rate directly. The analytic
 and sampled values must agree within sampling error — a cross-validation
 that guards the whole evaluation against model-implementation drift.
+
+Performance notes
+-----------------
+:func:`montecarlo_scores` is fully batched: the estimator draws every
+event kind, victim process, cascade length and run start in one set of
+NumPy calls (:meth:`MonteCarloEstimator.sample_events
+<repro.failures.catastrophic.MonteCarloEstimator.sample_events>`), and
+scoring is pure array indexing into the precomputed per-(clustering,
+placement) lookup tables of :mod:`repro.core.tables` — restart fraction
+and catastrophic verdict of every possible contiguous node run are
+computed once and reused across samples, seeds and strategies. The
+per-event loop survives as :func:`montecarlo_scores_scalar`, the reference
+implementation the equivalence tests compare against; it is 10–100×
+slower. Profile with ``benchmarks/record_bench.py``, which times both
+paths and records samples/sec into ``BENCH_montecarlo.json``.
 """
 
 from __future__ import annotations
@@ -16,7 +31,12 @@ import numpy as np
 
 from repro.clustering.base import Clustering
 from repro.core.scenario import Scenario
-from repro.failures.catastrophic import CatastrophicModel, MonteCarloEstimator
+from repro.core.tables import restart_tables
+from repro.failures.catastrophic import (
+    CatastrophicModel,
+    MonteCarloEstimator,
+    rs_half_tolerance,
+)
 from repro.models.recovery_cost import restart_set_for_nodes
 from repro.util.rng import resolve_rng
 
@@ -42,23 +62,94 @@ class MonteCarloScores:
         )
 
 
+def _scores_from_samples(
+    name: str, restart_fractions: np.ndarray, catastrophic: int, soft: int
+) -> MonteCarloScores:
+    n_samples = restart_fractions.size
+    return MonteCarloScores(
+        name=name,
+        n_samples=n_samples,
+        restart_fraction_mean=float(restart_fractions.mean()),
+        restart_fraction_p95=float(np.quantile(restart_fractions, 0.95)),
+        catastrophic_rate=catastrophic / n_samples,
+        soft_error_share=soft / n_samples,
+    )
+
+
+def analytic_restart_mixture(scenario: Scenario, clustering: Clustering) -> float:
+    """Analytic expected restart fraction under the full event mixture.
+
+    Soft errors restart one cluster (size-weighted mean of the process's
+    own cluster), node events ~ the single-node expectation (multi-node
+    cascades are vanishingly rare) — the closed form the sampled
+    ``restart_fraction_mean`` must converge to.
+    """
+    from repro.models.recovery_cost import expected_restart_fraction
+
+    p_soft = scenario.taxonomy.p_soft
+    mean_cluster = float(
+        (clustering.l1_sizes() ** 2).sum() / clustering.n**2
+    )
+    analytic_node = expected_restart_fraction(clustering, scenario.placement)
+    return p_soft * mean_cluster + (1 - p_soft) * analytic_node
+
+
 def montecarlo_scores(
     scenario: Scenario,
     clustering: Clustering,
     *,
     n_samples: int = 2000,
     rng=None,
+    tolerance=rs_half_tolerance,
 ) -> MonteCarloScores:
     """Sample failures and measure restart fraction + catastrophic rate.
 
     Soft errors roll back the process's own L1 cluster; node events roll
     back the union of the affected clusters (exactly the protocol's
-    restart-set rule, :func:`repro.models.restart_set_for_nodes`).
+    restart-set rule, :func:`repro.models.restart_set_for_nodes`). The
+    whole batch is drawn and scored with a handful of array operations —
+    see the module's performance notes. ``tolerance`` must match the
+    erasure configuration of the analytic model being validated (e.g.
+    ``xor_tolerance`` when the evaluator scores XOR parity).
     """
     if n_samples < 1:
         raise ValueError("n_samples must be >= 1")
     gen = resolve_rng(rng)
-    model = CatastrophicModel(scenario.placement, taxonomy=scenario.taxonomy)
+    model = CatastrophicModel(
+        scenario.placement, taxonomy=scenario.taxonomy, tolerance=tolerance
+    )
+    sampler = MonteCarloEstimator(model, rng=gen)
+
+    batch = sampler.sample_events(n_samples)
+    tables = restart_tables(clustering, scenario.placement)
+    restart_fractions = tables.batch_restart_fractions(batch)
+    catastrophic = int(model.events_are_catastrophic(clustering, batch).sum())
+    return _scores_from_samples(
+        clustering.name, restart_fractions, catastrophic, int(batch.is_soft.sum())
+    )
+
+
+def montecarlo_scores_scalar(
+    scenario: Scenario,
+    clustering: Clustering,
+    *,
+    n_samples: int = 2000,
+    rng=None,
+    tolerance=rs_half_tolerance,
+) -> MonteCarloScores:
+    """Per-event reference implementation of :func:`montecarlo_scores`.
+
+    Walks every sampled event through the scalar predicates — the original
+    sample-then-measure loop. Kept (and exercised by the equivalence tests)
+    as the ground truth the batched engine must reproduce; use the batched
+    path everywhere else.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    gen = resolve_rng(rng)
+    model = CatastrophicModel(
+        scenario.placement, taxonomy=scenario.taxonomy, tolerance=tolerance
+    )
     sampler = MonteCarloEstimator(model, rng=gen)
 
     restart_fractions = np.empty(n_samples)
@@ -79,13 +170,8 @@ def montecarlo_scores(
         if model.event_is_catastrophic(clustering, event):
             catastrophic += 1
 
-    return MonteCarloScores(
-        name=clustering.name,
-        n_samples=n_samples,
-        restart_fraction_mean=float(restart_fractions.mean()),
-        restart_fraction_p95=float(np.quantile(restart_fractions, 0.95)),
-        catastrophic_rate=catastrophic / n_samples,
-        soft_error_share=soft / n_samples,
+    return _scores_from_samples(
+        clustering.name, restart_fractions, catastrophic, soft
     )
 
 
@@ -96,6 +182,7 @@ def validate_against_analytic(
     n_samples: int = 2000,
     rng=None,
     restart_tolerance: float = 0.02,
+    tolerance=rs_half_tolerance,
 ) -> dict[str, float]:
     """Run the Monte Carlo and compare with the analytic models.
 
@@ -103,23 +190,14 @@ def validate_against_analytic(
     sampled restart fraction strays beyond ``restart_tolerance`` of the
     analytic node-failure expectation (adjusted for the soft-error mix).
     """
-    from repro.models.recovery_cost import expected_restart_fraction
-
     mc = montecarlo_scores(
-        scenario, clustering, n_samples=n_samples, rng=rng
+        scenario, clustering, n_samples=n_samples, rng=rng, tolerance=tolerance
     )
-    analytic_node = expected_restart_fraction(clustering, scenario.placement)
-    model = CatastrophicModel(scenario.placement, taxonomy=scenario.taxonomy)
+    model = CatastrophicModel(
+        scenario.placement, taxonomy=scenario.taxonomy, tolerance=tolerance
+    )
     analytic_cat = model.probability(clustering)
-
-    # Analytic expectation under the event mixture: soft errors restart one
-    # cluster (size of the process's own cluster), node events ~ the
-    # single-node expectation (multi-node cascades are vanishingly rare).
-    p_soft = scenario.taxonomy.p_soft
-    mean_cluster = float(
-        (clustering.l1_sizes() ** 2).sum() / clustering.n**2
-    )
-    analytic_mixture = p_soft * mean_cluster + (1 - p_soft) * analytic_node
+    analytic_mixture = analytic_restart_mixture(scenario, clustering)
 
     deviation = abs(mc.restart_fraction_mean - analytic_mixture)
     if deviation > restart_tolerance:

@@ -7,7 +7,12 @@ from repro.failures.catastrophic import (
     rs_half_tolerance,
     xor_tolerance,
 )
-from repro.failures.events import PAPER_TAXONOMY, FailureEvent, FailureTaxonomy
+from repro.failures.events import (
+    PAPER_TAXONOMY,
+    EventBatch,
+    FailureEvent,
+    FailureTaxonomy,
+)
 from repro.failures.injector import (
     FailureInjector,
     FailureScenario,
@@ -17,6 +22,7 @@ from repro.failures.mtbf import MTBFModel
 
 __all__ = [
     "CatastrophicModel",
+    "EventBatch",
     "FailureEvent",
     "FailureInjector",
     "FailureScenario",

@@ -30,7 +30,12 @@ from typing import Callable
 import numpy as np
 
 from repro.clustering.base import Clustering
-from repro.failures.events import FailureEvent, FailureTaxonomy, PAPER_TAXONOMY
+from repro.failures.events import (
+    EventBatch,
+    FailureEvent,
+    FailureTaxonomy,
+    PAPER_TAXONOMY,
+)
 from repro.machine.placement import Placement
 from repro.util.rng import resolve_rng
 
@@ -71,52 +76,45 @@ class CatastrophicModel:
 
     # -- core predicate ---------------------------------------------------
 
+    def _tables(self, clustering: Clustering):
+        """Cached lookup tables for ``clustering`` under this model's
+        placement and tolerance (see :mod:`repro.core.tables`)."""
+        # Imported lazily: repro.core's package init imports back into
+        # repro.failures, so a module-level import would cycle.
+        from repro.core.tables import catastrophic_tables
+
+        return catastrophic_tables(clustering, self.placement, self.tolerance)
+
     def _membership_matrix(self, clustering: Clustering) -> np.ndarray:
-        """``M[c, node]`` = members of L2 cluster ``c`` hosted on ``node``."""
-        k = clustering.n_l2_clusters
-        n_nodes = self.placement.nnodes
-        m = np.zeros((k, n_nodes), dtype=np.int64)
-        for rank in range(clustering.n):
-            node = self.placement.node_of_rank(rank)
-            m[clustering.l2_labels[rank], node] += 1
-        return m
+        """``M[c, node]`` = members of L2 cluster ``c`` hosted on ``node``.
+
+        Precomputed once per (clustering, placement, tolerance) and cached
+        on the clustering — treat as read-only.
+        """
+        return self._tables(clustering).membership
 
     def event_is_catastrophic(
         self, clustering: Clustering, event: FailureEvent
     ) -> bool:
         """Whether one concrete event exceeds some cluster's tolerance."""
+        tables = self._tables(clustering)
         if event.kind == "soft":
             # A single process loss is always rebuildable (local copy and,
             # failing that, one erasure within any cluster of size >= 2).
-            size = int(
-                clustering.l2_sizes()[clustering.l2_of(event.process)]
-            )
-            return self.tolerance(size) < 1 and size > 1
-        membership = self._membership_matrix(clustering)
-        lost = membership[:, list(event.nodes)].sum(axis=1)
-        sizes = clustering.l2_sizes()
-        tolerances = np.array([self.tolerance(int(s)) for s in sizes])
-        return bool((lost > tolerances).any())
+            return bool(tables.soft_catastrophic[event.process])
+        return tables.nodes_catastrophic(event.nodes)
+
+    def events_are_catastrophic(
+        self, clustering: Clustering, batch: EventBatch
+    ) -> np.ndarray:
+        """Vectorized :meth:`event_is_catastrophic` over a sampled batch."""
+        return self._tables(clustering).batch_catastrophic(batch)
 
     # -- exact probability --------------------------------------------------
 
     def breaking_run_fraction(self, clustering: Clustering, f: int) -> float:
         """Fraction of length-``f`` contiguous node runs that are catastrophic."""
-        n_nodes = self.placement.nnodes
-        f = min(f, n_nodes)
-        membership = self._membership_matrix(clustering)
-        sizes = clustering.l2_sizes()
-        tolerances = np.array([self.tolerance(int(s)) for s in sizes])
-        # Prefix sums over nodes -> members lost per (cluster, run start).
-        prefix = np.concatenate(
-            [np.zeros((membership.shape[0], 1), dtype=np.int64),
-             np.cumsum(membership, axis=1)],
-            axis=1,
-        )
-        starts = n_nodes - f + 1
-        lost = prefix[:, f : f + starts] - prefix[:, :starts]
-        breaking = (lost > tolerances[:, None]).any(axis=0)
-        return float(breaking.mean())
+        return float(self._tables(clustering).run_catastrophic(f).mean())
 
     def probability(self, clustering: Clustering) -> float:
         """P(catastrophic | a failure event occurs) — Table II's column."""
@@ -148,7 +146,7 @@ class MonteCarloEstimator:
         self.rng = resolve_rng(rng)
 
     def sample_event(self) -> FailureEvent:
-        """Draw one failure event."""
+        """Draw one failure event (the scalar reference path)."""
         taxonomy = self.model.taxonomy
         placement = self.model.placement
         if self.rng.random() < taxonomy.p_soft:
@@ -161,13 +159,37 @@ class MonteCarloEstimator:
         start = int(self.rng.integers(placement.nnodes - f + 1))
         return FailureEvent(kind="node", nodes=tuple(range(start, start + f)))
 
+    def sample_events(self, n: int) -> EventBatch:
+        """Draw ``n`` failure events with a fixed number of NumPy calls.
+
+        Every event kind, victim process, cascade length and run start is
+        drawn as one array — no per-event Python. The batch draws each
+        quantity for all ``n`` events (soft events simply ignore their run
+        columns and vice versa), so the RNG stream differs from ``n`` calls
+        to :meth:`sample_event`; under a fixed seed the two paths are
+        *statistically* equivalent, which the equivalence tests assert.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        taxonomy = self.model.taxonomy
+        placement = self.model.placement
+        is_soft = self.rng.random(n) < taxonomy.p_soft
+        process = self.rng.integers(placement.nranks, size=n)
+        pmf = taxonomy.node_count_pmf()
+        lengths = self.rng.choice(len(pmf), size=n, p=pmf / pmf.sum()) + 1
+        lengths = np.minimum(lengths, placement.nnodes)
+        starts = self.rng.integers(placement.nnodes - lengths + 1)
+        return EventBatch(
+            is_soft=is_soft,
+            process=process.astype(np.int64),
+            run_start=starts.astype(np.int64),
+            run_length=lengths.astype(np.int64),
+        )
+
     def estimate(self, clustering: Clustering, n_samples: int = 10_000) -> float:
         """Empirical P(catastrophic) over ``n_samples`` sampled events."""
         if n_samples < 1:
             raise ValueError("n_samples must be >= 1")
-        hits = 0
-        for _ in range(n_samples):
-            event = self.sample_event()
-            if self.model.event_is_catastrophic(clustering, event):
-                hits += 1
-        return hits / n_samples
+        batch = self.sample_events(n_samples)
+        hits = self.model.events_are_catastrophic(clustering, batch)
+        return float(hits.mean())

@@ -48,6 +48,50 @@ class FailureEvent:
 
 
 @dataclass(frozen=True)
+class EventBatch:
+    """``n`` sampled failure events in struct-of-arrays form.
+
+    The batched Monte-Carlo path (:meth:`MonteCarloEstimator.sample_events
+    <repro.failures.catastrophic.MonteCarloEstimator.sample_events>`) draws
+    all events with a handful of NumPy calls and returns them as parallel
+    arrays so downstream scoring is pure array indexing. Node events are
+    always contiguous runs ``[run_start, run_start + run_length)`` — the
+    taxonomy's spatial-correlation model — which is what lets the lookup
+    tables precompute every possible run once.
+
+    ``process`` is only meaningful where ``is_soft``; ``run_start`` /
+    ``run_length`` only where ``~is_soft``.
+    """
+
+    is_soft: np.ndarray  # (n,) bool
+    process: np.ndarray  # (n,) int64 — soft-error victim rank
+    run_start: np.ndarray  # (n,) int64 — first node of the failed run
+    run_length: np.ndarray  # (n,) int64 — nodes wiped by the event
+
+    def __post_init__(self) -> None:
+        n = self.is_soft.shape[0]
+        for name in ("process", "run_start", "run_length"):
+            if getattr(self, name).shape != (n,):
+                raise ValueError(f"{name} must have shape ({n},)")
+
+    @property
+    def n(self) -> int:
+        """Number of events in the batch."""
+        return int(self.is_soft.size)
+
+    def event(self, i: int) -> FailureEvent:
+        """Materialize event ``i`` as a scalar :class:`FailureEvent`."""
+        if self.is_soft[i]:
+            return FailureEvent(kind="soft", process=int(self.process[i]))
+        start, length = int(self.run_start[i]), int(self.run_length[i])
+        return FailureEvent(kind="node", nodes=tuple(range(start, start + length)))
+
+    def events(self) -> list[FailureEvent]:
+        """All events as scalar objects (tests and the reference path)."""
+        return [self.event(i) for i in range(self.n)]
+
+
+@dataclass(frozen=True)
 class FailureTaxonomy:
     """Probabilistic shape of failure events.
 
@@ -84,7 +128,13 @@ class FailureTaxonomy:
         """P(node event kills exactly f nodes), index 0 ↔ f = 1.
 
         Sums to 1; the truncated tail mass is assigned to the maximum.
+        Cached after the first call (the taxonomy is frozen); treat the
+        returned array as read-only — the batched samplers index it on
+        every draw.
         """
+        cached = getattr(self, "_pmf", None)
+        if cached is not None:
+            return cached
         fmax = self.max_simultaneous
         pmf = np.zeros(fmax)
         pmf[0] = 1.0 - self.p_multi
@@ -93,6 +143,7 @@ class FailureTaxonomy:
             pmf[j - 1] = tail * (1.0 - self.escalation)
             tail *= self.escalation
         pmf[fmax - 1] = tail
+        object.__setattr__(self, "_pmf", pmf)
         return pmf
 
     def event_probabilities(self) -> dict[str, float]:

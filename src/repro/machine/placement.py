@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 class Placement:
     """Base class: rank ↔ node mapping over ``nnodes * procs_per_node`` ranks."""
@@ -29,9 +31,29 @@ class Placement:
         self.nnodes = nnodes
         self.procs_per_node = procs_per_node
         self.nranks = nnodes * procs_per_node
+        self._node_array: np.ndarray | None = None
 
     def node_of_rank(self, rank: int) -> int:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def node_array(self) -> np.ndarray:
+        """rank → node for every rank as one int64 vector.
+
+        Cached after the first call (placements are immutable once built);
+        callers must treat the returned array as read-only. This is the
+        placement-derived table every vectorized model indexes instead of
+        calling :meth:`node_of_rank` rank by rank.
+        """
+        if self._node_array is None:
+            self._node_array = self._build_node_array()
+        return self._node_array
+
+    def _build_node_array(self) -> np.ndarray:
+        return np.fromiter(
+            (self.node_of_rank(r) for r in range(self.nranks)),
+            dtype=np.int64,
+            count=self.nranks,
+        )
 
     def ranks_of_node(self, node: int) -> list[int]:
         """All ranks hosted by ``node`` (default: scan; subclasses optimize)."""
@@ -56,6 +78,9 @@ class BlockPlacement(Placement):
         self._check_rank(rank)
         return rank // self.procs_per_node
 
+    def _build_node_array(self) -> np.ndarray:
+        return np.arange(self.nranks, dtype=np.int64) // self.procs_per_node
+
     def ranks_of_node(self, node: int) -> list[int]:
         self._check_node(node)
         base = node * self.procs_per_node
@@ -68,6 +93,9 @@ class RoundRobinPlacement(Placement):
     def node_of_rank(self, rank: int) -> int:
         self._check_rank(rank)
         return rank % self.nnodes
+
+    def _build_node_array(self) -> np.ndarray:
+        return np.arange(self.nranks, dtype=np.int64) % self.nnodes
 
     def ranks_of_node(self, node: int) -> list[int]:
         self._check_node(node)
@@ -94,6 +122,9 @@ class ExplicitPlacement(Placement):
     def node_of_rank(self, rank: int) -> int:
         self._check_rank(rank)
         return self._node_of[rank]
+
+    def _build_node_array(self) -> np.ndarray:
+        return np.asarray(self._node_of, dtype=np.int64)
 
     def ranks_of_node(self, node: int) -> list[int]:
         self._check_node(node)
@@ -126,6 +157,9 @@ class FTIPlacement(Placement):
     def node_of_rank(self, rank: int) -> int:
         self._check_rank(rank)
         return rank // self.procs_per_node
+
+    def _build_node_array(self) -> np.ndarray:
+        return np.arange(self.nranks, dtype=np.int64) // self.procs_per_node
 
     def ranks_of_node(self, node: int) -> list[int]:
         self._check_node(node)

@@ -14,9 +14,11 @@ clustering's concrete costs:
 * sender-side **log memory** is tracked against the per-process budget as
   a feasibility check (the §III requirement behind the 20 % logging cap).
 
-The event loop is analytic (no discrete-event execution), so whole
-campaigns across clusterings and scales run in milliseconds and the
-benchmark can sweep them; every ingredient is the corresponding
+The event loop is analytic (no discrete-event execution) *and batched*:
+every failure event of a campaign is drawn in one vectorized call and
+scored against the precomputed lookup tables of :mod:`repro.core.tables`,
+so whole campaigns across clusterings and scales run in milliseconds and
+the benchmark can sweep them; every ingredient is the corresponding
 already-tested model.
 """
 
@@ -32,7 +34,6 @@ from repro.failures.events import PAPER_TAXONOMY, FailureTaxonomy
 from repro.failures.mtbf import MTBFModel
 from repro.machine.machine import Machine
 from repro.models.encoding_time import EncodingTimeModel
-from repro.models.recovery_cost import restart_set_for_nodes
 from repro.util.rng import resolve_rng
 from repro.util.units import GiB
 from repro.util.validation import check_positive
@@ -119,14 +120,19 @@ class CampaignSimulator:
         encode = self.encoding_model.seconds(cfg.checkpoint_gb_per_node, l2)
         return write + encode
 
+    def _decode_cost_s(self, clustering: Clustering) -> float:
+        """One erasure decode of a lost rank's checkpoint slice."""
+        cfg = self.config
+        per_rank_gb = cfg.checkpoint_gb_per_node / self.machine.procs_per_node
+        l2 = int(np.median(clustering.l2_sizes()))
+        return self.encoding_model.seconds(per_rank_gb * l2, l2)
+
     def _restore_cost_s(self, clustering: Clustering, n_decoded: int) -> float:
         """Restore after a node loss: reads + one decode per lost rank."""
         cfg = self.config
         per_rank_gb = cfg.checkpoint_gb_per_node / self.machine.procs_per_node
         read = self.machine.ssd_spec.read_time(int(per_rank_gb * GiB))
-        l2 = int(np.median(clustering.l2_sizes()))
-        decode = self.encoding_model.seconds(per_rank_gb * l2, l2)
-        return read + n_decoded * decode
+        return read + n_decoded * self._decode_cost_s(clustering)
 
     def _catastrophic_penalty_s(self) -> float:
         """Full rollback to the last PFS flush + machine-wide PFS read."""
@@ -145,12 +151,22 @@ class CampaignSimulator:
     # -- campaign --------------------------------------------------------------
 
     def run(self, clustering: Clustering, *, rng=None) -> CampaignResult:
-        """Simulate one campaign; deterministic under a seeded ``rng``."""
+        """Simulate one campaign; deterministic under a seeded ``rng``.
+
+        All failure events of the campaign are drawn in one batched call
+        and scored against the precomputed per-(clustering, placement)
+        tables (:mod:`repro.core.tables`) — the loop over events is a
+        handful of masked array reductions.
+        """
         if clustering.n != self.machine.nranks:
             raise ValueError(
                 f"clustering covers {clustering.n} processes, machine "
                 f"hosts {self.machine.nranks}"
             )
+        # Imported lazily: repro.core's package init imports back into
+        # repro.models, so a module-level import would cycle.
+        from repro.core.tables import restart_tables
+
         gen = resolve_rng(rng)
         cfg = self.config
         mtbf = MTBFModel(cfg.node_mtbf_s, self.machine.nnodes)
@@ -167,37 +183,36 @@ class CampaignSimulator:
 
         rework = 0.0
         restore = 0.0
-        catastrophic_penalty = 0.0
         n_catastrophic = 0
-        for t in failure_times:
-            event = sampler.sample_event()
-            if model.event_is_catastrophic(clustering, event):
-                n_catastrophic += 1
-                catastrophic_penalty += self._catastrophic_penalty_s()
-                continue
-            since_ckpt = float(t % cfg.checkpoint_interval_s)
-            if event.kind == "soft":
-                members = clustering.l1_members(
-                    clustering.l1_of(event.process)
-                )
-                fraction = members.size / clustering.n
-                n_decoded = 0
-            else:
-                restarted = restart_set_for_nodes(
-                    clustering, self.machine.placement, event.nodes
-                )
-                fraction = restarted.size / clustering.n
-                n_decoded = sum(
-                    len(self.machine.ranks_of_node(node))
-                    for node in event.nodes
-                )
-            rework += fraction * since_ckpt
-            restore += self._restore_cost_s(clustering, n_decoded)
+        n_events = len(failure_times)
+        if n_events:
+            batch = sampler.sample_events(n_events)
+            catastrophic = model.events_are_catastrophic(clustering, batch)
+            n_catastrophic = int(catastrophic.sum())
+
+            tables = restart_tables(clustering, self.machine.placement)
+            survived = ~catastrophic
+            fractions = tables.batch_restart_fractions(batch)
+            since_ckpt = np.asarray(failure_times) % cfg.checkpoint_interval_s
+            rework = float((fractions * since_ckpt)[survived].sum())
+
+            # Restore = one SSD read per surviving failure + one erasure
+            # decode per rank hosted on the failed nodes (0 for soft errors).
+            decoded = np.zeros(n_events, dtype=np.int64)
+            node_events = ~batch.is_soft
+            decoded[node_events] = tables.ranks_on_runs(
+                batch.run_start[node_events], batch.run_length[node_events]
+            )
+            restore = float(
+                int(survived.sum()) * self._restore_cost_s(clustering, 0)
+                + int(decoded[survived].sum()) * self._decode_cost_s(clustering)
+            )
+        catastrophic_penalty = n_catastrophic * self._catastrophic_penalty_s()
 
         return CampaignResult(
             clustering=clustering.name,
             horizon_s=cfg.horizon_s,
-            n_failures=len(failure_times),
+            n_failures=n_events,
             n_catastrophic=n_catastrophic,
             checkpoint_overhead_s=checkpoint_overhead,
             rework_s=rework,

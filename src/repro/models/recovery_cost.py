@@ -6,6 +6,11 @@ union of the L1 clusters of all processes on that node — which is why
 distributed clustering explodes this dimension (Fig. 4c: one node touches
 16 clusters → half the machine restarts) while node-aligned clusterings
 restart exactly one cluster.
+
+Everything here is a single vectorized pass over the precomputed
+per-(clustering, placement) tables (:mod:`repro.core.tables`): a node set
+becomes a boolean mask over the rank → node vector, the touched clusters a
+``bincount``-style label mask — no per-rank Python, no per-node set unions.
 """
 
 from __future__ import annotations
@@ -16,25 +21,38 @@ from repro.clustering.base import Clustering
 from repro.machine.placement import Placement
 
 
+def _restart_tables(clustering: Clustering, placement: Placement):
+    # Imported lazily: repro.core's package init imports back into
+    # repro.models, so a module-level import would cycle.
+    from repro.core.tables import restart_tables
+
+    return restart_tables(clustering, placement)
+
+
 def restart_set_for_nodes(
     clustering: Clustering, placement: Placement, nodes
 ) -> np.ndarray:
     """Process indices rolled back when ``nodes`` fail simultaneously."""
-    touched: set[int] = set()
-    for node in nodes:
-        for rank in placement.ranks_of_node(node):
-            touched.add(clustering.l1_of(rank))
-    if not touched:
+    nodes = np.asarray(list(nodes), dtype=np.int64)
+    if nodes.size == 0:
         return np.array([], dtype=np.int64)
-    mask = np.isin(clustering.l1_labels, sorted(touched))
-    return np.flatnonzero(mask)
+    if ((nodes < 0) | (nodes >= placement.nnodes)).any():
+        raise ValueError(
+            f"nodes {nodes.tolist()} out of range [0, {placement.nnodes})"
+        )
+    tables = _restart_tables(clustering, placement)
+    touched = np.zeros(clustering.n_l1_clusters, dtype=bool)
+    touched[clustering.l1_labels[np.isin(tables.node_of_rank, nodes)]] = True
+    return np.flatnonzero(touched[clustering.l1_labels])
 
 
 def restart_fraction_for_node(
     clustering: Clustering, placement: Placement, node: int
 ) -> float:
     """Fraction of all processes restarted by a single-node failure."""
-    return restart_set_for_nodes(clustering, placement, [node]).size / clustering.n
+    placement._check_node(node)
+    tables = _restart_tables(clustering, placement)
+    return float(tables.node_restart_fraction[node])
 
 
 def expected_restart_fraction(
@@ -46,23 +64,13 @@ def expected_restart_fraction(
     naive-32 → 3.1 %, size-guided-8 → 0.7 %, distributed-16 → 25 %,
     hierarchical 64-proc L1 → 6.25 %.
     """
-    if clustering.n != placement.nranks:
-        raise ValueError(
-            f"clustering covers {clustering.n} processes, placement "
-            f"{placement.nranks}"
-        )
-    fractions = [
-        restart_fraction_for_node(clustering, placement, node)
-        for node in range(placement.nnodes)
-    ]
-    return float(np.mean(fractions))
+    tables = _restart_tables(clustering, placement)
+    return float(tables.node_restart_fraction.mean())
 
 
 def worst_case_restart_fraction(
     clustering: Clustering, placement: Placement
 ) -> float:
     """Max restart fraction over single-node failures."""
-    return max(
-        restart_fraction_for_node(clustering, placement, node)
-        for node in range(placement.nnodes)
-    )
+    tables = _restart_tables(clustering, placement)
+    return float(tables.node_restart_fraction.max())

@@ -1,0 +1,210 @@
+"""Property tests for the precomputed evaluation tables.
+
+Every lookup structure in :mod:`repro.core.tables` must agree entry by
+entry with the scalar model it accelerates — these tests pin the batched
+engine to the per-event reference implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    Clustering,
+    distributed_clustering,
+    naive_clustering,
+    size_guided_clustering,
+)
+from repro.core.tables import (
+    CatastrophicTables,
+    RestartTables,
+    catastrophic_tables,
+    restart_tables,
+)
+from repro.failures import (
+    CatastrophicModel,
+    FailureEvent,
+    MonteCarloEstimator,
+    rs_half_tolerance,
+    xor_tolerance,
+)
+from repro.machine import BlockPlacement, RoundRobinPlacement
+from repro.models import (
+    restart_fraction_for_node,
+    restart_set_for_nodes,
+)
+
+
+@pytest.fixture(scope="module")
+def placement():
+    return BlockPlacement(64, 16)
+
+
+def strategies(placement):
+    return [
+        naive_clustering(1024, 32),
+        size_guided_clustering(1024, 8),
+        distributed_clustering(placement, 16),
+    ]
+
+
+class TestRestartTables:
+    def test_node_restart_fraction_matches_scalar(self, placement):
+        for c in strategies(placement):
+            t = restart_tables(c, placement)
+            for node in range(placement.nnodes):
+                expected = (
+                    restart_set_for_nodes(c, placement, [node]).size / c.n
+                )
+                assert t.node_restart_fraction[node] == pytest.approx(expected)
+
+    @pytest.mark.parametrize("f", [1, 2, 3, 5, 12])
+    def test_run_fractions_match_union_rule(self, placement, f):
+        c = distributed_clustering(placement, 16)
+        t = restart_tables(c, placement)
+        fractions = t.run_restart_fraction(f)
+        assert fractions.shape == (placement.nnodes - f + 1,)
+        for start in (0, 7, placement.nnodes - f):
+            nodes = range(start, start + f)
+            expected = restart_set_for_nodes(c, placement, nodes).size / c.n
+            assert fractions[start] == pytest.approx(expected)
+
+    def test_run_longer_than_machine_is_clamped(self, placement):
+        c = naive_clustering(1024, 32)
+        t = restart_tables(c, placement)
+        assert t.run_restart_fraction(10_000).shape == (1,)
+        assert t.run_restart_fraction(10_000)[0] == pytest.approx(1.0)
+
+    def test_soft_fraction_is_own_cluster(self, placement):
+        c = size_guided_clustering(1024, 8)
+        t = restart_tables(c, placement)
+        for rank in (0, 17, 1023):
+            expected = c.l1_members(c.l1_of(rank)).size / c.n
+            assert t.soft_restart_fraction[rank] == pytest.approx(expected)
+
+    def test_ranks_on_runs(self, placement):
+        c = naive_clustering(1024, 32)
+        t = restart_tables(c, placement)
+        starts = np.array([0, 10, 62])
+        lengths = np.array([1, 3, 2])
+        np.testing.assert_array_equal(
+            t.ranks_on_runs(starts, lengths), [16, 48, 32]
+        )
+
+    def test_round_robin_placement(self):
+        placement = RoundRobinPlacement(16, 8)
+        c = naive_clustering(128, 8)
+        t = restart_tables(c, placement)
+        for node in range(placement.nnodes):
+            expected = restart_fraction_for_node(c, placement, node)
+            assert t.node_restart_fraction[node] == pytest.approx(expected)
+
+    def test_size_mismatch_raises(self, placement):
+        with pytest.raises(ValueError):
+            RestartTables(naive_clustering(64, 8), placement)
+
+
+class TestCatastrophicTables:
+    def test_run_verdicts_match_event_predicate(self, placement):
+        model = CatastrophicModel(placement)
+        for c in strategies(placement):
+            t = catastrophic_tables(c, placement, model.tolerance)
+            for f in (1, 3):
+                verdicts = t.run_catastrophic(f)
+                for start in (0, 31, placement.nnodes - f):
+                    event = FailureEvent(
+                        kind="node", nodes=tuple(range(start, start + f))
+                    )
+                    assert verdicts[start] == model.event_is_catastrophic(
+                        c, event
+                    )
+
+    def test_soft_flags_match_event_predicate(self, placement):
+        model = CatastrophicModel(placement, tolerance=xor_tolerance)
+        c = size_guided_clustering(1024, 8)
+        t = catastrophic_tables(c, placement, xor_tolerance)
+        for rank in (0, 500, 1023):
+            event = FailureEvent(kind="soft", process=rank)
+            assert bool(t.soft_catastrophic[rank]) == model.event_is_catastrophic(
+                c, event
+            )
+
+    def test_tolerance_array_precomputed(self, placement):
+        c = distributed_clustering(placement, 16)
+        t = catastrophic_tables(c, placement, rs_half_tolerance)
+        np.testing.assert_array_equal(
+            t.tolerances, [rs_half_tolerance(int(s)) for s in c.l2_sizes()]
+        )
+
+    def test_membership_matches_placement(self, placement):
+        c = naive_clustering(1024, 32)
+        t = catastrophic_tables(c, placement, rs_half_tolerance)
+        assert t.membership.shape == (c.n_l2_clusters, placement.nnodes)
+        assert t.membership.sum() == c.n
+        # Block placement: cluster 0 = ranks 0..31 = nodes 0 and 1.
+        assert t.membership[0, 0] == 16 and t.membership[0, 1] == 16
+        assert t.membership[0, 2:].sum() == 0
+
+
+class TestBatchScoring:
+    def test_batch_matches_scalar_event_loop(self, placement):
+        model = CatastrophicModel(placement)
+        sampler = MonteCarloEstimator(model, rng=123)
+        batch = sampler.sample_events(400)
+        for c in strategies(placement):
+            t = restart_tables(c, placement)
+            fractions = t.batch_restart_fractions(batch)
+            verdicts = model.events_are_catastrophic(c, batch)
+            for i, event in enumerate(batch.events()):
+                if event.kind == "soft":
+                    expected = c.l1_members(c.l1_of(event.process)).size / c.n
+                else:
+                    expected = (
+                        restart_set_for_nodes(c, placement, event.nodes).size
+                        / c.n
+                    )
+                assert fractions[i] == pytest.approx(expected), i
+                assert bool(verdicts[i]) == model.event_is_catastrophic(
+                    c, event
+                ), i
+
+
+class TestCaching:
+    def test_tables_are_shared_per_placement(self, placement):
+        c = naive_clustering(1024, 32)
+        assert restart_tables(c, placement) is restart_tables(c, placement)
+        t1 = catastrophic_tables(c, placement, rs_half_tolerance)
+        assert t1 is catastrophic_tables(c, placement, rs_half_tolerance)
+        # A different tolerance is a different table.
+        t2 = catastrophic_tables(c, placement, xor_tolerance)
+        assert t2 is not t1
+
+    def test_model_does_not_rebuild_membership(self, placement):
+        model = CatastrophicModel(placement)
+        c = naive_clustering(1024, 32)
+        m1 = model._membership_matrix(c)
+        m2 = model._membership_matrix(c)
+        assert m1 is m2
+
+    def test_clustering_cached_hook(self):
+        c = Clustering("t", np.array([0, 0, 1, 1]))
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "value"
+
+        assert c.cached("k", build) == "value"
+        assert c.cached("k", build) == "value"
+        assert len(calls) == 1
+
+    def test_sizes_cached(self):
+        c = Clustering("t", np.array([0, 0, 1, 1]))
+        assert c.l1_sizes() is c.l1_sizes()
+        assert c.l2_sizes() is c.l2_sizes()
+
+    def test_placement_node_array_cached(self, placement):
+        a = placement.node_array()
+        assert a is placement.node_array()
+        np.testing.assert_array_equal(
+            a, [placement.node_of_rank(r) for r in range(placement.nranks)]
+        )

@@ -1,4 +1,10 @@
-"""Monte-Carlo validation tests: sampled vs. analytic scores."""
+"""Monte-Carlo validation tests: sampled vs. analytic scores.
+
+The batched engine (``montecarlo_scores``) and the per-event reference
+path (``montecarlo_scores_scalar``) consume the RNG stream differently, so
+equivalence is asserted *statistically*: same seed, same sample count,
+score summaries within tight sampling tolerance.
+"""
 
 import pytest
 
@@ -9,6 +15,7 @@ from repro.clustering import (
 )
 from repro.core import (
     montecarlo_scores,
+    montecarlo_scores_scalar,
     paper_scenario,
     validate_against_analytic,
 )
@@ -60,6 +67,54 @@ class TestMonteCarloScores:
             montecarlo_scores(
                 scenario, naive_clustering(1024, 32), n_samples=0
             )
+
+
+class TestBatchedScalarEquivalence:
+    """Seed-for-seed cross-check of the batched engine vs the reference."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda p: naive_clustering(1024, 32),
+            lambda p: size_guided_clustering(1024, 8),
+            lambda p: distributed_clustering(p, 16),
+        ],
+    )
+    def test_statistics_agree_at_fixed_seed(self, scenario, make):
+        clustering = make(scenario.placement)
+        batched = montecarlo_scores(
+            scenario, clustering, n_samples=1500, rng=21
+        )
+        scalar = montecarlo_scores_scalar(
+            scenario, clustering, n_samples=1500, rng=21
+        )
+        assert batched.name == scalar.name
+        assert batched.n_samples == scalar.n_samples == 1500
+        assert batched.restart_fraction_mean == pytest.approx(
+            scalar.restart_fraction_mean, abs=0.01
+        )
+        assert batched.restart_fraction_p95 == pytest.approx(
+            scalar.restart_fraction_p95, abs=0.01
+        )
+        assert batched.catastrophic_rate == pytest.approx(
+            scalar.catastrophic_rate, abs=0.03
+        )
+        assert batched.soft_error_share == pytest.approx(
+            scalar.soft_error_share, abs=0.02
+        )
+
+    def test_scalar_path_validates_input(self, scenario):
+        with pytest.raises(ValueError):
+            montecarlo_scores_scalar(
+                scenario, naive_clustering(1024, 32), n_samples=0
+            )
+
+    def test_both_paths_deterministic_under_seed(self, scenario):
+        clustering = distributed_clustering(scenario.placement, 16)
+        for scores in (montecarlo_scores, montecarlo_scores_scalar):
+            a = scores(scenario, clustering, n_samples=300, rng=5)
+            b = scores(scenario, clustering, n_samples=300, rng=5)
+            assert a == b
 
 
 class TestValidateAgainstAnalytic:

@@ -181,3 +181,54 @@ class TestMonteCarloCrossValidation:
         placement, model, hier = paper_setup
         with pytest.raises(ValueError):
             MonteCarloEstimator(model).estimate(hier, n_samples=0)
+
+
+class TestBatchedSampling:
+    def test_batch_is_wellformed(self, paper_setup):
+        placement, model, _ = paper_setup
+        batch = MonteCarloEstimator(model, rng=3).sample_events(2000)
+        assert batch.n == 2000
+        soft = batch.is_soft
+        assert ((batch.process[soft] >= 0)).all()
+        assert ((batch.process[soft] < placement.nranks)).all()
+        lengths = batch.run_length[~soft]
+        starts = batch.run_start[~soft]
+        assert (lengths >= 1).all()
+        assert (starts >= 0).all()
+        assert (starts + lengths <= placement.nnodes).all()
+
+    def test_batch_materializes_to_valid_events(self, paper_setup):
+        placement, model, _ = paper_setup
+        batch = MonteCarloEstimator(model, rng=11).sample_events(50)
+        events = batch.events()
+        assert len(events) == 50
+        for i, event in enumerate(events):
+            if event.kind == "node":
+                nodes = np.asarray(event.nodes)
+                assert (np.diff(nodes) == 1).all() or nodes.size == 1
+            assert event == batch.event(i)
+
+    def test_batched_predicate_matches_scalar(self, paper_setup):
+        placement, model, hier = paper_setup
+        batch = MonteCarloEstimator(model, rng=17).sample_events(300)
+        verdicts = model.events_are_catastrophic(hier, batch)
+        expected = [
+            model.event_is_catastrophic(hier, e) for e in batch.events()
+        ]
+        np.testing.assert_array_equal(verdicts, expected)
+
+    def test_bad_batch_size(self, paper_setup):
+        placement, model, _ = paper_setup
+        with pytest.raises(ValueError):
+            MonteCarloEstimator(model).sample_events(0)
+
+    def test_shape_mismatch_rejected(self, paper_setup):
+        from repro.failures import EventBatch
+
+        with pytest.raises(ValueError):
+            EventBatch(
+                is_soft=np.zeros(3, dtype=bool),
+                process=np.zeros(2, dtype=np.int64),
+                run_start=np.zeros(3, dtype=np.int64),
+                run_length=np.ones(3, dtype=np.int64),
+            )

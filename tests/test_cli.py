@@ -52,6 +52,15 @@ class TestCommands:
         assert main(["radar", "--iterations", "10"]) == 0
         assert "inside baseline" in capsys.readouterr().out
 
+    def test_montecarlo(self, capsys):
+        assert main(
+            ["montecarlo", "--iterations", "10", "--samples", "400"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Monte-Carlo validation (400 failures per strategy)" in out
+        assert "hierarchical-64-4" in out
+        assert "restart (sampled)" in out
+
     def test_campaign(self, capsys):
         assert main(
             ["campaign", "--iterations", "10", "--days", "7",
