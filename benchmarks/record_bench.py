@@ -1,20 +1,23 @@
-"""Record the Monte-Carlo / campaign perf trajectory into a JSON artifact.
+"""Record the Monte-Carlo / campaign / simmpi perf trajectories in-tree.
 
-Runs the failure-sampling hot paths both ways — the per-event scalar
-reference (``montecarlo_scores_scalar``) and the batched engine
-(``montecarlo_scores``) — on the TSUBAME2 paper scenario, times a batched
-month-long campaign sweep, and *appends* one record to
-``BENCH_montecarlo.json`` at the repo root. Future PRs rerun this script so
-the samples/sec curve (before vs after each change) is tracked in-tree.
+Two artifact files at the repo root, one record appended per run:
+
+* ``BENCH_montecarlo.json`` — the failure-sampling hot paths both ways
+  (per-event scalar reference vs the batched engine) on the TSUBAME2 paper
+  scenario, plus a batched month-long campaign sweep;
+* ``BENCH_simmpi.json`` — the §V traced discrete-event execution (1088
+  world ranks) with the collective fast paths pinned off (the generator
+  cascade reference) vs on, asserting byte-identical traces, identical
+  per-rank virtual clocks, and the ≥5× floor the fast-path work promised.
+
+Each record also carries a small ``gate`` measurement (same code path,
+reduced shape) that ``tests/test_perf_gate.py`` re-runs on every tier-1
+verify and compares against the last recorded value, so a >2× regression
+of either hot path fails CI rather than silently bending the curve.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/record_bench.py [--n-samples 2000]
-
-The script asserts the two paths are statistically equivalent at a fixed
-seed and that the batched path clears the 10× floor the batching work
-promised, so a perf regression fails loudly rather than silently bending
-the curve.
 """
 
 from __future__ import annotations
@@ -25,6 +28,8 @@ import subprocess
 import time
 from datetime import datetime, timezone
 from pathlib import Path
+
+import numpy as np
 
 from repro.clustering import (
     distributed_clustering,
@@ -39,8 +44,11 @@ from repro.core import (
 )
 from repro.models import CampaignConfig, CampaignSimulator
 
-ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_montecarlo.json"
+ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = ROOT / "BENCH_montecarlo.json"
+SIMMPI_ARTIFACT = ROOT / "BENCH_simmpi.json"
 MIN_SPEEDUP = 10.0
+MIN_SIMMPI_SPEEDUP = 5.0
 
 
 def _git_rev() -> str:
@@ -154,6 +162,150 @@ def time_campaign(scenario, strategies, n_runs: int = 3):
     }
 
 
+def measure_batched_montecarlo(
+    scenario=None, strategies=None, *, n_samples: int = 2000, repeats: int = 3
+) -> float:
+    """Batched-path samples/sec (best of ``repeats``) — the CI gate probe."""
+    scenario = scenario or paper_scenario(iterations=5)
+    strategies = strategies or _strategies(scenario)
+    for clustering in strategies:  # warm the lookup-table caches
+        montecarlo_scores(scenario, clustering, n_samples=2, rng=0)
+    best = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for clustering in strategies:
+            montecarlo_scores(scenario, clustering, n_samples=n_samples, rng=42)
+        elapsed = time.perf_counter() - t0
+        best = max(best, n_samples * len(strategies) / elapsed)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# simmpi: the §V traced discrete-event execution
+# ---------------------------------------------------------------------------
+
+
+def _fig5_setup(nodes: int, app_per_node: int, iterations: int):
+    """Programs + placement + network of one §V-style traced execution."""
+    from repro.apps.tsunami import TsunamiConfig, TsunamiSimulation
+    from repro.ftilib.tracesim import FTITraceConfig, make_fti_world_programs
+    from repro.machine.placement import FTIPlacement
+    from repro.machine.tsubame2 import tsubame2_fti_machine
+
+    n_app = nodes * app_per_node
+    px = 32 if n_app == 1024 else int(np.sqrt(n_app))
+    py = n_app // px
+    cfg = TsunamiConfig(
+        px=px,
+        py=py,
+        nx=32 * px,
+        ny=768 * py if n_app == 1024 else 32 * py,
+        iterations=iterations,
+        synthetic=True,
+        allreduce_every=0,
+    )
+    sim = TsunamiSimulation(cfg)
+    placement = FTIPlacement(nodes, app_per_node)
+    programs = make_fti_world_programs(
+        sim,
+        placement,
+        iterations=iterations,
+        trace_cfg=FTITraceConfig(checkpoint_every=25),
+    )
+    network = tsubame2_fti_machine(nodes, app_per_node).network
+    return placement, programs, network
+
+
+def _run_traced(placement, programs, network, *, fast: bool):
+    from repro.simmpi.engine import Engine
+    from repro.simmpi.tracing import TraceRecorder
+
+    tracer = TraceRecorder(placement.nranks, by_kind=True)
+    engine = Engine(
+        placement.nranks,
+        network=network,
+        tracer=tracer,
+        use_fast_collectives=fast,
+    )
+    t0 = time.perf_counter()
+    engine.run(programs)
+    elapsed = time.perf_counter() - t0
+    return tracer, engine.rank_times(), elapsed
+
+
+def measure_simmpi(
+    *,
+    nodes: int = 16,
+    app_per_node: int = 4,
+    iterations: int = 10,
+    repeats: int = 3,
+) -> float:
+    """Fast-path rank-iterations/sec of a traced run — the CI gate probe.
+
+    One untimed warm-up run absorbs first-call costs (imports, the network
+    model's node-vector cache, NumPy dispatch); the best of ``repeats``
+    timed runs is reported so the gate compares warm rates on both sides.
+    """
+    placement, programs, network = _fig5_setup(nodes, app_per_node, iterations)
+    _run_traced(placement, programs, network, fast=True)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        _, _, elapsed = _run_traced(placement, programs, network, fast=True)
+        best = min(best, elapsed)
+    return placement.nranks * iterations / best
+
+
+def time_simmpi(
+    *, nodes: int = 64, app_per_node: int = 16, iterations: int = 10
+) -> dict:
+    """Time the §V traced run slow vs fast; assert byte-identical traces.
+
+    ``ranks_per_s`` counts rank-iterations per second of the fast traced
+    run (1088 world ranks × the iteration count over the wall time).
+    """
+    placement, programs, network = _fig5_setup(nodes, app_per_node, iterations)
+    tracer_slow, clocks_slow, slow_s = _run_traced(
+        placement, programs, network, fast=False
+    )
+    tracer_fast, clocks_fast, fast_s = _run_traced(
+        placement, programs, network, fast=True
+    )
+
+    if not np.array_equal(tracer_slow.bytes_matrix, tracer_fast.bytes_matrix):
+        raise RuntimeError("fast-path trace bytes diverge from the cascade")
+    if not np.array_equal(tracer_slow.count_matrix, tracer_fast.count_matrix):
+        raise RuntimeError("fast-path message counts diverge from the cascade")
+    if sorted(tracer_slow.kind_matrices) != sorted(tracer_fast.kind_matrices) or any(
+        not np.array_equal(tracer_slow.kind_matrices[k], tracer_fast.kind_matrices[k])
+        for k in tracer_slow.kind_matrices
+    ):
+        raise RuntimeError("fast-path per-kind matrices diverge from the cascade")
+    if clocks_slow != clocks_fast:
+        raise RuntimeError("fast-path virtual clocks diverge from the cascade")
+
+    return {
+        "nranks": placement.nranks,
+        "iterations": iterations,
+        "slow_s": round(slow_s, 4),
+        "fast_s": round(fast_s, 4),
+        "speedup": round(slow_s / fast_s, 1),
+        "ranks_per_s": round(placement.nranks * iterations / fast_s),
+        "traced_messages": int(tracer_fast.total_messages),
+        "gate": {
+            "nodes": 16,
+            "app_per_node": 4,
+            "iterations": 10,
+            "ranks_per_s": round(measure_simmpi()),
+        },
+    }
+
+
+def _append(path: Path, record: dict) -> None:
+    trajectory = json.loads(path.read_text()) if path.exists() else []
+    trajectory.append(record)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--n-samples", type=int, default=2000)
@@ -163,18 +315,35 @@ def main() -> None:
         default=5,
         help="tsunami iterations for the scenario graph (perf-irrelevant)",
     )
+    parser.add_argument(
+        "--simmpi-iterations",
+        type=int,
+        default=10,
+        help="tsunami iterations of the traced 1088-rank simmpi benchmark",
+    )
+    parser.add_argument(
+        "--skip-simmpi",
+        action="store_true",
+        help="only rerun the Monte-Carlo/campaign sections",
+    )
     args = parser.parse_args()
 
     scenario = paper_scenario(iterations=args.iterations)
     strategies = _strategies(scenario)
 
-    record = {
+    stamp = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "git_rev": _git_rev(),
+    }
+    record = {
+        **stamp,
         "scenario": scenario.name,
         "montecarlo": time_montecarlo(scenario, strategies, args.n_samples),
         "campaign": time_campaign(scenario, strategies),
     }
+    record["montecarlo"]["gate_batched_samples_per_s"] = round(
+        measure_batched_montecarlo(scenario, strategies, n_samples=args.n_samples)
+    )
 
     # Gate before recording: a regressed run must fail loudly, not bend
     # the in-tree trajectory.
@@ -184,13 +353,7 @@ def main() -> None:
             f"batched Monte-Carlo regressed to {mc['speedup']}x "
             f"(floor {MIN_SPEEDUP}x) — not recording"
         )
-
-    trajectory = []
-    if ARTIFACT.exists():
-        trajectory = json.loads(ARTIFACT.read_text())
-    trajectory.append(record)
-    ARTIFACT.write_text(json.dumps(trajectory, indent=2) + "\n")
-
+    _append(ARTIFACT, record)
     print(
         f"montecarlo: scalar {mc['scalar_samples_per_s']}/s, "
         f"batched {mc['batched_samples_per_s']}/s "
@@ -201,6 +364,21 @@ def main() -> None:
         f"{record['campaign']['total_s']}s"
     )
     print(f"recorded -> {ARTIFACT}")
+
+    if not args.skip_simmpi:
+        simmpi = time_simmpi(iterations=args.simmpi_iterations)
+        if simmpi["speedup"] < MIN_SIMMPI_SPEEDUP:
+            raise RuntimeError(
+                f"simmpi fast path regressed to {simmpi['speedup']}x "
+                f"(floor {MIN_SIMMPI_SPEEDUP}x) — not recording"
+            )
+        _append(SIMMPI_ARTIFACT, {**stamp, "simmpi": simmpi})
+        print(
+            f"simmpi: {simmpi['nranks']} ranks x {simmpi['iterations']} iters "
+            f"— cascade {simmpi['slow_s']}s, fast {simmpi['fast_s']}s "
+            f"({simmpi['speedup']}x, {simmpi['ranks_per_s']} rank-iters/s)"
+        )
+        print(f"recorded -> {SIMMPI_ARTIFACT}")
 
 
 if __name__ == "__main__":

@@ -18,7 +18,9 @@ cluster must checkpoint and restart together (§III).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -60,7 +62,7 @@ class Clustering:
         # Memoization slot for derived lookup structures (sizes, label
         # matrices, per-placement evaluation tables). The labels are frozen,
         # so anything derived from them can be computed exactly once.
-        object.__setattr__(self, "_derived", {})
+        object.__setattr__(self, "_derived", OrderedDict())
 
     def _check_nesting(self) -> None:
         """Every L2 cluster must live inside exactly one L1 cluster."""
@@ -79,21 +81,47 @@ class Clustering:
 
     # -- derived-structure cache ---------------------------------------------
 
+    #: Bound on memoized derived structures per clustering. Each placement
+    #: (× tolerance) pairing contributes a table set, so a sweep pairing one
+    #: long-lived clustering with very many placements stays at a bounded
+    #: footprint: least-recently-used table sets are evicted and rebuilt on
+    #: demand (building is microseconds at paper scale). ``ClassVar`` keeps
+    #: it out of the dataclass fields (it is not a constructor parameter).
+    CACHE_LIMIT: ClassVar[int] = 64
+
     def cached(self, key, build):
-        """Memoize ``build()`` under ``key`` for this clustering's lifetime.
+        """Memoize ``build()`` under ``key``, LRU-bounded by ``CACHE_LIMIT``.
 
         The hook the evaluation tables (:mod:`repro.core.tables`) use to
         attach per-(clustering, placement) lookup structures; cached values
-        must be treated as read-only by every consumer. Entries live as
-        long as the clustering does and are never evicted — sweeps that
-        pair one long-lived clustering with very many placements should
-        use fresh clustering objects per placement batch.
+        must be treated as read-only by every consumer. A hit refreshes the
+        entry's recency; once more than ``CACHE_LIMIT`` entries accumulate,
+        the least recently used are dropped (and simply rebuilt if asked
+        for again).
         """
+        cache = self._derived
         try:
-            return self._derived[key]
+            value = cache[key]
         except KeyError:
-            value = self._derived[key] = build()
+            value = build()
+            cache[key] = value
+            while len(cache) > self.CACHE_LIMIT:
+                cache.popitem(last=False)
             return value
+        cache.move_to_end(key)
+        return value
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self):
+        """Ship labels, not caches: derived tables hold placement references
+        and can dwarf the labels; workers rebuild what they touch."""
+        state = dict(self.__dict__)
+        state["_derived"] = OrderedDict()
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     # -- shape ---------------------------------------------------------------
 

@@ -47,19 +47,21 @@ def node_graph(graph: CommGraph, placement: Placement, *, app_level: bool = Fals
     an :class:`FTIPlacement` (output of :func:`app_graph_from_trace`);
     otherwise they are world ranks.
     """
+    node_of = placement.node_array()
     if app_level:
         if not isinstance(placement, FTIPlacement):
             raise TypeError("app_level collapse requires an FTIPlacement")
-        group_of = np.array(
-            [
-                placement.node_of_rank(placement.world_rank_of_app(i))
-                for i in range(graph.n)
-            ]
-        )
+        app_world = np.asarray(placement.app_ranks(), dtype=np.int64)
+        if graph.n != app_world.size:
+            raise ValueError(
+                f"graph has {graph.n} endpoints, placement hosts "
+                f"{app_world.size} app processes"
+            )
+        group_of = node_of[app_world]
     else:
         if graph.n != placement.nranks:
             raise ValueError(
                 f"graph has {graph.n} endpoints, placement {placement.nranks} ranks"
             )
-        group_of = np.array([placement.node_of_rank(r) for r in range(graph.n)])
+        group_of = node_of[:placement.nranks]
     return graph.collapse(group_of, placement.nnodes)

@@ -202,6 +202,31 @@ class CatastrophicTables:
             ).any(axis=0)
         return cached
 
+    def run_catastrophic_all(self, lengths) -> dict[int, np.ndarray]:
+        """Verdicts for every run length in ``lengths`` in one batched pass.
+
+        The per-``f`` tables differ only in which prefix-sum differences
+        they take, so all missing lengths are built from the same cached
+        prefix array with a single broadcasted gather — one
+        ``(k, n_lengths, nnodes)`` difference — instead of one pass per
+        cascade length. Results land in (and are served from) the same
+        per-``f`` cache :meth:`run_catastrophic` uses.
+        """
+        nnodes = self.placement.nnodes
+        wanted = sorted({min(int(f), nnodes) for f in lengths})
+        missing = [f for f in wanted if f not in self._run_cache]
+        if missing:
+            fs = np.asarray(missing, dtype=np.int64)
+            starts = np.arange(nnodes, dtype=np.int64)
+            # ends[i, s] = start + f_i, clipped so padded (invalid) starts
+            # read a harmless in-range column; they are sliced away below.
+            ends = np.minimum(starts[None, :] + fs[:, None], nnodes)
+            lost = self._l2_prefix[:, ends] - self._l2_prefix[:, None, starts]
+            verdicts = (lost > self.tolerances[:, None, None]).any(axis=0)
+            for i, f in enumerate(missing):
+                self._run_cache[f] = verdicts[i, : nnodes - f + 1]
+        return {f: self._run_cache[f] for f in wanted}
+
     def nodes_catastrophic(self, nodes) -> bool:
         """Whether losing an arbitrary node set exceeds some tolerance."""
         lost = self.membership[:, list(nodes)].sum(axis=1)

@@ -116,8 +116,28 @@ class CatastrophicModel:
         """Fraction of length-``f`` contiguous node runs that are catastrophic."""
         return float(self._tables(clustering).run_catastrophic(f).mean())
 
+    def breaking_run_fractions(
+        self, clustering: Clustering, lengths
+    ) -> dict[int, float]:
+        """:meth:`breaking_run_fraction` for many cascade lengths at once.
+
+        All missing run tables are built from the cached node prefix sums
+        in one broadcasted pass (:meth:`repro.core.tables.CatastrophicTables
+        .run_catastrophic_all`) instead of one pass per length; lengths are
+        clamped to the node count exactly like the scalar entry point.
+        """
+        tables = self._tables(clustering).run_catastrophic_all(lengths)
+        nnodes = self.placement.nnodes
+        return {
+            int(f): float(tables[min(int(f), nnodes)].mean()) for f in lengths
+        }
+
     def probability(self, clustering: Clustering) -> float:
-        """P(catastrophic | a failure event occurs) — Table II's column."""
+        """P(catastrophic | a failure event occurs) — Table II's column.
+
+        The sweep over cascade lengths is batched: every per-``f`` run
+        table the pmf touches is derived in a single prefix-sum pass.
+        """
         if clustering.n != self.placement.nranks:
             raise ValueError(
                 f"clustering covers {clustering.n} processes, placement "
@@ -125,11 +145,11 @@ class CatastrophicModel:
             )
         pmf = self.taxonomy.node_count_pmf()
         p_node = 1.0 - self.taxonomy.p_soft
+        lengths = [idx + 1 for idx, p_f in enumerate(pmf) if p_f != 0.0]
+        fractions = self.breaking_run_fractions(clustering, lengths)
         total = 0.0
-        for idx, p_f in enumerate(pmf):
-            if p_f == 0.0:
-                continue
-            total += p_f * self.breaking_run_fraction(clustering, idx + 1)
+        for f in lengths:
+            total += pmf[f - 1] * fractions[f]
         return p_node * total
 
 

@@ -124,8 +124,16 @@ def make_fti_world_programs(
         chunk = cfg.checkpoint_bytes_per_process * placement.app_per_node
         chunk //= max(1, ring_size)
         for _ in range(n_ckpts):
+            # Post the whole node's readiness receives up front, then drain:
+            # the ready notifications arrive in whatever order the app ranks
+            # reach the checkpoint, and batching the posts keeps the engine
+            # on its O(1) per-channel matching instead of re-entering the
+            # wildcard scan once per message.
+            ready = []
             for _ in range(placement.app_per_node):
-                yield from comm.recv(source=ANY_SOURCE, tag=_READY_TAG)
+                req = yield from comm.irecv(source=ANY_SOURCE, tag=_READY_TAG)
+                ready.append(req)
+            yield from comm.waitall(ready)
             if ring_size > 1:
                 right = enc_world[(ring_index + 1) % ring_size]
                 left = enc_world[(ring_index - 1) % ring_size]

@@ -236,6 +236,10 @@ def run_with_protocol(
     tracer = TraceRecorder(nranks) if trace else None
     engine = Engine(nranks, network=machine.network, tracer=tracer)
     engine.message_log = protocol.log
+    # The checkpoint sidecars snapshot per-channel receive positions, so
+    # this run needs the engine's (opt-in) receive counting; together with
+    # the message log it pins every collective to the per-message path.
+    engine.track_recv_counts = True
     program = sim.make_program(iterations=iterations, hook=protocol.make_hook())
     states = engine.run(program)
     return ProtocolRunResult(

@@ -24,6 +24,7 @@ already-tested model.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,9 +35,16 @@ from repro.failures.events import PAPER_TAXONOMY, FailureTaxonomy
 from repro.failures.mtbf import MTBFModel
 from repro.machine.machine import Machine
 from repro.models.encoding_time import EncodingTimeModel
-from repro.util.rng import resolve_rng
+from repro.util.rng import resolve_rng, spawn_rngs
 from repro.util.units import GiB
 from repro.util.validation import check_positive
+
+
+def _run_campaign_task(args) -> "CampaignResult":
+    """Worker entry point for the process-pool sweep (module-level so it
+    pickles): one (simulator, clustering, child-rng) triple → one result."""
+    simulator, clustering, rng = args
+    return simulator.run(clustering, rng=rng)
 
 
 @dataclass(frozen=True)
@@ -220,12 +228,73 @@ class CampaignSimulator:
             catastrophic_penalty_s=catastrophic_penalty,
         )
 
-    def expected_waste(
-        self, clustering: Clustering, *, n_campaigns: int = 5, rng=None
-    ) -> float:
-        """Mean waste fraction over several sampled campaigns."""
+    def sweep(
+        self,
+        clusterings: list[Clustering],
+        *,
+        n_campaigns: int = 5,
+        rng=None,
+        workers: int = 1,
+    ) -> dict[str, list[CampaignResult]]:
+        """Run ``n_campaigns`` campaigns per clustering, optionally in parallel.
+
+        Campaigns are embarrassingly parallel across (clustering, seed)
+        pairs: each pair gets an independent child stream spawned from
+        ``rng`` (:func:`repro.util.rng.spawn_rngs`), so results are
+        deterministic under a fixed seed *regardless of worker count or
+        completion order*, and ``workers > 1`` fans the pairs out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`. Returns the
+        aggregated :class:`CampaignResult` lists keyed by clustering name,
+        campaign-index order preserved.
+        """
         if n_campaigns < 1:
             raise ValueError("n_campaigns must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        names = [c.name for c in clusterings]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"clustering names must be unique to key the sweep, got {names}"
+            )
+        streams = spawn_rngs(rng, len(clusterings) * n_campaigns)
+        tasks = [
+            (self, clustering, streams[i * n_campaigns + k])
+            for i, clustering in enumerate(clusterings)
+            for k in range(n_campaigns)
+        ]
+        if workers == 1:
+            results = [_run_campaign_task(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_run_campaign_task, tasks))
+        return {
+            clustering.name: results[i * n_campaigns : (i + 1) * n_campaigns]
+            for i, clustering in enumerate(clusterings)
+        }
+
+    def expected_waste(
+        self,
+        clustering: Clustering,
+        *,
+        n_campaigns: int = 5,
+        rng=None,
+        workers: int = 1,
+    ) -> float:
+        """Mean waste fraction over several sampled campaigns.
+
+        ``workers=1`` keeps the historical serial path (campaigns drawn
+        sequentially from one shared generator, seed-for-seed identical to
+        earlier releases); ``workers > 1`` delegates to :meth:`sweep`,
+        which spawns one child stream per campaign and scores them in a
+        process pool (statistically equivalent, different draws).
+        """
+        if n_campaigns < 1:
+            raise ValueError("n_campaigns must be >= 1")
+        if workers > 1:
+            results = self.sweep(
+                [clustering], n_campaigns=n_campaigns, rng=rng, workers=workers
+            )[clustering.name]
+            return float(np.mean([r.waste_fraction for r in results]))
         gen = resolve_rng(rng)
         return float(
             np.mean(

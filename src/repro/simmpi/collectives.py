@@ -7,10 +7,24 @@ the power-of-two diagonals of MPICH2's ``MPI_Allgather`` (used by FTI during
 initialization). Running these algorithms through the tracer reproduces the
 same diagonals.
 
-All functions are generator coroutines operating on a
+All generator functions in the first half of this module operate on a
 :class:`~repro.simmpi.comm.Communicator`; they must be invoked with
 ``yield from``. Every collective draws a fresh internal tag from the
 communicator so that back-to-back collectives never cross-match.
+
+Fast paths
+----------
+The second half holds the *fast paths*: closed-form emulations of the same
+algorithms that the engine runs in one vectorized pass once every member of
+the world communicator has reached the collective. They reproduce the
+generator cascades exactly — same trace records (source, destination,
+bytes, kind, message counts), same per-rank virtual clocks (identical IEEE
+arithmetic, level by level), same results (including the per-rank operator
+application order of the reductions) — while skipping per-message generator
+resumption, matching and request allocation entirely. The engine only
+dispatches here when no per-message observer is active (no tracer payload
+log, no receive-count tracking, no failure injection); see
+:meth:`repro.simmpi.engine.Engine.run` for the eligibility rules.
 """
 
 from __future__ import annotations
@@ -18,6 +32,12 @@ from __future__ import annotations
 from typing import Any, Callable
 
 import numpy as np
+
+from repro.simmpi.request import (
+    capture_payload,
+    is_immutable_payload,
+    payload_nbytes,
+)
 
 
 def sum_op(a, b):
@@ -253,3 +273,244 @@ def scan(comm, value: Any, op: Callable = sum_op, *, kind: str = "scan"):
     if rank < size - 1:
         yield from comm.send(acc, dest=rank + 1, tag=tag, kind=kind)
     return acc
+
+
+# ===========================================================================
+# Fast paths: vectorized emulations of the cascades above (world comm only)
+# ===========================================================================
+#
+# Each function takes the per-rank inputs the engine gathered — ``values``
+# (indexed by world rank), ``op_fns`` (each rank's reduction callable),
+# ``root``, the per-rank ``clocks`` at collective entry — plus the network
+# model and optional tracer, and returns ``(results, new_clocks)``. The
+# timing recurrences mirror the engine's virtual-time rules exactly:
+# buffered sends are free, a receive completes at
+# ``max(local clock, sender clock at post + transfer time)``, and every
+# algorithm's send happens at the sender's clock *entering* that round.
+
+
+def _trace(tracer, srcs, dsts, nbytes, kind) -> None:
+    if tracer is not None:
+        tracer.record_many(srcs, dsts, nbytes, kind)
+
+
+def _fast_bcast(values, op_fns, root, kind, clocks, network, tracer):
+    n = clocks.size
+    data = values[root]
+    if n == 1:
+        return [data], clocks.copy()
+    nb = payload_nbytes(data)
+    perm = (np.arange(n) + root) % n  # world rank of each virtual rank
+    ready = clocks[perm].copy()
+    # Binomial tree: vrank v receives from v with its lowest set bit
+    # cleared; levels are processed by descending lowest-set-bit so every
+    # parent's ready time is final before its children read it.
+    mask = 1 << ((n - 1).bit_length() - 1)
+    while mask:
+        children = np.arange(mask, n, 2 * mask)
+        parents = children - mask
+        ws, wd = perm[parents], perm[children]
+        t = network.transfer_times(ws, wd, nb)
+        ready[children] = np.maximum(ready[children], ready[parents] + t)
+        _trace(tracer, ws, wd, float(nb), kind)
+        mask >>= 1
+    shared = is_immutable_payload(data)
+    results = [
+        data if (w == root or shared) else capture_payload(data)
+        for w in range(n)
+    ]
+    new_clocks = np.empty(n, dtype=np.float64)
+    new_clocks[perm] = ready
+    return results, new_clocks
+
+
+def _fast_reduce(values, op_fns, root, kind, clocks, network, tracer):
+    n = clocks.size
+    if n == 1:
+        return [values[0]], clocks.copy()
+    perm = (np.arange(n) + root) % n
+    c = clocks[perm].copy()
+    vals: list[Any] = [values[int(perm[v])] for v in range(n)]
+    mask = 1
+    while mask < n:
+        senders = np.arange(mask, n, 2 * mask)  # vranks whose lsb == mask
+        if senders.size:
+            receivers = senders - mask
+            nb = np.fromiter(
+                (payload_nbytes(vals[s]) for s in senders),
+                dtype=np.float64,
+                count=senders.size,
+            )
+            ws, wd = perm[senders], perm[receivers]
+            t = network.transfer_times(ws, wd, nb)
+            c[receivers] = np.maximum(c[receivers], c[senders] + t)
+            for s, r in zip(senders.tolist(), receivers.tolist()):
+                vals[r] = op_fns[perm[r]](vals[r], capture_payload(vals[s]))
+            _trace(tracer, ws, wd, nb, kind)
+        mask <<= 1
+    results: list[Any] = [None] * n
+    results[root] = vals[0]
+    new_clocks = np.empty(n, dtype=np.float64)
+    new_clocks[perm] = c
+    return results, new_clocks
+
+
+def _fast_allreduce(values, op_fns, root, kind, clocks, network, tracer):
+    n = clocks.size
+    if n == 1:
+        return [values[0]], clocks.copy()
+    if not _is_pow2(n):
+        # MPICH2's fallback: binomial reduce to 0, then binomial bcast.
+        partials, c = _fast_reduce(values, op_fns, 0, kind, clocks, network, tracer)
+        bvals: list[Any] = [None] * n
+        bvals[0] = partials[0]
+        return _fast_bcast(bvals, op_fns, 0, kind, c, network, tracer)
+    idx = np.arange(n)
+    c = clocks.copy()
+    vals = list(values)
+    mask = 1
+    while mask < n:
+        partner = idx ^ mask
+        nb = np.fromiter(
+            (payload_nbytes(v) for v in vals), dtype=np.float64, count=n
+        )
+        t = network.transfer_times(partner, idx, nb[partner])
+        c = np.maximum(c, c[partner] + t)
+        _trace(tracer, idx, partner, nb, kind)
+        vals = [
+            op_fns[r](vals[r], capture_payload(vals[r ^ mask])) for r in range(n)
+        ]
+        mask <<= 1
+    return vals, c
+
+
+def _allgather_results(values) -> list[list[Any]]:
+    """Per-rank rank-ordered block lists with buffered-send copy semantics."""
+    n = len(values)
+    immut = [is_immutable_payload(v) for v in values]
+    if all(immut):
+        template = list(values)
+        return [template.copy() for _ in range(n)]
+    return [
+        [
+            values[i] if (i == r or immut[i]) else capture_payload(values[i])
+            for i in range(n)
+        ]
+        for r in range(n)
+    ]
+
+
+def _fast_allgather(values, op_fns, root, kind, clocks, network, tracer):
+    n = clocks.size
+    if n == 1:
+        return [[values[0]]], clocks.copy()
+    b = np.fromiter(
+        (payload_nbytes(v) for v in values), dtype=np.float64, count=n
+    )
+    idx = np.arange(n)
+    c = clocks.copy()
+    if _is_pow2(n):
+        # Recursive doubling: partner r^mask, each side sends its
+        # contiguous block run [base, base + mask).
+        prefix = np.concatenate([[0.0], np.cumsum(b)])
+        mask = 1
+        while mask < n:
+            partner = idx ^ mask
+            base = idx & ~(mask - 1)
+            chunk = prefix[base + mask] - prefix[base]
+            t = network.transfer_times(partner, idx, chunk[partner])
+            c = np.maximum(c, c[partner] + t)
+            _trace(tracer, idx, partner, chunk, kind)
+            mask <<= 1
+    else:
+        # Bruck: after round k rank r holds blocks r … r+2^k-1 (mod n) and
+        # ships the first `count` of them pofk ranks down the ring.
+        prefix2 = np.concatenate([[0.0], np.cumsum(np.concatenate([b, b]))])
+        have = 1
+        pofk = 1
+        while have < n:
+            count = min(pofk, n - have)
+            window = prefix2[idx + count] - prefix2[idx]
+            src = (idx + pofk) % n
+            dst = (idx - pofk) % n
+            t = network.transfer_times(src, idx, window[src])
+            c = np.maximum(c, c[src] + t)
+            _trace(tracer, idx, dst, window, kind)
+            have += count
+            pofk <<= 1
+    return _allgather_results(values), c
+
+
+def _fast_alltoall(values, op_fns, root, kind, clocks, network, tracer):
+    n = clocks.size
+    if n == 1:
+        return [[values[0][0]]], clocks.copy()
+    nbytes = np.empty((n, n), dtype=np.float64)
+    for s in range(n):
+        row = values[s]
+        for d in range(n):
+            nbytes[s, d] = payload_nbytes(row[d])
+    idx = np.arange(n)
+    c = clocks.copy()
+    for step in range(1, n):
+        src = (idx - step) % n
+        dst = (idx + step) % n
+        t = network.transfer_times(src, idx, nbytes[src, idx])
+        c = np.maximum(c, c[src] + t)
+        _trace(tracer, idx, dst, nbytes[idx, dst], kind)
+    results = [
+        [
+            values[s][r] if s == r else capture_payload(values[s][r])
+            for s in range(n)
+        ]
+        for r in range(n)
+    ]
+    return results, c
+
+
+def _fast_barrier(values, op_fns, root, kind, clocks, network, tracer):
+    n = clocks.size
+    c = clocks.copy()
+    if n == 1:
+        return [None], c
+    idx = np.arange(n)
+    zeros = np.zeros(n, dtype=np.float64)
+    step = 1
+    while step < n:
+        src = (idx - step) % n
+        dst = (idx + step) % n
+        t = network.transfer_times(src, idx, zeros)
+        c = np.maximum(c, c[src] + t)
+        _trace(tracer, idx, dst, zeros, kind)
+        step <<= 1
+    return [None] * n, c
+
+
+#: Collectives with a vectorized world-communicator fast path. Linear
+#: gather/scatter and scan keep the generator cascade only — they are cheap
+#: and rare in the workloads this engine runs.
+FAST_WORLD_COLLECTIVES: dict[str, Callable] = {
+    "bcast": _fast_bcast,
+    "reduce": _fast_reduce,
+    "allreduce": _fast_allreduce,
+    "allgather": _fast_allgather,
+    "alltoall": _fast_alltoall,
+    "barrier": _fast_barrier,
+}
+
+
+def execute_fast_collective(
+    kind: str,
+    *,
+    values: list,
+    op_fns: list,
+    root: int,
+    trace_kind: str,
+    clocks: np.ndarray,
+    network,
+    tracer,
+):
+    """Run one gathered world collective; returns ``(results, new_clocks)``."""
+    return FAST_WORLD_COLLECTIVES[kind](
+        values, op_fns, root, trace_kind, clocks, network, tracer
+    )

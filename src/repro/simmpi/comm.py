@@ -20,7 +20,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.simmpi import collectives as coll
-from repro.simmpi.engine import PostRecv, PostSend, RankContext, Wait
+from repro.simmpi.engine import CollectiveOp, PostRecv, PostSend, RankContext, Wait
 from repro.simmpi.errors import CommunicatorError
 from repro.simmpi.request import (
     ANY_SOURCE,
@@ -28,40 +28,15 @@ from repro.simmpi.request import (
     RecvRequest,
     Request,
     SendRequest,
+    capture_payload as _capture,
     nbytes_of,
+    payload_nbytes as _payload_nbytes,
 )
 
 #: Base of the internal tag space used by collectives. User tags must stay
 #: below this value; :meth:`Communicator.send` enforces it.
 COLL_TAG_BASE: int = 1 << 30
 _COLL_TAG_MOD: int = 1 << 20
-
-
-def _payload_nbytes(obj: Any) -> int:
-    """Wire size of ``obj``, descending into the containers collectives use."""
-    if isinstance(obj, dict):
-        return sum(_payload_nbytes(v) for v in obj.values())
-    if isinstance(obj, (list, tuple)):
-        return sum(_payload_nbytes(v) for v in obj)
-    return nbytes_of(obj)
-
-
-def _capture(obj: Any) -> Any:
-    """Snapshot mutable payloads at send time (buffered-send semantics).
-
-    NumPy arrays are copied so the sender may reuse its buffer immediately,
-    mirroring what a buffered ``MPI_Send`` guarantees. Containers are
-    shallow-copied with their array leaves copied.
-    """
-    if isinstance(obj, np.ndarray):
-        return obj.copy()
-    if isinstance(obj, dict):
-        return {k: _capture(v) for k, v in obj.items()}
-    if isinstance(obj, list):
-        return [_capture(v) for v in obj]
-    if isinstance(obj, tuple):
-        return tuple(_capture(v) for v in obj)
-    return obj
 
 
 class Communicator:
@@ -222,20 +197,73 @@ class Communicator:
 
     # -- collectives ------------------------------------------------------------
 
+    def _fast_collective_ok(self) -> bool:
+        """Whether this collective may take the engine's vectorized path.
+
+        Restricted to plain world communicators (subclasses — e.g. the
+        HydEE replay communicator — and split sub-communicators always run
+        the generator cascade) and gated on the engine's per-run
+        eligibility (no message log, no receive counting, no failure
+        injection, fast paths enabled).
+        """
+        engine = self.ctx.engine
+        return (
+            engine._fast_coll_active
+            and self.__class__ is Communicator
+            and self.comm_id == 0
+            and self.size == engine.nranks
+        )
+
+    def _collective_op(self, kind, tag, value, root=0, op=None, trace_kind=None):
+        return CollectiveOp(
+            kind=kind,
+            comm_id=self.comm_id,
+            tag=tag,
+            value=value,
+            root=root,
+            op=op,
+            trace_kind=kind if trace_kind is None else trace_kind,
+        )
+
     def barrier(self):
         """Dissemination barrier across the group."""
+        if self._fast_collective_ok():
+            tag = self._next_coll_tag()
+            if self.size == 1:
+                return None
+            return (yield self._collective_op("barrier", tag, None))
         return (yield from coll.barrier(self))
 
     def bcast(self, obj: Any, root: int = 0):
         """Binomial-tree broadcast; returns the object on every rank."""
+        if self._fast_collective_ok():
+            self._check_root(root)
+            tag = self._next_coll_tag()
+            if self.size == 1:
+                return obj
+            return (yield self._collective_op("bcast", tag, obj, root=root))
         return (yield from coll.bcast(self, obj, root))
 
     def reduce(self, value: Any, op: Callable = coll.sum_op, root: int = 0):
         """Tree reduction; result on root, ``None`` elsewhere."""
+        if self._fast_collective_ok():
+            self._check_root(root)
+            tag = self._next_coll_tag()
+            if self.size == 1:
+                return value
+            return (yield self._collective_op("reduce", tag, value, root=root, op=op))
         return (yield from coll.reduce(self, value, op, root))
 
     def allreduce(self, value: Any, op: Callable = coll.sum_op):
         """All-reduce (recursive doubling / reduce+bcast)."""
+        if self._fast_collective_ok():
+            if self.size == 1:
+                return value
+            tag = self._next_coll_tag()
+            if not coll._is_pow2(self.size):
+                # The cascade runs reduce-then-bcast, consuming two tags.
+                self._next_coll_tag()
+            return (yield self._collective_op("allreduce", tag, value, op=op))
         return (yield from coll.allreduce(self, value, op))
 
     def gather(self, value: Any, root: int = 0):
@@ -248,10 +276,24 @@ class Communicator:
 
     def allgather(self, value: Any):
         """All-gather (recursive doubling / Bruck); rank-ordered list."""
+        if self._fast_collective_ok():
+            if self.size == 1:
+                return [value]
+            tag = self._next_coll_tag()
+            return (yield self._collective_op("allgather", tag, value))
         return (yield from coll.allgather(self, value))
 
     def alltoall(self, values: list):
         """Pairwise-exchange all-to-all."""
+        if self._fast_collective_ok():
+            if len(values) != self.size:
+                raise ValueError(
+                    f"alltoall needs {self.size} values, got {len(values)}"
+                )
+            tag = self._next_coll_tag()
+            if self.size == 1:
+                return [values[0]]
+            return (yield self._collective_op("alltoall", tag, values))
         return (yield from coll.alltoall(self, values))
 
     def scan(self, value: Any, op: Callable = coll.sum_op):

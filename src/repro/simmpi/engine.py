@@ -13,11 +13,32 @@ therefore reads almost exactly like mpi4py::
             data = yield from comm.recv(source=0, tag=7)
         return result
 
-The engine is *deterministic*: runnable ranks are always resumed in
-increasing rank order, message matching follows MPI's non-overtaking rule
+The engine is *deterministic*: runnable ranks are resumed in sorted
+batches (see below), message matching follows MPI's non-overtaking rule
 per (sender, communicator), and virtual time is tracked per rank with a
 latency/bandwidth network model. Determinism is what makes the protocol
 tests (checkpoint/replay bit-equivalence) meaningful.
+
+Scheduling
+----------
+The scheduler is a batched run-until-blocked loop. All ranks start
+runnable; the engine drains the current batch in ascending rank order,
+resuming each rank's generator until it either finishes or blocks on an
+incomplete request. Ranks unblocked while a batch drains (a send
+completing a peer's pending receive, the last member arriving at a fast
+collective) accumulate into the *next* batch, which is sorted and drained
+the same way, until no rank is runnable. The schedule is a pure function
+of the programs — no heap, no wall-clock, no iteration order over hash
+containers — so runs are exactly reproducible.
+
+Dispatch of the yielded ops is a ``__class__``-identity chain over the
+four op types (send post, receive post, wait, collective), and message
+matching is per-channel: unexpected messages and pending receives live in
+deques keyed by ``(source, tag)`` under each ``(communicator, receiver)``,
+stamped with a global posting sequence. Exact-match traffic pops its
+deque in O(1); wildcard receives (``ANY_SOURCE`` / ``ANY_TAG``) pick the
+matching channel head with the smallest stamp, which reproduces exactly
+the posted-order semantics of a linear scan.
 
 Virtual-time semantics
 ----------------------
@@ -31,19 +52,40 @@ Virtual-time semantics
 This is the standard LogP-style approximation used by trace-driven MPI
 simulators; it reproduces exactly what the paper consumes (byte-accurate
 traces, event ordering) while remaining fast enough for 1088-rank runs.
+
+Fast-path collectives
+---------------------
+World-communicator ``bcast`` / ``reduce`` / ``allreduce`` / ``allgather``
+/ ``alltoall`` / ``barrier`` skip the point-to-point generator cascade:
+each rank yields a single :class:`CollectiveOp`, the engine parks it until
+every rank has arrived, then computes results, per-rank clocks and trace
+records in one vectorized pass over the network model
+(:mod:`repro.simmpi.collectives`, second half). The fast path is
+byte-identical to the cascade — same trace matrices, same message counts,
+same clocks, same results — and is therefore active even under tracing.
+It deactivates (per run) whenever a per-message observer needs to see the
+individual point-to-point messages: a ``message_log`` (sender-based
+payload logging), ``track_recv_counts`` (receiver-position sidecars), a
+non-empty ``failure_ranks`` set (failures strike mid-cascade), or
+``use_fast_collectives=False`` (the equivalence tests' pin). Collectives
+on split sub-communicators always run the cascade.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Sequence
 
+import numpy as np
+
+from repro.simmpi import collectives as _coll
 from repro.simmpi.errors import DeadlockError, MatchingError, RankFailedError
 from repro.simmpi.network import NetworkModel, zero_latency_network
 from repro.simmpi.request import (
     ANY_SOURCE,
     ANY_TAG,
+    CollectiveRequest,
     Message,
     RecvRequest,
     Request,
@@ -85,7 +127,26 @@ class Wait:
     request: Request
 
 
-Op = PostSend | PostRecv | Wait
+@dataclass(slots=True)
+class CollectiveOp:
+    """One rank's entry into a fast-path world collective.
+
+    The engine replies with the rank's collective *result* (not a request)
+    once every world rank has yielded the matching op. ``tag`` is the
+    collective tag the slow path would have used — it keys concurrent
+    collectives apart when ranks run ahead of each other.
+    """
+
+    kind: str  # "bcast" | "reduce" | "allreduce" | "allgather" | "alltoall" | "barrier"
+    comm_id: int
+    tag: int
+    value: Any
+    root: int
+    op: Callable | None
+    trace_kind: str
+
+
+Op = PostSend | PostRecv | Wait | CollectiveOp
 
 
 class RankContext:
@@ -141,6 +202,21 @@ class _RankState:
         self.failed = False
 
 
+class _PendingCollective:
+    """Gathering state of one fast-path collective instance."""
+
+    __slots__ = ("kind", "root", "trace_kind", "values", "op_fns", "requests", "count")
+
+    def __init__(self, nranks: int, kind: str, root: int, trace_kind: str):
+        self.kind = kind
+        self.root = root
+        self.trace_kind = trace_kind
+        self.values: list[Any] = [None] * nranks
+        self.op_fns: list[Callable | None] = [None] * nranks
+        self.requests: list[CollectiveRequest | None] = [None] * nranks
+        self.count = 0
+
+
 RankProgram = Callable[[RankContext], Generator]
 
 
@@ -156,7 +232,13 @@ class Engine:
         ordering semantics and traces while making unit tests trivial.
     tracer:
         Optional :class:`TraceRecorder`; when provided, every message is
-        recorded at send-post time.
+        recorded at send-post time (fast-path collectives record the same
+        messages in bulk).
+    use_fast_collectives:
+        Allow world-communicator collectives to take the vectorized fast
+        path. Set to ``False`` to pin every collective to the
+        point-to-point generator cascade (the equivalence suite's
+        reference).
     failure_ranks:
         Ranks that should fail by raising :class:`RankFailedError` inside
         their program the next time they interact with the engine. Used by
@@ -169,32 +251,46 @@ class Engine:
         *,
         network: NetworkModel | None = None,
         tracer: TraceRecorder | None = None,
+        use_fast_collectives: bool = True,
     ):
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
         self.nranks = nranks
         self.network = network or zero_latency_network()
         self.tracer = tracer
+        self.use_fast_collectives = use_fast_collectives
         self.failure_ranks: set[int] = set()
 
         # Protocol hooks (used by repro.hydee): an optional message log that
         # captures payloads of selected messages at send time, and
         # per-channel counts of *completed* receives — the two ingredients of
         # sender-based logging with receiver-side checkpointed positions.
+        # Receive counting is opt-in (``track_recv_counts``): the protocol
+        # layer enables it, plain trace/timing runs skip the per-receive
+        # bookkeeping entirely. Either hook forces collectives onto the
+        # per-message slow path so the observers see every message.
         self.message_log = None  # object with .wants(src, dst) and .record(...)
+        self.track_recv_counts = False
         self.recv_counts: dict[tuple[int, int], int] = {}
 
-        # Matching state: keyed by (comm_id, receiver world rank).
-        self._pending_recvs: dict[tuple[int, int], list[RecvRequest]] = {}
-        self._unexpected: dict[tuple[int, int], list[Message]] = {}
+        # Matching state, keyed by (comm_id, receiver world rank) and then
+        # by (source, tag) channel; see _handle_send/_handle_recv_post.
+        self._pending_recvs: dict[tuple[int, int], dict] = {}
+        self._unexpected: dict[tuple[int, int], dict] = {}
+        self._seq = 0  # global posting-order stamp
 
         # Communicator-id allocation (world == 0); see Communicator.split.
         self._next_comm_id = 1
         self._split_registry: dict[tuple, int] = {}
 
         self._states: list[_RankState] = []
-        self._runnable: list[int] = []  # heap of rank ids
-        self._in_runnable: set[int] = set()
+        self._next_runnable: list[int] = []
+        self._in_next: set[int] = set()
+
+        # Fast-collective state: gathering slots and per-run eligibility.
+        self._pending_colls: dict[tuple[int, int], _PendingCollective] = {}
+        self._fast_coll_active = False
+        self.fast_collectives_run = 0
 
     # -- communicator-id service -------------------------------------------
 
@@ -215,9 +311,9 @@ class Engine:
     # -- scheduling ----------------------------------------------------------
 
     def _make_runnable(self, rank: int) -> None:
-        if rank not in self._in_runnable:
-            heapq.heappush(self._runnable, rank)
-            self._in_runnable.add(rank)
+        if rank not in self._in_next:
+            self._in_next.add(rank)
+            self._next_runnable.append(rank)
 
     def run(
         self,
@@ -260,14 +356,30 @@ class Engine:
                 )
             self._states.append(_RankState(rank, gen, ctx))
 
-        self._runnable = list(range(self.nranks))
-        heapq.heapify(self._runnable)
-        self._in_runnable = set(range(self.nranks))
+        self._pending_colls = {}
+        # Eligibility is fixed per run: every rank must take the same path
+        # through a given collective, and all three per-message observers
+        # (payload log, receive counting, failure injection) need the
+        # cascade's individual messages.
+        self._fast_coll_active = (
+            self.use_fast_collectives
+            and self.message_log is None
+            and not self.track_recv_counts
+            and not self.failure_ranks
+        )
 
-        while self._runnable:
-            rank = heapq.heappop(self._runnable)
-            self._in_runnable.discard(rank)
-            self._step(self._states[rank])
+        states = self._states
+        step = self._step
+        batch = list(range(self.nranks))
+        self._next_runnable = []
+        self._in_next = set()
+        while batch:
+            for rank in batch:
+                step(states[rank])
+            batch = self._next_runnable
+            batch.sort()
+            self._next_runnable = []
+            self._in_next = set()
 
         unfinished = [s for s in self._states if not s.finished]
         if unfinished:
@@ -283,20 +395,26 @@ class Engine:
         send_value: Any = None
         throw_exc: BaseException | None = None
         if state.blocked_on is not None:
-            # Waking from a Wait: answer the pending yield with the request.
+            # Waking from a Wait: answer the pending yield with the request
+            # (or, for a fast collective, with this rank's result).
             request = state.blocked_on
             state.blocked_on = None
             if not request.done:
                 raise MatchingError("rank resumed on an incomplete request")
-            send_value = self._complete_wait(state, request)
+            if request.__class__ is CollectiveRequest:
+                send_value = request.result
+            else:
+                send_value = self._complete_wait(state, request)
 
+        gen_send = state.gen.send
+        failure_ranks = self.failure_ranks
         while True:
             try:
                 if throw_exc is not None:
                     exc, throw_exc = throw_exc, None
                     op = state.gen.throw(exc)
                 else:
-                    op = state.gen.send(send_value)
+                    op = gen_send(send_value)
             except StopIteration as stop:
                 state.finished = True
                 state.result = stop.value
@@ -307,7 +425,7 @@ class Engine:
                 state.result = None
                 return
 
-            if state.rank in self.failure_ranks and not state.failed:
+            if failure_ranks and state.rank in failure_ranks and not state.failed:
                 # Inject the failure at the rank's next communication
                 # point (generators cannot catch exceptions thrown before
                 # their first yield). The pending op is dropped — the
@@ -316,14 +434,22 @@ class Engine:
                 throw_exc = RankFailedError(state.rank)
                 continue
 
-            if isinstance(op, PostSend):
+            cls = op.__class__
+            if cls is PostSend:
                 send_value = self._handle_send(state, op)
-            elif isinstance(op, PostRecv):
+            elif cls is PostRecv:
                 send_value = self._handle_recv_post(state, op)
-            elif isinstance(op, Wait):
+            elif cls is Wait:
                 request = op.request
                 if request.done:
                     send_value = self._complete_wait(state, request)
+                else:
+                    state.blocked_on = request
+                    return
+            elif cls is CollectiveOp:
+                request = self._handle_collective(state, op)
+                if request.done:
+                    send_value = request.result
                 else:
                     state.blocked_on = request
                     return
@@ -334,49 +460,186 @@ class Engine:
 
     def _handle_send(self, state: _RankState, op: PostSend) -> SendRequest:
         src = state.rank
-        arrival = state.ctx.clock + self.network.transfer_time(src, op.dest, op.nbytes)
+        dst = op.dest
+        clock = state.ctx.clock
+        arrival = clock + self.network.transfer_time(src, dst, op.nbytes)
         message = Message(
             src=src,
-            dst=op.dest,
+            dst=dst,
             tag=op.tag,
             comm_id=op.comm_id,
             payload=op.payload,
             nbytes=op.nbytes,
-            send_time=state.ctx.clock,
+            send_time=clock,
             arrival_time=arrival,
         )
         message.kind = op.kind
         if self.tracer is not None:
-            self.tracer.record(src, op.dest, op.nbytes, kind=op.kind)
-        if self.message_log is not None and self.message_log.wants(src, op.dest):
+            self.tracer.record(src, dst, op.nbytes, kind=op.kind)
+        if self.message_log is not None and self.message_log.wants(src, dst):
             self.message_log.record(
-                src, op.dest, op.tag, op.payload, op.nbytes, op.kind
+                src, dst, op.tag, op.payload, op.nbytes, op.kind
             )
 
-        key = (op.comm_id, op.dest)
-        pending = self._pending_recvs.get(key)
-        if pending:
-            for i, req in enumerate(pending):
-                if message.matches(req.source, req.tag):
-                    pending.pop(i)
-                    req.complete(message)
-                    self._unblock_if_waiting(op.dest, req)
-                    return SendRequest(src, message)
-        self._unexpected.setdefault(key, []).append(message)
+        key = (op.comm_id, dst)
+        channels = self._pending_recvs.get(key)
+        if channels:
+            req = self._match_pending_recv(channels, src, op.tag)
+            if req is not None:
+                req.complete(message)
+                self._unblock_if_waiting(dst, req)
+                return SendRequest(src, message)
+        bucket = self._unexpected.get(key)
+        if bucket is None:
+            bucket = self._unexpected[key] = {}
+        chan = bucket.get((src, op.tag))
+        if chan is None:
+            chan = bucket[(src, op.tag)] = deque()
+        chan.append((self._seq, message))
+        self._seq += 1
         return SendRequest(src, message)
+
+    @staticmethod
+    def _match_pending_recv(channels: dict, src: int, tag: int):
+        """Earliest-posted pending receive whose pattern accepts (src, tag).
+
+        A receive pattern is one of four channels — exact, source-wildcard,
+        tag-wildcard, both-wildcard — so candidate lookup is four dict
+        probes; the posting-sequence stamps arbitrate between them exactly
+        like a linear scan over posting order.
+        """
+        best_seq = None
+        best_pattern = None
+        for pattern in (
+            (src, tag),
+            (src, ANY_TAG),
+            (ANY_SOURCE, tag),
+            (ANY_SOURCE, ANY_TAG),
+        ):
+            chan = channels.get(pattern)
+            if chan:
+                seq = chan[0][0]
+                if best_seq is None or seq < best_seq:
+                    best_seq = seq
+                    best_pattern = pattern
+        if best_pattern is None:
+            return None
+        chan = channels[best_pattern]
+        _, req = chan.popleft()
+        if not chan:
+            # Drop drained channels: slow-path collectives mint a fresh tag
+            # per call, so stale empty deques would otherwise accumulate
+            # for the lifetime of a long protocol run.
+            del channels[best_pattern]
+        return req
 
     def _handle_recv_post(self, state: _RankState, op: PostRecv) -> RecvRequest:
         req = RecvRequest(state.rank, op.source, op.tag, op.comm_id)
         key = (op.comm_id, state.rank)
-        queue = self._unexpected.get(key)
-        if queue:
-            for i, message in enumerate(queue):
-                if message.matches(op.source, op.tag):
-                    queue.pop(i)
-                    req.complete(message)
-                    return req
-        self._pending_recvs.setdefault(key, []).append(req)
+        bucket = self._unexpected.get(key)
+        if bucket:
+            message = self._match_unexpected(bucket, op.source, op.tag)
+            if message is not None:
+                req.complete(message)
+                return req
+        channels = self._pending_recvs.get(key)
+        if channels is None:
+            channels = self._pending_recvs[key] = {}
+        chan = channels.get((op.source, op.tag))
+        if chan is None:
+            chan = channels[(op.source, op.tag)] = deque()
+        chan.append((self._seq, req))
+        self._seq += 1
         return req
+
+    @staticmethod
+    def _match_unexpected(bucket: dict, source: int, tag: int):
+        """Earliest-arrived unexpected message matching a receive pattern.
+
+        Exact patterns probe one channel deque; wildcard patterns scan the
+        receiver's active channels and take the head with the smallest
+        arrival stamp — identical to scanning one arrival-ordered list.
+        """
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            chan = bucket.get((source, tag))
+            if not chan:
+                return None
+            _, message = chan.popleft()
+            if not chan:
+                del bucket[(source, tag)]
+            return message
+        best_seq = None
+        best_key = None
+        for (src, mtag), chan in bucket.items():
+            if source != ANY_SOURCE and src != source:
+                continue
+            if tag != ANY_TAG and mtag != tag:
+                continue
+            seq = chan[0][0]
+            if best_seq is None or seq < best_seq:
+                best_seq = seq
+                best_key = (src, mtag)
+        if best_key is None:
+            return None
+        chan = bucket[best_key]
+        _, message = chan.popleft()
+        if not chan:
+            del bucket[best_key]
+        return message
+
+    def _handle_collective(
+        self, state: _RankState, op: CollectiveOp
+    ) -> CollectiveRequest:
+        key = (op.comm_id, op.tag)
+        entry = self._pending_colls.get(key)
+        if entry is None:
+            entry = self._pending_colls[key] = _PendingCollective(
+                self.nranks, op.kind, op.root, op.trace_kind
+            )
+        elif entry.kind != op.kind or entry.root != op.root:
+            raise MatchingError(
+                f"rank {state.rank} joined collective {op.kind!r} (root "
+                f"{op.root}) but tag {op.tag} gathers {entry.kind!r} (root "
+                f"{entry.root})"
+            )
+        rank = state.rank
+        if entry.requests[rank] is not None:
+            raise MatchingError(
+                f"rank {rank} entered collective tag {op.tag} twice"
+            )
+        req = CollectiveRequest(rank, op.kind, op.comm_id, op.tag)
+        entry.values[rank] = op.value
+        entry.op_fns[rank] = op.op
+        entry.requests[rank] = req
+        entry.count += 1
+        if entry.count == self.nranks:
+            del self._pending_colls[key]
+            self._complete_collective(entry)
+        return req
+
+    def _complete_collective(self, entry: _PendingCollective) -> None:
+        """Compute a fully-gathered collective and wake its members."""
+        states = self._states
+        clocks = np.fromiter(
+            (s.ctx.clock for s in states), dtype=np.float64, count=self.nranks
+        )
+        results, new_clocks = _coll.execute_fast_collective(
+            entry.kind,
+            values=entry.values,
+            op_fns=entry.op_fns,
+            root=entry.root,
+            trace_kind=entry.trace_kind,
+            clocks=clocks,
+            network=self.network,
+            tracer=self.tracer,
+        )
+        self.fast_collectives_run += 1
+        for rank, req in enumerate(entry.requests):
+            states[rank].ctx.clock = float(new_clocks[rank])
+            req.result = results[rank]
+            req.done = True
+            if states[rank].blocked_on is req:
+                self._make_runnable(rank)
 
     def _unblock_if_waiting(self, rank: int, request: Request) -> None:
         state = self._states[rank]
@@ -393,8 +656,9 @@ class Engine:
                 raise MatchingError("completed receive without a message")
             if message.arrival_time > state.ctx.clock:
                 state.ctx.clock = message.arrival_time
-            channel = (message.src, state.rank)
-            self.recv_counts[channel] = self.recv_counts.get(channel, 0) + 1
+            if self.track_recv_counts:
+                channel = (message.src, state.rank)
+                self.recv_counts[channel] = self.recv_counts.get(channel, 0) + 1
         return request
 
     # -- introspection ---------------------------------------------------------
@@ -417,15 +681,22 @@ def run_program(
     *,
     network: NetworkModel | None = None,
     tracer: TraceRecorder | None = None,
+    use_fast_collectives: bool = True,
 ) -> list[Any]:
     """One-shot convenience wrapper: build an engine, run, return results."""
-    engine = Engine(nranks, network=network, tracer=tracer)
+    engine = Engine(
+        nranks,
+        network=network,
+        tracer=tracer,
+        use_fast_collectives=use_fast_collectives,
+    )
     return engine.run(program)
 
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "CollectiveOp",
     "Engine",
     "PostRecv",
     "PostSend",

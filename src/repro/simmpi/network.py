@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
+import numpy as np
+
 from repro.util.validation import check_positive
 
 
@@ -63,11 +65,12 @@ class NetworkModel:
         self.intra_node = intra_node or LinkParameters(5e-7, 6.0e9)
         self.inter_node = inter_node or LinkParameters(2e-6, 8.0e9)
         if locator is None:
-            self._node_of = lambda rank: rank
+            self._node_of = _own_node
         elif callable(locator) and not hasattr(locator, "node_of_rank"):
             self._node_of = locator
         else:
             self._node_of = locator.node_of_rank
+        self._node_vector: np.ndarray | None = None
 
     def node_of(self, rank: int) -> int:
         """Node index hosting ``rank`` under the configured placement."""
@@ -83,6 +86,52 @@ class NetworkModel:
             return 0.0
         link = self.intra_node if self.same_node(src, dst) else self.inter_node
         return link.transfer_time(nbytes)
+
+    # -- vectorized API (fast collective paths) -----------------------------
+
+    def node_vector(self, nranks: int) -> np.ndarray:
+        """rank → node for ranks ``0 … nranks-1`` as one int64 vector.
+
+        Cached (and grown on demand); callers must treat the result as
+        read-only. The returned array may be longer than ``nranks``.
+        """
+        if self._node_vector is None or self._node_vector.size < nranks:
+            node_of = self._node_of
+            self._node_vector = np.fromiter(
+                (node_of(r) for r in range(nranks)), dtype=np.int64, count=nranks
+            )
+        return self._node_vector
+
+    def transfer_times(self, src, dests, nbytes) -> np.ndarray:
+        """Vectorized :meth:`transfer_time`: times from ``src`` to ``dests``.
+
+        ``src`` may be a scalar rank or an array broadcastable against
+        ``dests``; ``nbytes`` may be a scalar or a per-message array. One
+        pass over the cached rank → node vector replaces per-message
+        ``node_of`` calls; entries with ``src == dst`` are zero, matching
+        the scalar path bit for bit (same latency + bytes/bandwidth
+        arithmetic in IEEE doubles).
+        """
+        srcs = np.asarray(src, dtype=np.int64)
+        dsts = np.asarray(dests, dtype=np.int64)
+        top = int(max(srcs.max(initial=0), dsts.max(initial=0))) + 1
+        nodes = self.node_vector(top)
+        same = nodes[srcs] == nodes[dsts]
+        nb = np.asarray(nbytes, dtype=np.float64)
+        intra, inter = self.intra_node, self.inter_node
+        out = np.where(
+            same,
+            intra.latency_s + nb / intra.bandwidth_Bps,
+            inter.latency_s + nb / inter.bandwidth_Bps,
+        )
+        return np.where(srcs == dsts, 0.0, out)
+
+
+def _own_node(rank: int) -> int:
+    """Default locator: every rank on its own node (picklable, unlike a
+    lambda — the parallel campaign runner ships network models to worker
+    processes)."""
+    return rank
 
 
 def zero_latency_network() -> NetworkModel:

@@ -38,6 +38,47 @@ def nbytes_of(payload: Any) -> int:
     return int(sys.getsizeof(payload))
 
 
+def payload_nbytes(obj: Any) -> int:
+    """Wire size of ``obj``, descending into the containers collectives use."""
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(v) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(v) for v in obj)
+    return nbytes_of(obj)
+
+
+def capture_payload(obj: Any) -> Any:
+    """Snapshot mutable payloads at send time (buffered-send semantics).
+
+    NumPy arrays are copied so the sender may reuse its buffer immediately,
+    mirroring what a buffered ``MPI_Send`` guarantees. Containers are
+    shallow-copied with their array leaves copied.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, dict):
+        return {k: capture_payload(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [capture_payload(v) for v in obj]
+    if isinstance(obj, tuple):
+        return tuple(capture_payload(v) for v in obj)
+    return obj
+
+
+def is_immutable_payload(obj: Any) -> bool:
+    """Whether ``obj`` can be shared across receivers without capture.
+
+    Immutable payloads (and containers of immutables) are indistinguishable
+    from fresh copies, so the fast collective paths hand the same object to
+    every receiver instead of capturing once per rank.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, complex, str, bytes)):
+        return True
+    if isinstance(obj, (tuple, frozenset)):
+        return all(is_immutable_payload(v) for v in obj)
+    return False
+
+
 @dataclass(slots=True)
 class Message:
     """One in-flight message, addressed in *world* ranks."""
@@ -129,3 +170,26 @@ class RecvRequest(Request):
         src = "ANY" if self.source == ANY_SOURCE else str(self.source)
         tag = "ANY" if self.tag == ANY_TAG else str(self.tag)
         return f"recv from {src} (tag {tag}, comm {self.comm_id})"
+
+
+class CollectiveRequest(Request):
+    """Handle for a fast-path collective; completed when all members arrive.
+
+    The engine parks every participating rank on one of these while it
+    gathers the remaining members; once the whole communicator has yielded
+    its :class:`~repro.simmpi.engine.CollectiveOp`, the engine computes the
+    collective in one vectorized pass, stores each rank's ``result`` here
+    and wakes the blocked members.
+    """
+
+    __slots__ = ("kind", "comm_id", "tag", "result")
+
+    def __init__(self, owner: int, kind: str, comm_id: int, tag: int):
+        super().__init__(owner)
+        self.kind = kind
+        self.comm_id = comm_id
+        self.tag = tag
+        self.result: Any = None
+
+    def describe(self) -> str:
+        return f"collective {self.kind} (comm {self.comm_id}, tag {self.tag})"

@@ -52,6 +52,31 @@ class TraceRecorder:
                 )
             mat[dst, src] += nbytes
 
+    def record_many(self, srcs, dsts, nbytes, kind: str = "p2p") -> None:
+        """Record a whole batch of messages in one vectorized pass.
+
+        ``srcs``/``dsts``/``nbytes`` are parallel arrays; duplicated
+        (src, dst) pairs accumulate exactly as repeated :meth:`record`
+        calls would (byte counts are integers, so accumulation order
+        cannot perturb the float matrices).
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        nb = np.asarray(nbytes, dtype=np.float64)
+        if nb.ndim == 0:
+            nb = np.broadcast_to(nb, srcs.shape)
+        np.add.at(self.bytes_matrix, (dsts, srcs), nb)
+        np.add.at(self.count_matrix, (dsts, srcs), 1)
+        self.total_messages += int(srcs.size)
+        self.total_bytes += float(nb.sum())
+        if self.by_kind:
+            mat = self.kind_matrices.get(kind)
+            if mat is None:
+                mat = self.kind_matrices.setdefault(
+                    kind, np.zeros((self.nranks, self.nranks), dtype=np.float64)
+                )
+            np.add.at(mat, (dsts, srcs), nb)
+
     # -- views ------------------------------------------------------------
 
     def symmetric_bytes(self) -> np.ndarray:

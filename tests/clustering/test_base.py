@@ -109,3 +109,57 @@ class TestStatistics:
         c = Clustering("p", np.array(raw))
         seen = np.concatenate(c.l1_clusters())
         assert sorted(seen.tolist()) == list(range(c.n))
+
+
+class TestDerivedCacheLRU:
+    def test_hits_return_same_object(self):
+        c = Clustering("c", np.arange(8) // 2)
+        first = c.cached("probe", lambda: {"x": 1})
+        assert c.cached("probe", lambda: {"x": 2}) is first
+
+    def test_eviction_bounds_entries(self):
+        c = Clustering("c", np.arange(8) // 2)
+        limit = Clustering.CACHE_LIMIT
+        for i in range(limit + 10):
+            c.cached(("entry", i), lambda i=i: i)
+        assert len(c._derived) == limit
+        # Oldest entries fell out; the newest survive.
+        assert ("entry", 0) not in c._derived
+        assert ("entry", limit + 9) in c._derived
+
+    def test_hit_refreshes_recency(self):
+        c = Clustering("c", np.arange(8) // 2)
+        limit = Clustering.CACHE_LIMIT
+        for i in range(limit):
+            c.cached(("entry", i), lambda i=i: i)
+        c.cached(("entry", 0), lambda: "rebuilt?")  # hit: refresh entry 0
+        c.cached(("overflow", 1), lambda: 1)  # evicts entry 1, not 0
+        assert ("entry", 0) in c._derived
+        assert ("entry", 1) not in c._derived
+
+    def test_evicted_entries_are_rebuilt(self):
+        c = Clustering("c", np.arange(8) // 2)
+        builds = []
+        key = ("rebuild-me", 0)
+        c.cached(key, lambda: builds.append(1) or "v1")
+        for i in range(Clustering.CACHE_LIMIT + 1):
+            c.cached(("filler", i), lambda: None)
+        assert key not in c._derived
+        value = c.cached(key, lambda: builds.append(1) or "v2")
+        assert value == "v2"
+        assert len(builds) == 2
+
+
+class TestPickling:
+    def test_roundtrip_drops_derived_cache(self):
+        import pickle
+
+        c = Clustering("c", np.arange(12) // 6, np.arange(12) // 3)
+        c.cached("big", lambda: np.zeros(1000))
+        clone = pickle.loads(pickle.dumps(c))
+        assert clone.name == c.name
+        np.testing.assert_array_equal(clone.l1_labels, c.l1_labels)
+        np.testing.assert_array_equal(clone.l2_labels, c.l2_labels)
+        assert len(clone._derived) == 0
+        # The clone's cache works independently.
+        assert clone.cached("big", lambda: "fresh") == "fresh"

@@ -232,3 +232,50 @@ class TestBatchedSampling:
                 run_start=np.zeros(3, dtype=np.int64),
                 run_length=np.ones(3, dtype=np.int64),
             )
+
+
+class TestBatchedRunSweep:
+    """The one-pass run-table sweep must equal the per-f scalar path."""
+
+    def test_breaking_run_fractions_match_scalar(self, paper_setup):
+        placement, model, hier = paper_setup
+        clusterings = [
+            naive_clustering(1024, 32),
+            size_guided_clustering(1024, 8),
+            hier,
+        ]
+        lengths = list(range(1, 12)) + [placement.nnodes + 5]  # incl. clamp
+        for clustering in clusterings:
+            scalar_model = CatastrophicModel(placement)
+            batched = model.breaking_run_fractions(clustering, lengths)
+            for f in lengths:
+                assert batched[f] == scalar_model.breaking_run_fraction(
+                    clustering, f
+                )
+
+    def test_probability_matches_explicit_pmf_loop(self, paper_setup):
+        placement, model, hier = paper_setup
+        for clustering in [size_guided_clustering(1024, 8), hier]:
+            reference_model = CatastrophicModel(placement)
+            pmf = model.taxonomy.node_count_pmf()
+            expected = 0.0
+            for idx, p_f in enumerate(pmf):
+                if p_f == 0.0:
+                    continue
+                expected += p_f * reference_model.breaking_run_fraction(
+                    clustering, idx + 1
+                )
+            expected *= 1.0 - model.taxonomy.p_soft
+            assert model.probability(clustering) == expected
+
+    def test_sweep_fills_the_per_length_cache(self, paper_setup):
+        placement, model, _ = paper_setup
+        clustering = naive_clustering(1024, 32)
+        tables = model._tables(clustering)
+        tables._run_cache.clear()
+        out = tables.run_catastrophic_all([1, 3, 5])
+        assert set(out) == {1, 3, 5}
+        assert set(tables._run_cache) == {1, 3, 5}
+        for f, verdict in out.items():
+            assert verdict.shape == (placement.nnodes - f + 1,)
+            np.testing.assert_array_equal(verdict, tables.run_catastrophic(f))

@@ -128,3 +128,64 @@ class TestCampaigns:
         sim = CampaignSimulator(machine, fast_config())
         with pytest.raises(ValueError):
             sim.expected_waste(hierarchical, n_campaigns=0)
+
+
+class TestParallelSweep:
+    def test_sweep_worker_count_invariant(self, machine, hierarchical):
+        """Child streams are keyed by (clustering, campaign) index, so the
+        results are identical no matter how the pairs are scheduled."""
+        sim = CampaignSimulator(machine, fast_config())
+        clusterings = [naive_clustering(1024, 32), hierarchical]
+        serial = sim.sweep(clusterings, n_campaigns=3, rng=13, workers=1)
+        pooled = sim.sweep(clusterings, n_campaigns=3, rng=13, workers=2)
+        assert serial.keys() == pooled.keys()
+        for name in serial:
+            assert serial[name] == pooled[name]
+
+    def test_sweep_shape_and_types(self, machine, hierarchical):
+        sim = CampaignSimulator(machine, fast_config())
+        results = sim.sweep([hierarchical], n_campaigns=4, rng=2)
+        assert set(results) == {hierarchical.name}
+        assert len(results[hierarchical.name]) == 4
+        assert all(
+            isinstance(r, CampaignResult) for r in results[hierarchical.name]
+        )
+
+    def test_expected_waste_parallel_is_deterministic(self, machine, hierarchical):
+        sim = CampaignSimulator(machine, fast_config())
+        a = sim.expected_waste(hierarchical, n_campaigns=4, rng=9, workers=2)
+        b = sim.expected_waste(hierarchical, n_campaigns=4, rng=9, workers=2)
+        assert a == b
+        assert 0.0 <= a <= 1.0
+
+    def test_serial_path_unchanged_by_workers_param(self, machine, hierarchical):
+        """workers=1 must keep the historical shared-generator draws."""
+        sim = CampaignSimulator(machine, fast_config())
+        import numpy as np
+        from repro.util.rng import resolve_rng
+
+        gen = resolve_rng(21)
+        reference = float(
+            np.mean(
+                [sim.run(hierarchical, rng=gen).waste_fraction for _ in range(3)]
+            )
+        )
+        assert sim.expected_waste(
+            hierarchical, n_campaigns=3, rng=21, workers=1
+        ) == reference
+
+    def test_parallel_statistically_consistent(self, machine, hierarchical):
+        """Spawned-stream campaigns estimate the same quantity."""
+        sim = CampaignSimulator(machine, fast_config())
+        serial = sim.expected_waste(hierarchical, n_campaigns=8, rng=3, workers=1)
+        pooled = sim.expected_waste(hierarchical, n_campaigns=8, rng=3, workers=2)
+        assert pooled == pytest.approx(serial, rel=0.5, abs=0.02)
+
+    def test_sweep_validation(self, machine, hierarchical):
+        sim = CampaignSimulator(machine, fast_config())
+        with pytest.raises(ValueError):
+            sim.sweep([hierarchical], n_campaigns=0)
+        with pytest.raises(ValueError):
+            sim.sweep([hierarchical], workers=0)
+        with pytest.raises(ValueError, match="unique"):
+            sim.sweep([hierarchical, hierarchical], n_campaigns=1)

@@ -1,0 +1,161 @@
+"""Property tests for the per-channel deque matching engine.
+
+The matcher keeps unexpected messages and pending receives in deques keyed
+by ``(source, tag)`` with global posting stamps; wildcard receives pick the
+matching channel head with the smallest stamp. These properties pin the
+MPI semantics that structure must preserve under arbitrary schedules:
+exactly-once delivery, per-(sender, tag) non-overtaking through any mix of
+exact and wildcard patterns, and schedule determinism.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import ANY_SOURCE, ANY_TAG, run_program
+
+NRANKS = 4
+
+# A schedule is a list of (src, dst, tag, value) sends among 4 ranks, plus
+# one receive-pattern mode per receiving rank. Every mode issues exactly as
+# many receives as the rank's inbox holds and is satisfiable by counting:
+# wildcards accept anything, per-source patterns follow channel order, and
+# per-tag patterns request each tag exactly as often as it was sent.
+sends = st.lists(
+    st.tuples(
+        st.integers(0, NRANKS - 1),
+        st.integers(0, NRANKS - 1),
+        st.integers(0, 2),
+        st.integers(0, 1000),
+    ),
+    min_size=0,
+    max_size=40,
+)
+modes = st.lists(
+    st.sampled_from(["exact", "any_source", "any_tag", "wildcard"]),
+    min_size=NRANKS,
+    max_size=NRANKS,
+)
+
+
+def _recv_plan(inbox: list[tuple[int, int, int]], mode: str):
+    """Receive patterns for one rank's inbox (list of (src, tag, value))."""
+    if mode == "exact":
+        # Per (src, tag) channel in channel order: fully determined.
+        return [(src, tag) for src, tag, _ in inbox]
+    if mode == "any_source":
+        return [(ANY_SOURCE, tag) for _, tag, _ in inbox]
+    if mode == "any_tag":
+        return [(src, ANY_TAG) for src, _, _ in inbox]
+    return [(ANY_SOURCE, ANY_TAG)] * len(inbox)
+
+
+def _run_schedule(schedule, mode_per_rank):
+    outgoing = {r: [] for r in range(NRANKS)}
+    inbox = {r: [] for r in range(NRANKS)}
+    for src, dst, tag, value in schedule:
+        outgoing[src].append((dst, tag, value))
+        inbox[dst].append((src, tag, value))
+    plans = {
+        r: _recv_plan(inbox[r], mode_per_rank[r]) for r in range(NRANKS)
+    }
+
+    def program(ctx):
+        comm = ctx.comm
+        for dst, tag, value in outgoing[ctx.rank]:
+            yield from comm.isend((ctx.rank, tag, value), dest=dst, tag=tag)
+        received = []
+        for source, tag in plans[ctx.rank]:
+            payload, status = yield from comm.recv_status(source=source, tag=tag)
+            received.append((status.source, status.tag, payload))
+        return received
+
+    return run_program(program, NRANKS), inbox
+
+
+@settings(deadline=None, max_examples=80)
+@given(schedule=sends, mode_per_rank=modes)
+def test_exactly_once_delivery_any_pattern_mix(schedule, mode_per_rank):
+    """Every sent message is received exactly once, metadata intact."""
+    results, inbox = _run_schedule(schedule, mode_per_rank)
+    for rank in range(NRANKS):
+        got = sorted(
+            (src, tag, payload[2]) for src, tag, payload in results[rank]
+        )
+        want = sorted(inbox[rank])
+        assert got == want, f"rank {rank} inbox mismatch under {mode_per_rank[rank]}"
+        # Status metadata must agree with the payload's provenance.
+        for src, tag, payload in results[rank]:
+            assert payload[0] == src and payload[1] == tag
+
+
+@settings(deadline=None, max_examples=80)
+@given(schedule=sends, mode_per_rank=modes)
+def test_non_overtaking_per_sender_and_tag(schedule, mode_per_rank):
+    """Same-(src, tag) messages arrive in send order through any pattern."""
+    results, inbox = _run_schedule(schedule, mode_per_rank)
+    for rank in range(NRANKS):
+        seen: dict[tuple[int, int], list[int]] = {}
+        for src, tag, payload in results[rank]:
+            seen.setdefault((src, tag), []).append(payload[2])
+        sent: dict[tuple[int, int], list[int]] = {}
+        for src, tag, value in inbox[rank]:
+            sent.setdefault((src, tag), []).append(value)
+        for channel, values in seen.items():
+            assert values == sent[channel], (
+                f"channel {channel} reordered at rank {rank} "
+                f"({mode_per_rank[rank]} receives)"
+            )
+
+
+@settings(deadline=None, max_examples=40)
+@given(schedule=sends, mode_per_rank=modes)
+def test_schedule_determinism(schedule, mode_per_rank):
+    """The batched scheduler + deque matcher is a pure function."""
+    first, _ = _run_schedule(schedule, mode_per_rank)
+    second, _ = _run_schedule(schedule, mode_per_rank)
+    assert first == second
+
+
+def test_wildcard_takes_earliest_posted_message():
+    """A both-wildcard receive consumes the earliest unexpected message even
+    when a later channel also matches — posting-stamp arbitration."""
+
+    def program(ctx):
+        comm = ctx.comm
+        if ctx.rank == 0:
+            yield from comm.isend("early", dest=2, tag=5)
+            return None
+        if ctx.rank == 1:
+            # Rank 1 runs after rank 0 in the first batch, so its message
+            # is posted later.
+            yield from comm.isend("late", dest=2, tag=6)
+            return None
+        first = yield from comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+        second = yield from comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+        return (first, second)
+
+    results = run_program(program, 3)
+    assert results[2] == ("early", "late")
+
+
+def test_earliest_pending_recv_wins_on_send():
+    """A send matches the earliest-posted pending receive whose pattern
+    accepts it, across exact and wildcard channels."""
+
+    def program(ctx):
+        comm = ctx.comm
+        if ctx.rank == 0:
+            wild = yield from comm.irecv(source=ANY_SOURCE, tag=ANY_TAG)
+            exact = yield from comm.irecv(source=1, tag=7)
+            first = yield from comm.wait(wild)
+            second = yield from comm.wait(exact)
+            return (first, second)
+        if ctx.rank == 1:
+            yield from comm.isend("a", dest=0, tag=7)
+            yield from comm.isend("b", dest=0, tag=7)
+        return None
+
+    results = run_program(program, 2)
+    # The wildcard was posted first, so it claims the first message.
+    assert results[0] == ("a", "b")

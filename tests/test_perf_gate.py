@@ -1,0 +1,77 @@
+"""Perf-trajectory gate: tier-1 re-measures the recorded hot paths.
+
+``benchmarks/record_bench.py`` appends one record per PR to
+``BENCH_montecarlo.json`` / ``BENCH_simmpi.json``, including small ``gate``
+probes measured on the same machine class that runs the tests. These tests
+re-run exactly those probes and fail when the live rate drops below half
+the last recorded one — a >2× regression of either hot path breaks verify
+instead of silently bending the in-tree curve.
+
+The 2× slack absorbs timer noise and container jitter; the probes take
+well under a second each. Tests skip cleanly when an artifact has not been
+recorded yet (fresh clones, partial checkouts).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+REGRESSION_FACTOR = 2.0
+
+
+def _load_bench(module_path: Path):
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("record_bench", module_path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def record_bench():
+    path = ROOT / "benchmarks" / "record_bench.py"
+    if not path.exists():
+        pytest.skip("benchmarks/record_bench.py not present")
+    return _load_bench(path)
+
+
+def _last_record(artifact: Path) -> dict:
+    if not artifact.exists():
+        pytest.skip(f"{artifact.name} not recorded yet")
+    trajectory = json.loads(artifact.read_text())
+    if not trajectory:
+        pytest.skip(f"{artifact.name} is empty")
+    return trajectory[-1]
+
+
+class TestPerfGate:
+    def test_batched_montecarlo_not_regressed(self, record_bench):
+        record = _last_record(ROOT / "BENCH_montecarlo.json")
+        recorded = record["montecarlo"].get(
+            "gate_batched_samples_per_s",
+            record["montecarlo"]["batched_samples_per_s"],
+        )
+        current = record_bench.measure_batched_montecarlo(n_samples=2000)
+        floor = recorded / REGRESSION_FACTOR
+        assert current >= floor, (
+            f"batched Monte-Carlo at {current:.0f} samples/s, below "
+            f"{floor:.0f} (last recorded {recorded}, {REGRESSION_FACTOR}x slack)"
+        )
+
+    def test_simmpi_fast_path_not_regressed(self, record_bench):
+        record = _last_record(ROOT / "BENCH_simmpi.json")
+        gate = record["simmpi"]["gate"]
+        current = record_bench.measure_simmpi(
+            nodes=gate["nodes"],
+            app_per_node=gate["app_per_node"],
+            iterations=gate["iterations"],
+        )
+        floor = gate["ranks_per_s"] / REGRESSION_FACTOR
+        assert current >= floor, (
+            f"simmpi fast path at {current:.0f} rank-iters/s, below "
+            f"{floor:.0f} (last recorded {gate['ranks_per_s']}, "
+            f"{REGRESSION_FACTOR}x slack)"
+        )
