@@ -11,6 +11,12 @@ Rank numbering is **row-major**: rank = row · Px + col. With the paper's
 placement (consecutive ranks per node), east/west neighbors are ±1 — mostly
 intra-node — and north/south neighbors are ±Px — inter-node. That is what
 produces the "blue double diagonal" of Fig. 5a/5b.
+
+The exchange posts all four halo sends before the first wait, which is the
+shape the engine's batched p2p pricing amortizes: each scheduler batch's
+whole send wave (4 messages per rank) is priced in one vectorized
+``NetworkModel.transfer_times`` call (see :mod:`repro.simmpi.engine`,
+"Batched p2p pricing").
 """
 
 from __future__ import annotations

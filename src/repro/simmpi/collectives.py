@@ -16,15 +16,31 @@ Fast paths
 ----------
 The second half holds the *fast paths*: closed-form emulations of the same
 algorithms that the engine runs in one vectorized pass once every member of
-the world communicator has reached the collective. They reproduce the
-generator cascades exactly — same trace records (source, destination,
-bytes, kind, message counts), same per-rank virtual clocks (identical IEEE
-arithmetic, level by level), same results (including the per-rank operator
-application order of the reductions) — while skipping per-message generator
-resumption, matching and request allocation entirely. The engine only
-dispatches here when no per-message observer is active (no tracer payload
-log, no receive-count tracking, no failure injection); see
-:meth:`repro.simmpi.engine.Engine.run` for the eligibility rules.
+the communicator — the world communicator or any split sub-communicator
+whose membership is registered with the engine — has reached the
+collective. All algorithm arithmetic runs in *group-rank* space (the
+member's rank within the communicator); world ranks appear only at the
+network-model and tracer boundary, translated through the group's
+rank→world vector.
+
+**Byte-identical trace** means the fast path emits exactly the per-message
+records the cascade would have: the same (source, destination, nbytes,
+kind) tuples in the same per-(src, dst) multiplicity, so every
+:class:`~repro.simmpi.tracing.TraceRecorder` matrix (bytes, counts,
+per-kind) is equal element for element. **Bit-identical clocks** means the
+per-rank virtual times after the collective are equal as IEEE doubles —
+the recurrences below replay the cascade's ``max(local, sender + transfer)``
+chains level by level with the same operation order, and
+:meth:`~repro.simmpi.network.NetworkModel.transfer_times` matches the
+scalar :meth:`~repro.simmpi.network.NetworkModel.transfer_time` bit for
+bit. Results are also identical, including the per-rank operator
+application order of the reductions and buffered-send copy semantics.
+
+The engine dispatches here only when no per-message observer is active (no
+payload message log, no receive-count tracking, no failure injection) —
+any of those forces the generator cascade so the observer sees every
+individual message; see :mod:`repro.simmpi.engine` ("Fast-path
+collectives") for the eligibility rules.
 """
 
 from __future__ import annotations
@@ -276,16 +292,23 @@ def scan(comm, value: Any, op: Callable = sum_op, *, kind: str = "scan"):
 
 
 # ===========================================================================
-# Fast paths: vectorized emulations of the cascades above (world comm only)
+# Fast paths: vectorized emulations of the cascades above (any communicator)
 # ===========================================================================
 #
-# Each function takes the per-rank inputs the engine gathered — ``values``
-# (indexed by world rank), ``op_fns`` (each rank's reduction callable),
-# ``root``, the per-rank ``clocks`` at collective entry — plus the network
-# model and optional tracer, and returns ``(results, new_clocks)``. The
-# timing recurrences mirror the engine's virtual-time rules exactly:
-# buffered sends are free, a receive completes at
-# ``max(local clock, sender clock at post + transfer time)``, and every
+# Each function takes the per-member inputs the engine gathered — ``values``
+# (indexed by *group rank*, i.e. the member's rank within the communicator),
+# ``op_fns`` (each member's reduction callable), ``root`` (group-local), the
+# per-member ``clocks`` at collective entry — plus ``group`` (the
+# communicator's members as a vector of *world* ranks, in group-rank order),
+# the network model and optional tracer, and returns ``(results,
+# new_clocks)`` in group-rank order. All algorithm arithmetic (partners,
+# trees, rings) happens in group-rank space exactly like the generator
+# cascades; ``group[...]`` translates to world ranks only at the network /
+# tracer boundary, so a split communicator prices its messages over its own
+# slice of the placement. For the world communicator ``group`` is the
+# identity permutation. The timing recurrences mirror the engine's
+# virtual-time rules exactly: buffered sends are free, a receive completes
+# at ``max(local clock, sender clock at post + transfer time)``, and every
 # algorithm's send happens at the sender's clock *entering* that round.
 
 
@@ -294,13 +317,13 @@ def _trace(tracer, srcs, dsts, nbytes, kind) -> None:
         tracer.record_many(srcs, dsts, nbytes, kind)
 
 
-def _fast_bcast(values, op_fns, root, kind, clocks, network, tracer):
+def _fast_bcast(values, op_fns, root, kind, clocks, group, network, tracer):
     n = clocks.size
     data = values[root]
     if n == 1:
         return [data], clocks.copy()
     nb = payload_nbytes(data)
-    perm = (np.arange(n) + root) % n  # world rank of each virtual rank
+    perm = (np.arange(n) + root) % n  # group rank of each virtual rank
     ready = clocks[perm].copy()
     # Binomial tree: vrank v receives from v with its lowest set bit
     # cleared; levels are processed by descending lowest-set-bit so every
@@ -309,22 +332,22 @@ def _fast_bcast(values, op_fns, root, kind, clocks, network, tracer):
     while mask:
         children = np.arange(mask, n, 2 * mask)
         parents = children - mask
-        ws, wd = perm[parents], perm[children]
+        ws, wd = group[perm[parents]], group[perm[children]]
         t = network.transfer_times(ws, wd, nb)
         ready[children] = np.maximum(ready[children], ready[parents] + t)
         _trace(tracer, ws, wd, float(nb), kind)
         mask >>= 1
     shared = is_immutable_payload(data)
     results = [
-        data if (w == root or shared) else capture_payload(data)
-        for w in range(n)
+        data if (g == root or shared) else capture_payload(data)
+        for g in range(n)
     ]
     new_clocks = np.empty(n, dtype=np.float64)
     new_clocks[perm] = ready
     return results, new_clocks
 
 
-def _fast_reduce(values, op_fns, root, kind, clocks, network, tracer):
+def _fast_reduce(values, op_fns, root, kind, clocks, group, network, tracer):
     n = clocks.size
     if n == 1:
         return [values[0]], clocks.copy()
@@ -341,7 +364,7 @@ def _fast_reduce(values, op_fns, root, kind, clocks, network, tracer):
                 dtype=np.float64,
                 count=senders.size,
             )
-            ws, wd = perm[senders], perm[receivers]
+            ws, wd = group[perm[senders]], group[perm[receivers]]
             t = network.transfer_times(ws, wd, nb)
             c[receivers] = np.maximum(c[receivers], c[senders] + t)
             for s, r in zip(senders.tolist(), receivers.tolist()):
@@ -355,16 +378,18 @@ def _fast_reduce(values, op_fns, root, kind, clocks, network, tracer):
     return results, new_clocks
 
 
-def _fast_allreduce(values, op_fns, root, kind, clocks, network, tracer):
+def _fast_allreduce(values, op_fns, root, kind, clocks, group, network, tracer):
     n = clocks.size
     if n == 1:
         return [values[0]], clocks.copy()
     if not _is_pow2(n):
         # MPICH2's fallback: binomial reduce to 0, then binomial bcast.
-        partials, c = _fast_reduce(values, op_fns, 0, kind, clocks, network, tracer)
+        partials, c = _fast_reduce(
+            values, op_fns, 0, kind, clocks, group, network, tracer
+        )
         bvals: list[Any] = [None] * n
         bvals[0] = partials[0]
-        return _fast_bcast(bvals, op_fns, 0, kind, c, network, tracer)
+        return _fast_bcast(bvals, op_fns, 0, kind, c, group, network, tracer)
     idx = np.arange(n)
     c = clocks.copy()
     vals = list(values)
@@ -374,9 +399,9 @@ def _fast_allreduce(values, op_fns, root, kind, clocks, network, tracer):
         nb = np.fromiter(
             (payload_nbytes(v) for v in vals), dtype=np.float64, count=n
         )
-        t = network.transfer_times(partner, idx, nb[partner])
+        t = network.transfer_times(group[partner], group, nb[partner])
         c = np.maximum(c, c[partner] + t)
-        _trace(tracer, idx, partner, nb, kind)
+        _trace(tracer, group, group[partner], nb, kind)
         vals = [
             op_fns[r](vals[r], capture_payload(vals[r ^ mask])) for r in range(n)
         ]
@@ -400,7 +425,7 @@ def _allgather_results(values) -> list[list[Any]]:
     ]
 
 
-def _fast_allgather(values, op_fns, root, kind, clocks, network, tracer):
+def _fast_allgather(values, op_fns, root, kind, clocks, group, network, tracer):
     n = clocks.size
     if n == 1:
         return [[values[0]]], clocks.copy()
@@ -418,9 +443,9 @@ def _fast_allgather(values, op_fns, root, kind, clocks, network, tracer):
             partner = idx ^ mask
             base = idx & ~(mask - 1)
             chunk = prefix[base + mask] - prefix[base]
-            t = network.transfer_times(partner, idx, chunk[partner])
+            t = network.transfer_times(group[partner], group, chunk[partner])
             c = np.maximum(c, c[partner] + t)
-            _trace(tracer, idx, partner, chunk, kind)
+            _trace(tracer, group, group[partner], chunk, kind)
             mask <<= 1
     else:
         # Bruck: after round k rank r holds blocks r … r+2^k-1 (mod n) and
@@ -433,15 +458,15 @@ def _fast_allgather(values, op_fns, root, kind, clocks, network, tracer):
             window = prefix2[idx + count] - prefix2[idx]
             src = (idx + pofk) % n
             dst = (idx - pofk) % n
-            t = network.transfer_times(src, idx, window[src])
+            t = network.transfer_times(group[src], group, window[src])
             c = np.maximum(c, c[src] + t)
-            _trace(tracer, idx, dst, window, kind)
+            _trace(tracer, group, group[dst], window, kind)
             have += count
             pofk <<= 1
     return _allgather_results(values), c
 
 
-def _fast_alltoall(values, op_fns, root, kind, clocks, network, tracer):
+def _fast_alltoall(values, op_fns, root, kind, clocks, group, network, tracer):
     n = clocks.size
     if n == 1:
         return [[values[0][0]]], clocks.copy()
@@ -455,9 +480,9 @@ def _fast_alltoall(values, op_fns, root, kind, clocks, network, tracer):
     for step in range(1, n):
         src = (idx - step) % n
         dst = (idx + step) % n
-        t = network.transfer_times(src, idx, nbytes[src, idx])
+        t = network.transfer_times(group[src], group, nbytes[src, idx])
         c = np.maximum(c, c[src] + t)
-        _trace(tracer, idx, dst, nbytes[idx, dst], kind)
+        _trace(tracer, group, group[dst], nbytes[idx, dst], kind)
     results = [
         [
             values[s][r] if s == r else capture_payload(values[s][r])
@@ -468,7 +493,7 @@ def _fast_alltoall(values, op_fns, root, kind, clocks, network, tracer):
     return results, c
 
 
-def _fast_barrier(values, op_fns, root, kind, clocks, network, tracer):
+def _fast_barrier(values, op_fns, root, kind, clocks, group, network, tracer):
     n = clocks.size
     c = clocks.copy()
     if n == 1:
@@ -479,17 +504,18 @@ def _fast_barrier(values, op_fns, root, kind, clocks, network, tracer):
     while step < n:
         src = (idx - step) % n
         dst = (idx + step) % n
-        t = network.transfer_times(src, idx, zeros)
+        t = network.transfer_times(group[src], group, zeros)
         c = np.maximum(c, c[src] + t)
-        _trace(tracer, idx, dst, zeros, kind)
+        _trace(tracer, group, group[dst], zeros, kind)
         step <<= 1
     return [None] * n, c
 
 
-#: Collectives with a vectorized world-communicator fast path. Linear
-#: gather/scatter and scan keep the generator cascade only — they are cheap
-#: and rare in the workloads this engine runs.
-FAST_WORLD_COLLECTIVES: dict[str, Callable] = {
+#: Collectives with a vectorized fast path (any communicator whose group is
+#: registered with the engine). Linear gather/scatter and scan keep the
+#: generator cascade only — they are cheap and rare in the workloads this
+#: engine runs.
+FAST_COLLECTIVES: dict[str, Callable] = {
     "bcast": _fast_bcast,
     "reduce": _fast_reduce,
     "allreduce": _fast_allreduce,
@@ -507,10 +533,16 @@ def execute_fast_collective(
     root: int,
     trace_kind: str,
     clocks: np.ndarray,
+    group: np.ndarray,
     network,
     tracer,
 ):
-    """Run one gathered world collective; returns ``(results, new_clocks)``."""
-    return FAST_WORLD_COLLECTIVES[kind](
-        values, op_fns, root, trace_kind, clocks, network, tracer
+    """Run one gathered collective; returns ``(results, new_clocks)``.
+
+    ``values``/``op_fns``/``clocks`` are indexed by group rank, ``root`` is
+    group-local, and ``group`` maps group rank → world rank (the identity
+    for the world communicator).
+    """
+    return FAST_COLLECTIVES[kind](
+        values, op_fns, root, trace_kind, clocks, group, network, tracer
     )

@@ -59,6 +59,7 @@ class Communicator:
         self.size = len(self.group)
         self._coll_seq = 0
         self._split_seq = 0
+        self._group_ok: bool | None = None  # cached fast-path membership check
 
     # -- construction -------------------------------------------------------
 
@@ -200,19 +201,24 @@ class Communicator:
     def _fast_collective_ok(self) -> bool:
         """Whether this collective may take the engine's vectorized path.
 
-        Restricted to plain world communicators (subclasses — e.g. the
-        HydEE replay communicator — and split sub-communicators always run
-        the generator cascade) and gated on the engine's per-run
-        eligibility (no message log, no receive counting, no failure
-        injection, fast paths enabled).
+        Restricted to plain :class:`Communicator` instances (subclasses —
+        e.g. the HydEE replay communicator — always run the generator
+        cascade) whose membership is registered with the engine (the world
+        communicator and everything created by :meth:`split`), and gated on
+        the engine's per-run eligibility (no message log, no receive
+        counting, no failure injection, fast paths enabled).
         """
         engine = self.ctx.engine
-        return (
-            engine._fast_coll_active
-            and self.__class__ is Communicator
-            and self.comm_id == 0
-            and self.size == engine.nranks
-        )
+        ok = self._group_ok
+        if ok is None:
+            # Group registrations are immutable (the engine rejects
+            # remapping a comm id), so the membership verdict is computed
+            # once per communicator instance.
+            ok = self._group_ok = (
+                self.__class__ is Communicator
+                and engine.group_of(self.comm_id) == self.group
+            )
+        return engine._fast_coll_active and ok
 
     def _collective_op(self, kind, tag, value, root=0, op=None, trace_kind=None):
         return CollectiveOp(
@@ -311,14 +317,27 @@ class Communicator:
         seq = self._split_seq
         self._split_seq += 1
         infos = yield from self.allgather((color, key, self.rank))
+        # Allocate ids for every color of this split in sorted-color order:
+        # each member sees the same allgather result, so the ids (and the
+        # registered group memberships) come out identical no matter which
+        # member the engine happens to resume first — and identical between
+        # the fast-path and cascade schedules.
+        by_color: dict[int, list[tuple[int, int]]] = {}
+        for c, k, r in infos:
+            if c is not None:
+                by_color.setdefault(c, []).append((k, r))
+        comm_id = None
+        for c in sorted(by_color):
+            group_world = tuple(self.group[r] for _, r in sorted(by_color[c]))
+            cid = self.ctx.engine.allocate_comm_id(
+                (self.comm_id, seq, c), group_world
+            )
+            if c == color:
+                comm_id = cid
+                my_group = group_world
         if color is None:
             return None
-        members = sorted(
-            (k, r) for c, k, r in infos if c == color
-        )
-        group_world = tuple(self.group[r] for _, r in members)
-        comm_id = self.ctx.engine.allocate_comm_id((self.comm_id, seq, color))
-        return Communicator(self.ctx, comm_id, group_world)
+        return Communicator(self.ctx, comm_id, my_group)
 
     def translate_rank(self, local: int) -> int:
         """World rank corresponding to ``local`` in this communicator."""

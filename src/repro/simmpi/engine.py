@@ -53,22 +53,47 @@ This is the standard LogP-style approximation used by trace-driven MPI
 simulators; it reproduces exactly what the paper consumes (byte-accurate
 traces, event ordering) while remaining fast enough for 1088-rank runs.
 
+Batched p2p pricing
+-------------------
+Posting a send does not price it. The message is created with
+``arrival_time=None`` and queued; when the scheduler finishes draining a
+batch, the whole accumulated send wave is priced in one vectorized
+:meth:`NetworkModel.transfer_times <repro.simmpi.network.NetworkModel.transfer_times>`
+call (a receive completed *within* the posting batch prices its one message
+scalar on demand — the flush skips it). Because a batch drains every
+runnable rank, waves scale with the world size — the stencil's 4 halo sends
+per rank per iteration price as one NumPy pass over ~4·nranks messages —
+and the dominant per-message Python cost (two ``node_of`` lookups plus
+float arithmetic per send) collapses. Arrival times are bit-identical to
+the scalar path (``use_batched_p2p=False`` pins the per-message reference;
+the equivalence suite compares both), and trace records are unaffected —
+tracing happens at post time either way.
+
 Fast-path collectives
 ---------------------
-World-communicator ``bcast`` / ``reduce`` / ``allreduce`` / ``allgather``
-/ ``alltoall`` / ``barrier`` skip the point-to-point generator cascade:
-each rank yields a single :class:`CollectiveOp`, the engine parks it until
-every rank has arrived, then computes results, per-rank clocks and trace
-records in one vectorized pass over the network model
-(:mod:`repro.simmpi.collectives`, second half). The fast path is
-byte-identical to the cascade — same trace matrices, same message counts,
-same clocks, same results — and is therefore active even under tracing.
-It deactivates (per run) whenever a per-message observer needs to see the
-individual point-to-point messages: a ``message_log`` (sender-based
-payload logging), ``track_recv_counts`` (receiver-position sidecars), a
-non-empty ``failure_ranks`` set (failures strike mid-cascade), or
-``use_fast_collectives=False`` (the equivalence tests' pin). Collectives
-on split sub-communicators always run the cascade.
+``bcast`` / ``reduce`` / ``allreduce`` / ``allgather`` / ``alltoall`` /
+``barrier`` on the world communicator *or any split sub-communicator* skip
+the point-to-point generator cascade: each member yields a single
+:class:`CollectiveOp`, the engine parks it until every member of the
+communicator's registered group has arrived, then computes results,
+per-member clocks and trace records in one vectorized pass over the
+group's slice of the network model (:mod:`repro.simmpi.collectives`,
+second half). Membership bookkeeping lives in the engine: comm id 0 is
+the world group, and ``Communicator.split`` registers each new group
+(stable comm ids via :meth:`Engine.allocate_comm_id`, rank→group-rank
+maps via :meth:`Engine.register_group`). A deadlock involving a
+partially-gathered collective is attributed to the stuck group: the error
+names the member's group rank and the world ranks that never arrived.
+
+The fast path is byte-identical to the cascade — same trace matrices,
+same message counts, same clocks, same results — and is therefore active
+even under tracing. It deactivates (per run) whenever a per-message
+observer needs to see the individual point-to-point messages: a
+``message_log`` (sender-based payload logging), ``track_recv_counts``
+(receiver-position sidecars), a non-empty ``failure_ranks`` set (failures
+strike mid-cascade), or ``use_fast_collectives=False`` (the equivalence
+tests' pin). Communicators whose membership the engine does not know
+(e.g. the HydEE replay communicator) always run the cascade.
 """
 
 from __future__ import annotations
@@ -203,18 +228,41 @@ class _RankState:
 
 
 class _PendingCollective:
-    """Gathering state of one fast-path collective instance."""
+    """Gathering state of one fast-path collective instance.
 
-    __slots__ = ("kind", "root", "trace_kind", "values", "op_fns", "requests", "count")
+    ``group`` is the owning communicator's membership (group rank → world
+    rank); ``values``/``op_fns``/``requests`` are indexed by group rank.
+    """
 
-    def __init__(self, nranks: int, kind: str, root: int, trace_kind: str):
+    __slots__ = (
+        "kind",
+        "root",
+        "trace_kind",
+        "group",
+        "values",
+        "op_fns",
+        "requests",
+        "count",
+    )
+
+    def __init__(self, group: tuple[int, ...], kind: str, root: int, trace_kind: str):
+        size = len(group)
         self.kind = kind
         self.root = root
         self.trace_kind = trace_kind
-        self.values: list[Any] = [None] * nranks
-        self.op_fns: list[Callable | None] = [None] * nranks
-        self.requests: list[CollectiveRequest | None] = [None] * nranks
+        self.group = group
+        self.values: list[Any] = [None] * size
+        self.op_fns: list[Callable | None] = [None] * size
+        self.requests: list[CollectiveRequest | None] = [None] * size
         self.count = 0
+
+    def missing_members(self) -> list[int]:
+        """World ranks of members that have not reached the collective."""
+        return [
+            self.group[g]
+            for g, req in enumerate(self.requests)
+            if req is None
+        ]
 
 
 RankProgram = Callable[[RankContext], Generator]
@@ -235,10 +283,16 @@ class Engine:
         recorded at send-post time (fast-path collectives record the same
         messages in bulk).
     use_fast_collectives:
-        Allow world-communicator collectives to take the vectorized fast
-        path. Set to ``False`` to pin every collective to the
-        point-to-point generator cascade (the equivalence suite's
+        Allow collectives (world or split sub-communicator) to take the
+        vectorized fast path. Set to ``False`` to pin every collective to
+        the point-to-point generator cascade (the equivalence suite's
         reference).
+    use_batched_p2p:
+        Price point-to-point sends in vectorized batches (one
+        :meth:`NetworkModel.transfer_times` call per drained wave) instead
+        of one scalar :meth:`NetworkModel.transfer_time` call per message.
+        Arrival times are bit-identical either way; set to ``False`` to pin
+        the scalar reference path.
     failure_ranks:
         Ranks that should fail by raising :class:`RankFailedError` inside
         their program the next time they interact with the engine. Used by
@@ -252,6 +306,7 @@ class Engine:
         network: NetworkModel | None = None,
         tracer: TraceRecorder | None = None,
         use_fast_collectives: bool = True,
+        use_batched_p2p: bool = True,
     ):
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
@@ -259,6 +314,7 @@ class Engine:
         self.network = network or zero_latency_network()
         self.tracer = tracer
         self.use_fast_collectives = use_fast_collectives
+        self.use_batched_p2p = use_batched_p2p
         self.failure_ranks: set[int] = set()
 
         # Protocol hooks (used by repro.hydee): an optional message log that
@@ -279,9 +335,29 @@ class Engine:
         self._unexpected: dict[tuple[int, int], dict] = {}
         self._seq = 0  # global posting-order stamp
 
+        # Batched p2p pricing: messages posted with arrival_time=None,
+        # priced in one vectorized transfer_times call per drained
+        # scheduler batch (see _price_pending_sends); the few consumed
+        # within their own posting batch are priced scalar on demand.
+        # The three parallel lists shadow (src, dst, nbytes) so the flush
+        # converts straight from Python lists instead of re-walking
+        # message attributes.
+        self._unpriced: list[Message] = []
+        self._unpriced_src: list[int] = []
+        self._unpriced_dst: list[int] = []
+        self._unpriced_nbytes: list[int] = []
+
         # Communicator-id allocation (world == 0); see Communicator.split.
+        # Per-group membership bookkeeping: comm id → (group rank → world
+        # rank) tuple and comm id → {world rank → group rank} map. Fast-path
+        # collectives are only available on registered groups.
         self._next_comm_id = 1
         self._split_registry: dict[tuple, int] = {}
+        world = tuple(range(nranks))
+        self._groups: dict[int, tuple[int, ...]] = {0: world}
+        self._group_rank: dict[int, dict[int, int]] = {
+            0: {r: r for r in world}
+        }
 
         self._states: list[_RankState] = []
         self._next_runnable: list[int] = []
@@ -294,19 +370,49 @@ class Engine:
 
     # -- communicator-id service -------------------------------------------
 
-    def allocate_comm_id(self, key: tuple) -> int:
+    def allocate_comm_id(self, key: tuple, group: Sequence[int] | None = None) -> int:
         """Return a stable comm id for ``key`` (same key → same id).
 
         All members of a split call with the same (parent, sequence, color)
         key and must agree on the resulting id regardless of the order in
-        which the engine resumes them.
+        which the engine resumes them. When ``group`` (the new
+        communicator's members as world ranks, in group-rank order) is
+        supplied, the membership is registered so collectives on the new
+        communicator can take the fast path; every member derives the same
+        group from the same split allgather, so registration is idempotent.
         """
         cid = self._split_registry.get(key)
         if cid is None:
             cid = self._next_comm_id
             self._next_comm_id += 1
             self._split_registry[key] = cid
+        if group is not None:
+            # Register on hits too: the id and group must stay consistent
+            # (register_group raises on a membership mismatch).
+            self.register_group(cid, group)
         return cid
+
+    def register_group(self, comm_id: int, group: Sequence[int]) -> None:
+        """Record ``comm_id``'s membership (group rank → world rank).
+
+        Only registered communicators are eligible for fast-path
+        collectives; unknown comm ids simply stay on the generator cascade.
+        """
+        members = tuple(group)
+        known = self._groups.get(comm_id)
+        if known is not None:
+            if known != members:
+                raise MatchingError(
+                    f"comm {comm_id} re-registered with different membership: "
+                    f"{known} vs {members}"
+                )
+            return
+        self._groups[comm_id] = members
+        self._group_rank[comm_id] = {w: g for g, w in enumerate(members)}
+
+    def group_of(self, comm_id: int) -> tuple[int, ...] | None:
+        """Registered membership of ``comm_id`` (``None`` if unknown)."""
+        return self._groups.get(comm_id)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -331,6 +437,16 @@ class Engine:
         some are unfinished.
         """
         from repro.simmpi.comm import Communicator  # local import, no cycle at module load
+
+        # Reset the split bookkeeping before anything (including a
+        # comm_factory) runs: a reused engine may execute a program with a
+        # different split topology, and stale key → id → group mappings
+        # would silently push its collectives onto the cascade (or
+        # mis-gather them).
+        self._next_comm_id = 1
+        self._split_registry = {}
+        self._groups = {0: self._groups[0]}
+        self._group_rank = {0: self._group_rank[0]}
 
         if callable(program):
             programs: list[RankProgram] = [program] * self.nranks
@@ -357,6 +473,10 @@ class Engine:
             self._states.append(_RankState(rank, gen, ctx))
 
         self._pending_colls = {}
+        self._unpriced = []
+        self._unpriced_src = []
+        self._unpriced_dst = []
+        self._unpriced_nbytes = []
         # Eligibility is fixed per run: every rank must take the same path
         # through a given collective, and all three per-message observers
         # (payload log, receive counting, failure injection) need the
@@ -376,6 +496,10 @@ class Engine:
         while batch:
             for rank in batch:
                 step(states[rank])
+            if self._unpriced:
+                # Price the batch's whole send wave in one vectorized pass
+                # (waits in later batches then find arrival times ready).
+                self._price_pending_sends()
             batch = self._next_runnable
             batch.sort()
             self._next_runnable = []
@@ -383,12 +507,37 @@ class Engine:
 
         unfinished = [s for s in self._states if not s.finished]
         if unfinished:
-            blocked = {
-                s.rank: (s.blocked_on.describe() if s.blocked_on else "not scheduled")
-                for s in unfinished
-            }
+            blocked = {s.rank: self._describe_blocked(s) for s in unfinished}
             raise DeadlockError(blocked)
         return [s.result for s in self._states]
+
+    def _describe_blocked(self, state: _RankState) -> str:
+        """Deadlock attribution for one blocked rank.
+
+        For a rank parked on a partially-gathered collective, names the
+        communicator's group, this member's group rank, and the members
+        that never arrived — so a sub-communicator hang reads as "group X
+        is stuck waiting for member Y" instead of an opaque request.
+        """
+        request = state.blocked_on
+        if request is None:
+            return "not scheduled"
+        desc = request.describe()
+        if request.__class__ is CollectiveRequest:
+            entry = self._pending_colls.get((request.comm_id, request.tag))
+            if entry is not None:
+                group = entry.group
+                grank = self._group_rank[request.comm_id][state.rank]
+                missing = entry.missing_members()
+                shown = ", ".join(map(str, missing[:8]))
+                if len(missing) > 8:
+                    shown += f", … {len(missing) - 8} more"
+                desc += (
+                    f" — group rank {grank}/{len(group)}, gathered "
+                    f"{entry.count}/{len(group)}, missing world rank(s) "
+                    f"[{shown}]"
+                )
+        return desc
 
     def _step(self, state: _RankState) -> None:
         """Resume one rank and run it until it finishes or blocks."""
@@ -462,7 +611,15 @@ class Engine:
         src = state.rank
         dst = op.dest
         clock = state.ctx.clock
-        arrival = clock + self.network.transfer_time(src, dst, op.nbytes)
+        if self.use_batched_p2p:
+            # Defer pricing: arrival_time stays None until some receiver
+            # needs it, at which point the whole accumulated wave is priced
+            # in one vectorized transfer_times call (the halo exchange posts
+            # 4 sends per rank per iteration before anyone waits, so whole
+            # waves of sends price together).
+            arrival = None
+        else:
+            arrival = clock + self.network.transfer_time(src, dst, op.nbytes)
         message = Message(
             src=src,
             dst=dst,
@@ -473,6 +630,11 @@ class Engine:
             send_time=clock,
             arrival_time=arrival,
         )
+        if arrival is None:
+            self._unpriced.append(message)
+            self._unpriced_src.append(src)
+            self._unpriced_dst.append(dst)
+            self._unpriced_nbytes.append(op.nbytes)
         message.kind = op.kind
         if self.tracer is not None:
             self.tracer.record(src, dst, op.nbytes, kind=op.kind)
@@ -593,8 +755,14 @@ class Engine:
         key = (op.comm_id, op.tag)
         entry = self._pending_colls.get(key)
         if entry is None:
+            group = self._groups.get(op.comm_id)
+            if group is None:
+                raise MatchingError(
+                    f"rank {state.rank} entered fast collective {op.kind!r} "
+                    f"on unregistered comm {op.comm_id}"
+                )
             entry = self._pending_colls[key] = _PendingCollective(
-                self.nranks, op.kind, op.root, op.trace_kind
+                group, op.kind, op.root, op.trace_kind
             )
         elif entry.kind != op.kind or entry.root != op.root:
             raise MatchingError(
@@ -602,26 +770,38 @@ class Engine:
                 f"{op.root}) but tag {op.tag} gathers {entry.kind!r} (root "
                 f"{entry.root})"
             )
-        rank = state.rank
-        if entry.requests[rank] is not None:
+        grank = self._group_rank[op.comm_id].get(state.rank)
+        if grank is None:
             raise MatchingError(
-                f"rank {rank} entered collective tag {op.tag} twice"
+                f"world rank {state.rank} is not a member of comm "
+                f"{op.comm_id} (group {entry.group})"
             )
-        req = CollectiveRequest(rank, op.kind, op.comm_id, op.tag)
-        entry.values[rank] = op.value
-        entry.op_fns[rank] = op.op
-        entry.requests[rank] = req
+        if entry.requests[grank] is not None:
+            raise MatchingError(
+                f"rank {state.rank} entered collective tag {op.tag} twice"
+            )
+        req = CollectiveRequest(state.rank, op.kind, op.comm_id, op.tag)
+        entry.values[grank] = op.value
+        entry.op_fns[grank] = op.op
+        entry.requests[grank] = req
         entry.count += 1
-        if entry.count == self.nranks:
+        if entry.count == len(entry.group):
             del self._pending_colls[key]
             self._complete_collective(entry)
         return req
 
     def _complete_collective(self, entry: _PendingCollective) -> None:
-        """Compute a fully-gathered collective and wake its members."""
+        """Compute a fully-gathered collective and wake its members.
+
+        ``entry`` is indexed by group rank; clocks are gathered from (and
+        written back to) the member ranks only, and the group's rank→world
+        vector translates partners for the network model and tracer.
+        """
         states = self._states
+        group = entry.group
+        size = len(group)
         clocks = np.fromiter(
-            (s.ctx.clock for s in states), dtype=np.float64, count=self.nranks
+            (states[w].ctx.clock for w in group), dtype=np.float64, count=size
         )
         results, new_clocks = _coll.execute_fast_collective(
             entry.kind,
@@ -630,16 +810,19 @@ class Engine:
             root=entry.root,
             trace_kind=entry.trace_kind,
             clocks=clocks,
+            group=np.asarray(group, dtype=np.int64),
             network=self.network,
             tracer=self.tracer,
         )
         self.fast_collectives_run += 1
-        for rank, req in enumerate(entry.requests):
-            states[rank].ctx.clock = float(new_clocks[rank])
-            req.result = results[rank]
+        new_times = new_clocks.tolist()
+        for grank, req in enumerate(entry.requests):
+            world = group[grank]
+            states[world].ctx.clock = new_times[grank]
+            req.result = results[grank]
             req.done = True
-            if states[rank].blocked_on is req:
-                self._make_runnable(rank)
+            if states[world].blocked_on is req:
+                self._make_runnable(world)
 
     def _unblock_if_waiting(self, rank: int, request: Request) -> None:
         state = self._states[rank]
@@ -648,12 +831,54 @@ class Engine:
             # pending Wait yield receives the completed request.
             self._make_runnable(rank)
 
+    def _price_pending_sends(self) -> None:
+        """Price the drained batch's send wave in one vectorized pass.
+
+        Arrival times are ``send_time + transfer_times(...)`` —
+        bit-identical to the scalar ``transfer_time`` path (same IEEE
+        arithmetic; see :meth:`NetworkModel.transfer_times`), so messages
+        already priced on demand (consumed within their posting batch, see
+        :meth:`_complete_wait`) are simply overwritten with the same value.
+        Tiny waves skip the array machinery.
+        """
+        pending = self._unpriced
+        srcs, dsts, nbytes = (
+            self._unpriced_src,
+            self._unpriced_dst,
+            self._unpriced_nbytes,
+        )
+        self._unpriced = []
+        self._unpriced_src = []
+        self._unpriced_dst = []
+        self._unpriced_nbytes = []
+        if len(pending) <= 4:
+            transfer_time = self.network.transfer_time
+            for m in pending:
+                if m.arrival_time is None:
+                    m.arrival_time = m.send_time + transfer_time(
+                        m.src, m.dst, m.nbytes
+                    )
+            return
+        times = self.network.transfer_times(
+            np.array(srcs, dtype=np.int64),
+            np.array(dsts, dtype=np.int64),
+            np.array(nbytes, dtype=np.float64),
+        )
+        for m, t in zip(pending, times.tolist()):
+            m.arrival_time = m.send_time + t
+
     def _complete_wait(self, state: _RankState, request: Request) -> Request:
         """Account virtual time for a completed wait and return the request."""
         if isinstance(request, RecvRequest):
             message = request.message
             if message is None:
                 raise MatchingError("completed receive without a message")
+            if message.arrival_time is None:
+                # Consumed within its own posting batch: price this one
+                # message scalar; the batch-boundary flush skips it.
+                message.arrival_time = message.send_time + self.network.transfer_time(
+                    message.src, message.dst, message.nbytes
+                )
             if message.arrival_time > state.ctx.clock:
                 state.ctx.clock = message.arrival_time
             if self.track_recv_counts:
@@ -682,6 +907,7 @@ def run_program(
     network: NetworkModel | None = None,
     tracer: TraceRecorder | None = None,
     use_fast_collectives: bool = True,
+    use_batched_p2p: bool = True,
 ) -> list[Any]:
     """One-shot convenience wrapper: build an engine, run, return results."""
     engine = Engine(
@@ -689,6 +915,7 @@ def run_program(
         network=network,
         tracer=tracer,
         use_fast_collectives=use_fast_collectives,
+        use_batched_p2p=use_batched_p2p,
     )
     return engine.run(program)
 

@@ -87,7 +87,7 @@ class NetworkModel:
         link = self.intra_node if self.same_node(src, dst) else self.inter_node
         return link.transfer_time(nbytes)
 
-    # -- vectorized API (fast collective paths) -----------------------------
+    # -- vectorized API (fast collectives + batched p2p pricing) ------------
 
     def node_vector(self, nranks: int) -> np.ndarray:
         """rank → node for ranks ``0 … nranks-1`` as one int64 vector.
@@ -110,7 +110,10 @@ class NetworkModel:
         pass over the cached rank → node vector replaces per-message
         ``node_of`` calls; entries with ``src == dst`` are zero, matching
         the scalar path bit for bit (same latency + bytes/bandwidth
-        arithmetic in IEEE doubles).
+        arithmetic in IEEE doubles). Both engine fast paths lean on that
+        bit-identity: the collective emulations price whole tree/ring
+        levels per call, and the batched p2p path prices each scheduler
+        batch's send wave per call.
         """
         srcs = np.asarray(src, dtype=np.int64)
         dsts = np.asarray(dests, dtype=np.int64)

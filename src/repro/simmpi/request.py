@@ -81,7 +81,13 @@ def is_immutable_payload(obj: Any) -> bool:
 
 @dataclass(slots=True)
 class Message:
-    """One in-flight message, addressed in *world* ranks."""
+    """One in-flight message, addressed in *world* ranks.
+
+    ``arrival_time`` may be ``None`` while the engine's batched p2p pricing
+    has the message queued for a vectorized pass; it is always a float by
+    the time any receive wait consumes it (the engine prices the whole
+    pending wave on first use).
+    """
 
     src: int
     dst: int
@@ -90,7 +96,7 @@ class Message:
     payload: Any
     nbytes: int
     send_time: float
-    arrival_time: float
+    arrival_time: float | None
     kind: str = "p2p"
 
     def matches(self, source: int, tag: int) -> bool:

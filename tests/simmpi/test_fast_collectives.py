@@ -182,7 +182,7 @@ class TestMixedPrograms:
             ctx.advance(0.003 * (ctx.rank % 3))
             ids = yield from comm.allgather(ctx.rank)
             row = yield from comm.split(color=ctx.rank // 4, key=ctx.rank)
-            # Sub-communicator collectives always take the cascade.
+            # Sub-communicator collectives fast-path too (group-aware).
             row_sum = yield from row.allreduce(ctx.rank)
             partner = ctx.rank ^ 1
             yield from comm.isend(row_sum, dest=partner, tag=3)
@@ -192,9 +192,10 @@ class TestMixedPrograms:
 
         assert_equivalent(program, size)
 
-    def test_world_sized_split_is_not_fast_pathed(self):
-        """A split covering all ranks yields a non-world comm id — the fast
-        path must not hijack its collectives."""
+    def test_world_sized_split_fast_paths_as_its_own_group(self):
+        """A split covering all ranks yields a non-world comm id; its group
+        is registered at split time, so its collectives fast-path too —
+        equivalently to the cascade."""
         size = 4
 
         def program(ctx):
@@ -202,10 +203,9 @@ class TestMixedPrograms:
             assert clone.comm_id != 0
             return (yield from clone.allreduce(ctx.rank))
 
-        slow, fast = run_pair(program, size)
-        assert slow["results"] == fast["results"]
-        # Only the split's own world allgather may fast-path, exactly once.
-        assert fast["fast_runs"] == 1
+        slow, fast = assert_equivalent(program, size)
+        # The split's world allgather plus the clone's allreduce.
+        assert fast["fast_runs"] == 2
 
 
 class TestFailureInjection:

@@ -32,6 +32,17 @@ def test_all_examples_are_covered():
     assert shipped == covered
 
 
+def test_all_examples_are_documented():
+    """Every script in examples/ is described in examples/README.md."""
+    readme = (EXAMPLES_DIR / "README.md").read_text()
+    undocumented = {
+        p.name for p in EXAMPLES_DIR.glob("*.py") if f"`{p.name}`" not in readme
+    }
+    assert not undocumented, (
+        f"examples missing from examples/README.md: {sorted(undocumented)}"
+    )
+
+
 @pytest.mark.parametrize("name,args,needle", CASES, ids=[c[0] for c in CASES])
 def test_example_runs_green(name, args, needle):
     proc = subprocess.run(

@@ -75,3 +75,17 @@ class TestPerfGate:
             f"{floor:.0f} (last recorded {gate['ranks_per_s']}, "
             f"{REGRESSION_FACTOR}x slack)"
         )
+
+    def test_simmpi_split_fast_path_not_regressed(self, record_bench):
+        record = _last_record(ROOT / "BENCH_simmpi.json")
+        gate = record["simmpi"]["gate"]
+        recorded = gate.get("split_ranks_per_s")
+        if recorded is None:
+            pytest.skip("split gate not recorded yet")
+        current = record_bench.measure_simmpi_split()
+        floor = recorded / REGRESSION_FACTOR
+        assert current >= floor, (
+            f"split-communicator fast path at {current:.0f} rank-iters/s, "
+            f"below {floor:.0f} (last recorded {recorded}, "
+            f"{REGRESSION_FACTOR}x slack)"
+        )
