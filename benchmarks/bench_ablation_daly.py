@@ -7,7 +7,6 @@ waste model and sweeps the machine size, showing where slow encoding makes
 periodic checkpointing stop paying.
 """
 
-import pytest
 
 from repro.models import (
     EncodingTimeModel,

@@ -7,7 +7,6 @@ hierarchical clustering: per-checkpoint byte operations (complexity) against
 the resulting catastrophic-failure probability (reliability).
 """
 
-import numpy as np
 import pytest
 
 from repro.clustering import PartitionCost, hierarchical_clustering

@@ -7,11 +7,9 @@ losses tolerated) at linear encoding cost. The paper picks 4 because it is
 the narrowest width that keeps P[catastrophic] far below the baseline.
 """
 
-import numpy as np
 import pytest
 
 from repro.clustering import hierarchical_clustering, validate_clustering
-from repro.core import ClusteringEvaluator
 from repro.models import PAPER_BASELINE
 from repro.util.tables import AsciiTable
 from repro.util.units import format_probability

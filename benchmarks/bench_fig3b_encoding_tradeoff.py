@@ -10,7 +10,7 @@ too, to show the same linear-in-k growth on this host.
 import pytest
 
 from repro.core import experiment_fig3
-from repro.models import EncodingTimeModel, measure_throughput
+from repro.models import measure_throughput
 
 SIZES = (4, 8, 16, 32)
 

@@ -6,7 +6,6 @@ their influence in the performance trade-off" — while non-distributed
 clusters keep logging low and size-sensitive.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import experiment_fig4bc

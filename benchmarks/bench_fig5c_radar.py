@@ -6,7 +6,6 @@ suitable for FT in future large scale HPC systems") and shows that only
 the hierarchical clustering stays inside on all four axes.
 """
 
-import pytest
 
 from repro.core import experiment_table2, radar_table
 

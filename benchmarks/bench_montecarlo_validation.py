@@ -6,7 +6,6 @@ from the calibrated taxonomy and applying them to each clustering,
 printing analytic-vs-sampled side by side and asserting agreement.
 """
 
-import pytest
 
 from repro.clustering import (
     distributed_clustering,

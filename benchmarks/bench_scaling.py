@@ -9,12 +9,11 @@ width), recovery cost shrinks with machine size, and the baseline verdict
 holds everywhere.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps import TsunamiConfig
 from repro.clustering import PartitionCost, hierarchical_clustering
-from repro.commgraph import node_graph, synthetic_stencil_matrix
+from repro.commgraph import synthetic_stencil_matrix
 from repro.core import ClusteringEvaluator, Scenario
 from repro.failures import PAPER_TAXONOMY
 from repro.machine import Machine

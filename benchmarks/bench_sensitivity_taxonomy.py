@@ -13,14 +13,12 @@ import itertools
 import pytest
 
 from repro.clustering import (
-    PartitionCost,
     distributed_clustering,
     hierarchical_clustering,
     naive_clustering,
     size_guided_clustering,
 )
 from repro.failures import CatastrophicModel, FailureTaxonomy
-from repro.machine import BlockPlacement
 from repro.util.tables import AsciiTable
 from repro.util.units import format_probability
 

@@ -6,7 +6,6 @@ facts (SSD write speed, dual-rail QDR IB, measured Lustre throughput…)
 that the encoding/logging/recovery models consume.
 """
 
-import pytest
 
 from repro.core import experiment_table1
 from repro.machine import TSUBAME2, tsubame2_fti_machine, tsubame2_machine

@@ -50,9 +50,9 @@ def main() -> None:
     total = study.bytes_matrix.sum()
     print(f"  * stencil ghost exchange: {100 * halo.sum() / total:.1f} % of bytes"
           " (the dark double diagonal);")
+    avg_ready = int(ready.sum() / max(1, ready[ready > 0].size)) if ready.sum() else 0
     print(f"  * checkpoint-ready notifications into encoder rows: "
-          f"{int(ready.sum() / max(1, ready[ready > 0].size)) if ready.sum() else 0} B avg per link "
-          "(light horizontal lines);")
+          f"{avg_ready} B avg per link (light horizontal lines);")
     print(f"  * encoder Reed–Solomon ring: {np.count_nonzero(ring)} links "
           "(isolated points at encoder intersections);")
     print(f"  * FTI_Init MPI_Allgather: {np.count_nonzero(ag)} links on "

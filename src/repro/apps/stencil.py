@@ -194,6 +194,68 @@ def halo_exchange(
             f[sl] = payload[i * n : (i + 1) * n].reshape(f[sl].shape)
 
 
+def halo_wave_init(
+    comm,
+    grid: ProcessGrid,
+    rank: int | None = None,
+    *,
+    nfields: int = 1,
+    itemsize: int = 8,
+    tag_base: int = HALO_TAG_BASE,
+    kind: str = "halo",
+):
+    """Build the persistent-request halo wave of one rank (metadata-only).
+
+    Returns ``(wave, recvs)``: ``wave`` is the full posting wave (sends and
+    receives interleaved exactly like :func:`synthetic_halo_exchange` posts
+    them, so matching stamps, traces and clocks come out identical) and
+    ``recvs`` the receive handles in completion-wait order. Steady-state
+    usage pairs it with the communicator's reusable ops::
+
+        wave, recvs = halo_wave_init(comm, grid, nfields=3)
+        start = comm.start_all_op(wave)
+        drain = comm.waitall_op(recvs)
+        for _ in range(iterations):
+            yield start
+            yield drain
+
+    This is MPI's persistent-communication shape (``MPI_Send_init`` /
+    ``MPI_Startall``): one engine interaction posts the whole wave and one
+    drains it, which is what makes the wave benchmark p2p-bound instead of
+    generator-bound.
+    """
+    if rank is None:
+        rank = comm.rank
+    neighbors = grid.neighbors_of(rank)
+    edge_cells = {
+        NORTH: grid.tile_nx,
+        SOUTH: grid.tile_nx,
+        EAST: grid.tile_ny,
+        WEST: grid.tile_ny,
+    }
+    wave = []
+    recvs = []
+    for direction in (NORTH, EAST, SOUTH, WEST):
+        neighbor = neighbors[direction]
+        if neighbor is None:
+            continue
+        wave.append(
+            comm.send_init(
+                None,
+                dest=neighbor,
+                tag=tag_base + direction,
+                nbytes=nfields * edge_cells[direction] * itemsize,
+                kind=kind,
+            )
+        )
+        recv = comm.recv_init(
+            source=neighbor, tag=tag_base + _OPPOSITE[direction]
+        )
+        wave.append(recv)
+        recvs.append(recv)
+    return tuple(wave), recvs
+
+
 def synthetic_halo_exchange(
     comm,
     grid: ProcessGrid,

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.commgraph.analysis import modularity
 from repro.commgraph.graph import CommGraph
 
 

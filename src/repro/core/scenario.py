@@ -13,7 +13,7 @@ experiments and asserted equal to the synthetic one in the tests).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.apps.tsunami import TsunamiSimulation, paper_tsunami_config
 from repro.clustering.partition import PartitionCost

@@ -39,7 +39,8 @@ LOG_TABLE = _LOG
 def _as_u8(a) -> np.ndarray:
     arr = np.asarray(a)
     if arr.dtype != np.uint8:
-        if np.issubdtype(arr.dtype, np.integer) and arr.min(initial=0) >= 0 and arr.max(initial=0) <= 255:
+        in_range = arr.min(initial=0) >= 0 and arr.max(initial=0) <= 255
+        if np.issubdtype(arr.dtype, np.integer) and in_range:
             arr = arr.astype(np.uint8)
         else:
             raise ValueError("GF(2^8) elements must be integers in [0, 255]")

@@ -24,7 +24,6 @@ probability is computed *exactly* by enumerating run positions —
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

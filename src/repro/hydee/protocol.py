@@ -12,6 +12,14 @@ This is the HydEE/FTI composition of §II-C run end to end:
   the world communicator's collective counter) — the receiver positions
   that recovery replays from.
 
+Both engine hooks this protocol installs are *observers of views, never of
+pool slots*: the message log records payload snapshots at send-post time
+(before the message enters the engine's recycling
+:class:`~repro.simmpi.request.MessagePool`), and ``track_recv_counts``
+counts receives as their waits consume them into
+:class:`~repro.simmpi.request.MessageView`\\ s. Slot reuse inside the pool
+is therefore invisible to checkpoint sidecars and to replay.
+
 `run_with_protocol` drives a full application execution and returns
 everything recovery needs.
 """

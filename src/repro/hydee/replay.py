@@ -186,6 +186,15 @@ class ReplayCommunicator(Communicator):
             return None
         return (yield from Communicator.wait(self, request))
 
+    def waitall(self, requests):
+        """Sequential waits: log-served and suppressed requests never reach
+        the engine, so the base class's single ``WaitAll`` op (which only
+        understands engine-native requests) cannot drain a replay's mix."""
+        results = []
+        for request in requests:
+            results.append((yield from self.wait(request)))
+        return results
+
     def wait_status(self, request):
         if isinstance(request, _ServedRequest):
             from repro.simmpi.errors import CommunicatorError
@@ -196,6 +205,38 @@ class ReplayCommunicator(Communicator):
         return (yield from Communicator.wait_status(self, request))
 
     # -- unsupported during replay ----------------------------------------------
+
+    def _no_persistent_replay(self):
+        from repro.simmpi.errors import CommunicatorError
+
+        raise CommunicatorError(
+            "persistent requests are not supported during replay: starts "
+            "would bypass log serving (receives from survivors) and send "
+            "suppression (sends to survivors) — replay windows use the "
+            "per-message isend/irecv/wait API"
+        )
+
+    def send_init(self, obj, dest, tag=0, *, nbytes=None, kind="p2p"):
+        self._no_persistent_replay()
+
+    def recv_init(self, source=ANY_SOURCE, tag=ANY_TAG):
+        self._no_persistent_replay()
+
+    def start_all(self, requests):
+        self._no_persistent_replay()
+        if False:
+            yield
+
+    def start(self, request):
+        self._no_persistent_replay()
+        if False:
+            yield
+
+    def start_all_op(self, requests):
+        self._no_persistent_replay()
+
+    def waitall_op(self, requests):
+        self._no_persistent_replay()
 
     def split(self, color, key=0):
         from repro.simmpi.errors import CommunicatorError

@@ -18,7 +18,16 @@ from repro.simmpi.errors import (
     SimMPIError,
 )
 from repro.simmpi.network import LinkParameters, NetworkModel, zero_latency_network
-from repro.simmpi.request import ANY_SOURCE, ANY_TAG, Status, nbytes_of
+from repro.simmpi.request import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MessagePool,
+    MessageView,
+    PersistentRecvRequest,
+    PersistentSendRequest,
+    Status,
+    nbytes_of,
+)
 from repro.simmpi.tracing import TraceRecorder
 from repro.simmpi import collectives
 
@@ -30,7 +39,11 @@ __all__ = [
     "DeadlockError",
     "Engine",
     "LinkParameters",
+    "MessagePool",
+    "MessageView",
     "NetworkModel",
+    "PersistentRecvRequest",
+    "PersistentSendRequest",
     "RankContext",
     "RankFailedError",
     "SimMPIError",

@@ -11,25 +11,40 @@ be invoked with ``yield from`` inside a rank program::
         row = yield from comm.split(color=ctx.rank // 4)
         total = yield from row.allreduce(ctx.rank)
         return total
+
+Steady-state point-to-point patterns can additionally use the persistent
+API (:meth:`Communicator.send_init` / :meth:`Communicator.recv_init` /
+:meth:`Communicator.start_all` / :meth:`Communicator.waitall`, mirroring
+``MPI_Send_init`` / ``MPI_Startall`` / ``MPI_Waitall``): a fixed wave of
+requests is described once and re-posted each iteration through a single
+engine interaction, with matching, pricing, traces and clocks identical to
+the equivalent ``isend``/``irecv``/``wait`` sequence.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
-import numpy as np
-
 from repro.simmpi import collectives as coll
-from repro.simmpi.engine import CollectiveOp, PostRecv, PostSend, RankContext, Wait
+from repro.simmpi.engine import (
+    CollectiveOp,
+    PostRecv,
+    PostSend,
+    RankContext,
+    StartAll,
+    Wait,
+    WaitAll,
+)
 from repro.simmpi.errors import CommunicatorError
 from repro.simmpi.request import (
     ANY_SOURCE,
     ANY_TAG,
+    PersistentRecvRequest,
+    PersistentSendRequest,
     RecvRequest,
     Request,
-    SendRequest,
+    Status,
     capture_payload as _capture,
-    nbytes_of,
     payload_nbytes as _payload_nbytes,
 )
 
@@ -60,6 +75,7 @@ class Communicator:
         self._coll_seq = 0
         self._split_seq = 0
         self._group_ok: bool | None = None  # cached fast-path membership check
+        self._start_ops: dict[int, StartAll] = {}  # start_all's op cache
 
     # -- construction -------------------------------------------------------
 
@@ -124,20 +140,30 @@ class Communicator:
         return req
 
     def wait(self, request: Request):
-        """Wait for one request; returns the payload for receives."""
+        """Wait for one request; returns the payload for receives.
+
+        Waiting on an inactive (never-started) persistent receive is MPI's
+        defined no-op and returns ``None``.
+        """
         completed = yield Wait(request)
         if isinstance(completed, RecvRequest):
-            assert completed.message is not None
-            return completed.message.payload
+            view = completed.view
+            return None if view is None else view.payload
         return None
 
     def wait_status(self, request: RecvRequest):
-        """Wait for a receive; returns ``(payload, Status)``."""
+        """Wait for a receive; returns ``(payload, Status)``.
+
+        An inactive persistent receive completes immediately with MPI's
+        *empty status* (``ANY_SOURCE``, ``ANY_TAG``, zero bytes).
+        """
         completed = yield Wait(request)
         if not isinstance(completed, RecvRequest):
             raise CommunicatorError("wait_status() requires a receive request")
-        assert completed.message is not None
-        return completed.message.payload, completed.status()
+        view = completed.view
+        if view is None:
+            return None, Status(ANY_SOURCE, ANY_TAG, 0)
+        return view.payload, completed.status()
 
     @staticmethod
     def test(request: Request) -> bool:
@@ -149,11 +175,105 @@ class Communicator:
         return request.done
 
     def waitall(self, requests: Sequence[Request]):
-        """Wait for every request; returns per-request results in order."""
-        results = []
-        for request in requests:
-            results.append((yield from self.wait(request)))
+        """Wait for every request; returns per-request results in order.
+
+        One engine interaction for the whole set (a single ``WaitAll`` op),
+        not one wait per request: the rank blocks until the last request
+        completes and receives the ordered payload list (``None`` for
+        sends) in one resume. Time accounting is identical to sequential
+        waits — each receive still advances the clock to its own arrival.
+        """
+        results = yield WaitAll(list(requests))
         return results
+
+    # -- persistent requests (MPI_Send_init / MPI_Recv_init shape) -----------
+
+    def send_init(
+        self,
+        obj: Any,
+        dest: int,
+        tag: int = 0,
+        *,
+        nbytes: int | None = None,
+        kind: str = "p2p",
+    ) -> PersistentSendRequest:
+        """Build a reusable buffered-send recipe (plain method, no yield).
+
+        Each :meth:`start_all` posts one fresh message from the recipe —
+        same matching, pricing and tracing as the equivalent
+        :meth:`isend`. Mutable payloads are snapshotted per start.
+        """
+        if tag < 0:
+            raise CommunicatorError(f"send tags must be non-negative, got {tag}")
+        size = nbytes if nbytes is not None else _payload_nbytes(obj)
+        return PersistentSendRequest(
+            self.ctx.rank,
+            self._world_rank(dest),
+            tag,
+            self.comm_id,
+            obj,
+            int(size),
+            kind,
+        )
+
+    def recv_init(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> PersistentRecvRequest:
+        """Build a reusable receive handle (plain method, no yield)."""
+        world_source = source if source == ANY_SOURCE else self._world_rank(source)
+        return PersistentRecvRequest(
+            self.ctx.rank, world_source, tag, self.comm_id
+        )
+
+    def start_all(self, requests: Sequence[Request]):
+        """Activate a wave of persistent requests in list order.
+
+        One engine interaction posts the whole wave; interleave sends and
+        receives in the list exactly as the per-message program would post
+        them and the posting-sequence stamps (hence matching, traces and
+        clocks) come out identical. Pass the *same tuple(s)* every
+        iteration and the engine's compiled posting plans are reused (each
+        cached op holds a strong reference to its tuple, so the identity
+        check is sound); fresh sequences recompile per call.
+        """
+        if requests.__class__ is not tuple:
+            requests = tuple(requests)
+        cache = self._start_ops
+        op = cache.get(id(requests))
+        if op is None or op.requests is not requests:
+            if len(cache) >= 16:
+                # A program minting fresh tuples every call gains nothing
+                # from caching; keep the table bounded.
+                cache.clear()
+            op = cache[id(requests)] = StartAll(requests)
+        yield op
+
+    def start(self, request: Request):
+        """Activate one persistent request (mirrors ``MPI_Start``)."""
+        yield StartAll((request,))
+
+    # -- reusable op builders (zero-overhead steady-state waves) -------------
+
+    def start_all_op(self, requests: Sequence[Request]) -> StartAll:
+        """Prebuild a reusable ``StartAll`` op for a fixed wave.
+
+        Ops are immutable descriptions, so a steady-state program can build
+        one per wave outside its loop and ``yield`` the same object every
+        iteration — the leanest possible posting path (no subgenerator, no
+        per-iteration allocation)::
+
+            start = comm.start_all_op(wave)
+            drain = comm.waitall_op(recvs)
+            for _ in range(iterations):
+                yield start
+                payloads = yield drain
+        """
+        return StartAll(tuple(requests))
+
+    def waitall_op(self, requests: Sequence[Request]) -> WaitAll:
+        """Prebuild a reusable ``WaitAll`` op (see :meth:`start_all_op`);
+        yielding it returns the ordered payload list."""
+        return WaitAll(tuple(requests))
 
     def send(
         self,

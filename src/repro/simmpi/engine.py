@@ -32,13 +32,63 @@ of the programs — no heap, no wall-clock, no iteration order over hash
 containers — so runs are exactly reproducible.
 
 Dispatch of the yielded ops is a ``__class__``-identity chain over the
-four op types (send post, receive post, wait, collective), and message
-matching is per-channel: unexpected messages and pending receives live in
-deques keyed by ``(source, tag)`` under each ``(communicator, receiver)``,
-stamped with a global posting sequence. Exact-match traffic pops its
-deque in O(1); wildcard receives (``ANY_SOURCE`` / ``ANY_TAG``) pick the
-matching channel head with the smallest stamp, which reproduces exactly
-the posted-order semantics of a linear scan.
+six op types (send post, receive post, wait, wait-all, persistent start,
+collective), and message matching is per-channel: unexpected messages and
+pending receives live in deques keyed by ``(source, tag)`` under each
+``(communicator, receiver)``, stamped with a global posting sequence.
+Exact-match traffic pops its deque in O(1); wildcard receives
+(``ANY_SOURCE`` / ``ANY_TAG``) pick the matching channel head with the
+smallest stamp, which reproduces exactly the posted-order semantics of a
+linear scan.
+
+The message pool
+----------------
+In-flight messages are not Python objects. The engine owns one
+:class:`~repro.simmpi.request.MessagePool` — parallel NumPy columns for
+source / destination / tag / communicator / byte count / posting sequence /
+send time / arrival time, plus payload and kind lists and a LIFO free
+list — and every posted send allocates a *slot index* in it. Matching
+moves slot ``int``\\ s through the channel deques, wildcard arbitration
+compares ``pool.seq`` entries, and the wait that consumes a receive copies
+the slot out into an immutable
+:class:`~repro.simmpi.request.MessageView` before recycling it. Observers
+(``Status``, payload delivery, the protocol's receive counting) only ever
+see views — a recycled slot can never corrupt a completed receive. Send
+handles carry no message state at all: every send post returns the shared
+:data:`~repro.simmpi.request.COMPLETED_SEND` instance.
+
+Batched p2p pricing
+-------------------
+Posting a send does not price it. The slot is allocated with the
+:data:`~repro.simmpi.request.UNPRICED` arrival sentinel and queued on the
+current *wave*; when the scheduler finishes draining a batch, the whole
+accumulated send wave is priced in one vectorized
+:meth:`NetworkModel.transfer_times <repro.simmpi.network.NetworkModel.transfer_times>`
+call and written back with a single fancy-indexed assignment
+(``pool.arrival[wave] = pool.send_time[wave] + times``). A receive
+completed *within* the posting batch prices its one slot scalar on demand —
+the flush then simply overwrites it with the bit-identical value. Trace
+recording is batched on the same cadence: each wave accumulates per-kind
+``(src, dst, nbytes)`` triples and flushes them through
+:meth:`TraceRecorder.record_many <repro.simmpi.tracing.TraceRecorder.record_many>`,
+which produces byte-identical matrices to per-message recording (integer
+byte counts — accumulation order cannot perturb the float sums). Arrival
+times are bit-identical to the scalar path (``use_batched_p2p=False`` pins
+the per-message reference, which also keeps per-message trace recording;
+the equivalence suite compares both).
+
+Persistent-request waves
+------------------------
+``send_init`` / ``recv_init`` build reusable request recipes and
+``start_all`` posts a whole wave of them through one yielded
+:class:`StartAll` op; ``waitall`` blocks on one :class:`WaitAll` op instead
+of one ``Wait`` per message. This is MPI's persistent-communication shape
+(``MPI_Send_init`` / ``MPI_Startall``) and it is what stencil codes use in
+practice: the per-iteration halo exchange costs two scheduler interactions
+per rank instead of roughly three per message, while posting order, message
+matching, pricing and tracing stay exactly those of the equivalent
+``isend`` / ``irecv`` / ``wait`` sequence (the equivalence suite pins
+traces, clocks and results against the per-message program).
 
 Virtual-time semantics
 ----------------------
@@ -52,22 +102,6 @@ Virtual-time semantics
 This is the standard LogP-style approximation used by trace-driven MPI
 simulators; it reproduces exactly what the paper consumes (byte-accurate
 traces, event ordering) while remaining fast enough for 1088-rank runs.
-
-Batched p2p pricing
--------------------
-Posting a send does not price it. The message is created with
-``arrival_time=None`` and queued; when the scheduler finishes draining a
-batch, the whole accumulated send wave is priced in one vectorized
-:meth:`NetworkModel.transfer_times <repro.simmpi.network.NetworkModel.transfer_times>`
-call (a receive completed *within* the posting batch prices its one message
-scalar on demand — the flush skips it). Because a batch drains every
-runnable rank, waves scale with the world size — the stencil's 4 halo sends
-per rank per iteration price as one NumPy pass over ~4·nranks messages —
-and the dominant per-message Python cost (two ``node_of`` lookups plus
-float arithmetic per send) collapses. Arrival times are bit-identical to
-the scalar path (``use_batched_p2p=False`` pins the per-message reference;
-the equivalence suite compares both), and trace records are unaffected —
-tracing happens at post time either way.
 
 Fast-path collectives
 ---------------------
@@ -98,6 +132,7 @@ tests' pin). Communicators whose membership the engine does not know
 
 from __future__ import annotations
 
+import gc
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Sequence
@@ -110,11 +145,17 @@ from repro.simmpi.network import NetworkModel, zero_latency_network
 from repro.simmpi.request import (
     ANY_SOURCE,
     ANY_TAG,
+    COMPLETED_SEND,
+    UNPRICED,
     CollectiveRequest,
-    Message,
+    MessagePool,
+    MessageView,
+    PersistentRecvRequest,
+    PersistentSendRequest,
     RecvRequest,
     Request,
-    SendRequest,
+    WaitAllRequest,
+    capture_payload,
     nbytes_of,
 )
 from repro.simmpi.tracing import TraceRecorder
@@ -153,6 +194,26 @@ class Wait:
 
 
 @dataclass(slots=True)
+class WaitAll:
+    """Block until every request completes; engine replies with per-request
+    results in order (the received payload for receives, ``None`` for
+    sends) — one scheduler interaction for a whole wave of waits."""
+
+    requests: Sequence[Request]
+
+
+@dataclass(slots=True)
+class StartAll:
+    """Activate a wave of persistent requests in list order; engine replies
+    ``None``. Sends post one fresh pool message from their recipe; receives
+    re-enter matching. ``plan`` caches the engine's compiled posting plan —
+    ops are reusable, so a steady-state wave compiles exactly once."""
+
+    requests: Sequence[Request]
+    plan: list | None = None
+
+
+@dataclass(slots=True)
 class CollectiveOp:
     """One rank's entry into a fast-path world collective.
 
@@ -171,7 +232,7 @@ class CollectiveOp:
     trace_kind: str
 
 
-Op = PostSend | PostRecv | Wait | CollectiveOp
+Op = PostSend | PostRecv | Wait | WaitAll | StartAll | CollectiveOp
 
 
 class RankContext:
@@ -265,6 +326,23 @@ class _PendingCollective:
         ]
 
 
+class _Mailbox:
+    """Matching state of one (communicator, receiver) endpoint.
+
+    ``pending`` maps (source, tag) patterns to deques of parked
+    :class:`RecvRequest`\\ s; ``unexpected`` maps (source, tag) channels to
+    deques of pool slot ints; ``wild`` counts parked wildcard receives —
+    while zero, a send needs exactly one dict probe to find its match.
+    """
+
+    __slots__ = ("pending", "unexpected", "wild")
+
+    def __init__(self):
+        self.pending: dict[tuple[int, int], deque] = {}
+        self.unexpected: dict[tuple[int, int], deque] = {}
+        self.wild = 0
+
+
 RankProgram = Callable[[RankContext], Generator]
 
 
@@ -280,19 +358,25 @@ class Engine:
         ordering semantics and traces while making unit tests trivial.
     tracer:
         Optional :class:`TraceRecorder`; when provided, every message is
-        recorded at send-post time (fast-path collectives record the same
-        messages in bulk).
+        recorded (fast-path collectives and batched p2p waves record the
+        same messages in bulk; the scalar p2p reference records at post
+        time).
     use_fast_collectives:
         Allow collectives (world or split sub-communicator) to take the
         vectorized fast path. Set to ``False`` to pin every collective to
         the point-to-point generator cascade (the equivalence suite's
         reference).
     use_batched_p2p:
-        Price point-to-point sends in vectorized batches (one
-        :meth:`NetworkModel.transfer_times` call per drained wave) instead
-        of one scalar :meth:`NetworkModel.transfer_time` call per message.
-        Arrival times are bit-identical either way; set to ``False`` to pin
-        the scalar reference path.
+        Price point-to-point sends in vectorized waves (one
+        :meth:`NetworkModel.transfer_times` call and one fancy-indexed
+        pool assignment per drained batch) instead of one scalar
+        :meth:`NetworkModel.transfer_time` call per message. Arrival times
+        are bit-identical either way; set to ``False`` to pin the scalar
+        reference path.
+    pool_capacity:
+        Initial slot count of the engine's :class:`MessagePool`; the pool
+        doubles on demand, so this only sizes the steady state (tests use
+        tiny capacities to exercise growth).
     failure_ranks:
         Ranks that should fail by raising :class:`RankFailedError` inside
         their program the next time they interact with the engine. Used by
@@ -307,6 +391,7 @@ class Engine:
         tracer: TraceRecorder | None = None,
         use_fast_collectives: bool = True,
         use_batched_p2p: bool = True,
+        pool_capacity: int = 512,
     ):
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
@@ -319,33 +404,42 @@ class Engine:
 
         # Protocol hooks (used by repro.hydee): an optional message log that
         # captures payloads of selected messages at send time, and
-        # per-channel counts of *completed* receives — the two ingredients of
+        # per-channel counts of *consumed* receives — the two ingredients of
         # sender-based logging with receiver-side checkpointed positions.
         # Receive counting is opt-in (``track_recv_counts``): the protocol
         # layer enables it, plain trace/timing runs skip the per-receive
         # bookkeeping entirely. Either hook forces collectives onto the
-        # per-message slow path so the observers see every message.
+        # per-message slow path so the observers see every message. Both
+        # observers consume scalars / MessageViews — never pool slots.
         self.message_log = None  # object with .wants(src, dst) and .record(...)
         self.track_recv_counts = False
         self.recv_counts: dict[tuple[int, int], int] = {}
 
-        # Matching state, keyed by (comm_id, receiver world rank) and then
-        # by (source, tag) channel; see _handle_send/_handle_recv_post.
-        self._pending_recvs: dict[tuple[int, int], dict] = {}
-        self._unexpected: dict[tuple[int, int], dict] = {}
+        # The struct-of-arrays message store; see repro.simmpi.request.
+        self.pool = MessagePool(pool_capacity)
+
+        # Matching state: one _Mailbox per (comm_id, receiver world rank),
+        # each holding per-(source, tag) channels. Pending-receive channels
+        # hold the RecvRequest objects (each stamped with .seq);
+        # unexpected-message channels hold bare pool slot ints (their stamp
+        # is pool.seq[slot]). ``wild`` counts queued wildcard receives so
+        # the overwhelmingly common no-wildcard case matches with a single
+        # dict probe.
+        self._mailboxes: dict[tuple[int, int], _Mailbox] = {}
+        # World-communicator mailboxes get a flat rank-indexed array (comm
+        # id 0 carries nearly all p2p traffic; skipping the tuple-key dict
+        # saves a hash per message).
+        self._world_mail: list[_Mailbox | None] = [None] * nranks
         self._seq = 0  # global posting-order stamp
 
-        # Batched p2p pricing: messages posted with arrival_time=None,
-        # priced in one vectorized transfer_times call per drained
-        # scheduler batch (see _price_pending_sends); the few consumed
-        # within their own posting batch are priced scalar on demand.
-        # The three parallel lists shadow (src, dst, nbytes) so the flush
-        # converts straight from Python lists instead of re-walking
-        # message attributes.
-        self._unpriced: list[Message] = []
-        self._unpriced_src: list[int] = []
-        self._unpriced_dst: list[int] = []
-        self._unpriced_nbytes: list[int] = []
+        # Batched p2p pricing: sends posted with the UNPRICED sentinel
+        # accumulate their slots (and kinds) on the current wave; the wave
+        # is priced, traced and recycled once per drained scheduler batch.
+        # Slots consumed mid-batch park on the deferred-free list so wave
+        # entries always describe the wave's own messages at flush time.
+        self._wave_slots: list[int] = []
+        self._wave_kinds: list[str] = []
+        self._deferred_free: list[int] = []
 
         # Communicator-id allocation (world == 0); see Communicator.split.
         # Per-group membership bookkeeping: comm id → (group rank → world
@@ -448,6 +542,17 @@ class Engine:
         self._groups = {0: self._groups[0]}
         self._group_rank = {0: self._group_rank[0]}
 
+        # Fresh matching state and a fully-free pool: messages a previous
+        # run never consumed (fire-and-forget sends, failed ranks' traffic)
+        # must not leak slots or match this run's receives.
+        self._mailboxes = {}
+        self._world_mail = [None] * self.nranks
+        self._seq = 0
+        self.pool.reset()
+        self._wave_slots = []
+        self._wave_kinds = []
+        self._deferred_free = []
+
         if callable(program):
             programs: list[RankProgram] = [program] * self.nranks
         else:
@@ -473,10 +578,6 @@ class Engine:
             self._states.append(_RankState(rank, gen, ctx))
 
         self._pending_colls = {}
-        self._unpriced = []
-        self._unpriced_src = []
-        self._unpriced_dst = []
-        self._unpriced_nbytes = []
         # Eligibility is fixed per run: every rank must take the same path
         # through a given collective, and all three per-message observers
         # (payload log, receive counting, failure injection) need the
@@ -493,17 +594,34 @@ class Engine:
         batch = list(range(self.nranks))
         self._next_runnable = []
         self._in_next = set()
-        while batch:
-            for rank in batch:
-                step(states[rank])
-            if self._unpriced:
-                # Price the batch's whole send wave in one vectorized pass
-                # (waits in later batches then find arrival times ready).
+        # Pause generational GC while the scheduler drains: the engine's
+        # steady state barely allocates (messages live in pool slots, send
+        # handles are shared), but the collector would still rescan the
+        # long-lived generator/deque graph every few hundred allocations.
+        # Restored (and never force-enabled) on every exit path.
+        resume_gc = gc.isenabled()
+        if resume_gc:
+            gc.disable()
+        try:
+            while batch:
+                for rank in batch:
+                    step(states[rank])
+                if self._wave_slots or self._deferred_free:
+                    # Price and trace the batch's whole send wave in one
+                    # vectorized pass (waits in later batches then find
+                    # arrival times ready) and recycle consumed slots.
+                    self._price_pending_sends()
+                batch = self._next_runnable
+                batch.sort()
+                self._next_runnable = []
+                self._in_next = set()
+        finally:
+            if resume_gc:
+                gc.enable()
+            # A program exception must not swallow the wave that was
+            # draining: flushing keeps partial-run traces exact.
+            if self._wave_slots or self._deferred_free:
                 self._price_pending_sends()
-            batch = self._next_runnable
-            batch.sort()
-            self._next_runnable = []
-            self._in_next = set()
 
         unfinished = [s for s in self._states if not s.finished]
         if unfinished:
@@ -585,7 +703,16 @@ class Engine:
 
             cls = op.__class__
             if cls is PostSend:
-                send_value = self._handle_send(state, op)
+                self._post_send(
+                    state,
+                    op.dest,
+                    op.tag,
+                    op.comm_id,
+                    op.payload,
+                    op.nbytes,
+                    op.kind,
+                )
+                send_value = COMPLETED_SEND
             elif cls is PostRecv:
                 send_value = self._handle_recv_post(state, op)
             elif cls is Wait:
@@ -595,6 +722,16 @@ class Engine:
                 else:
                     state.blocked_on = request
                     return
+            elif cls is WaitAll:
+                request = WaitAllRequest(state.rank, list(op.requests))
+                if request.done:
+                    send_value = self._complete_wait(state, request)
+                else:
+                    state.blocked_on = request
+                    return
+            elif cls is StartAll:
+                self._handle_start_all(state, op)
+                send_value = None
             elif cls is CollectiveOp:
                 request = self._handle_collective(state, op)
                 if request.done:
@@ -607,69 +744,112 @@ class Engine:
 
     # -- op handlers ---------------------------------------------------------
 
-    def _handle_send(self, state: _RankState, op: PostSend) -> SendRequest:
+    def _post_send(
+        self,
+        state: _RankState,
+        dst: int,
+        tag: int,
+        comm_id: int,
+        payload: Any,
+        nbytes: int,
+        kind: str,
+    ) -> None:
+        """Post one buffered send: pool slot, trace/log, eager matching.
+
+        Shared by ``PostSend`` and the persistent ``StartAll`` path; the
+        posting order (and hence the ``seq`` stamps) is identical in both,
+        so persistent waves match and price exactly like the equivalent
+        ``isend`` sequence.
+        """
         src = state.rank
-        dst = op.dest
+        pool = self.pool
+        free = pool.free
+        if not free:
+            pool._grow()
+            free = pool.free
+        slot = free.pop()
+        seq = self._seq
+        self._seq = seq + 1
         clock = state.ctx.clock
         if self.use_batched_p2p:
-            # Defer pricing: arrival_time stays None until some receiver
-            # needs it, at which point the whole accumulated wave is priced
-            # in one vectorized transfer_times call (the halo exchange posts
-            # 4 sends per rank per iteration before anyone waits, so whole
-            # waves of sends price together).
-            arrival = None
+            # Defer pricing: the slot carries the UNPRICED sentinel until
+            # some receiver needs it, at which point the whole accumulated
+            # wave is priced in one vectorized transfer_times call (the
+            # halo exchange posts 4 sends per rank per iteration before
+            # anyone waits, so whole waves of sends price together). Trace
+            # recording rides the same wave: the flush gathers (src, dst,
+            # nbytes) straight from the pool columns it is pricing.
+            arrival = UNPRICED
+            self._wave_slots.append(slot)
+            self._wave_kinds.append(kind)
         else:
-            arrival = clock + self.network.transfer_time(src, dst, op.nbytes)
-        message = Message(
-            src=src,
-            dst=dst,
-            tag=op.tag,
-            comm_id=op.comm_id,
-            payload=op.payload,
-            nbytes=op.nbytes,
-            send_time=clock,
-            arrival_time=arrival,
-        )
-        if arrival is None:
-            self._unpriced.append(message)
-            self._unpriced_src.append(src)
-            self._unpriced_dst.append(dst)
-            self._unpriced_nbytes.append(op.nbytes)
-        message.kind = op.kind
-        if self.tracer is not None:
-            self.tracer.record(src, dst, op.nbytes, kind=op.kind)
+            arrival = clock + self.network.transfer_time(src, dst, nbytes)
+            if self.tracer is not None:
+                self.tracer.record(src, dst, nbytes, kind=kind)
+        pool.src[slot] = src
+        pool.dst[slot] = dst
+        pool.tag[slot] = tag
+        pool.comm_id[slot] = comm_id
+        pool.nbytes[slot] = nbytes
+        pool.send_time[slot] = clock
+        pool.arrival[slot] = arrival
+        pool.seq[slot] = seq
+        pool.payload[slot] = payload
+        pool.kind[slot] = kind
         if self.message_log is not None and self.message_log.wants(src, dst):
-            self.message_log.record(
-                src, dst, op.tag, op.payload, op.nbytes, op.kind
-            )
+            self.message_log.record(src, dst, tag, payload, nbytes, kind)
 
-        key = (op.comm_id, dst)
-        channels = self._pending_recvs.get(key)
-        if channels:
-            req = self._match_pending_recv(channels, src, op.tag)
+        if comm_id == 0:
+            mailbox = self._world_mail[dst]
+            if mailbox is None:
+                mailbox = self._world_mail[dst] = _Mailbox()
+        else:
+            mailbox = self._mailboxes.get((comm_id, dst))
+            if mailbox is None:
+                mailbox = self._mailboxes[(comm_id, dst)] = _Mailbox()
+        pending = mailbox.pending
+        if pending:
+            req = self._match_pending_recv(mailbox, src, tag)
             if req is not None:
-                req.complete(message)
-                self._unblock_if_waiting(dst, req)
-                return SendRequest(src, message)
-        bucket = self._unexpected.get(key)
-        if bucket is None:
-            bucket = self._unexpected[key] = {}
-        chan = bucket.get((src, op.tag))
+                # Capture the waitall parent before complete() detaches it:
+                # the receiver wakes either because it blocked on this very
+                # request, or because this completion was the one that
+                # finished the WaitAllRequest it blocked on. Anything else
+                # (e.g. a pre-posted receive for a later iteration
+                # completing while the rank awaits its resume) must NOT
+                # wake it — a second wake would double-schedule the rank.
+                parent = req.parent
+                req.complete(slot)
+                if parent is not None and not parent.done:
+                    parent = None
+                self._unblock_if_waiting(dst, req, parent)
+                return
+        bucket = mailbox.unexpected
+        chan = bucket.get((src, tag))
         if chan is None:
-            chan = bucket[(src, op.tag)] = deque()
-        chan.append((self._seq, message))
-        self._seq += 1
-        return SendRequest(src, message)
+            chan = bucket[(src, tag)] = deque()
+        chan.append(slot)
 
     @staticmethod
-    def _match_pending_recv(channels: dict, src: int, tag: int):
+    def _match_pending_recv(mailbox: _Mailbox, src: int, tag: int):
         """Earliest-posted pending receive whose pattern accepts (src, tag).
 
-        A receive pattern is one of four channels — exact, source-wildcard,
-        tag-wildcard, both-wildcard — so candidate lookup is four dict
-        probes; the posting-sequence stamps arbitrate between them exactly
-        like a linear scan over posting order.
+        With no wildcard receives parked (``mailbox.wild == 0``, the
+        overwhelmingly common case) the exact channel is the only
+        candidate: one dict probe. Otherwise a receive pattern is one of
+        four channels — exact, source-wildcard, tag-wildcard,
+        both-wildcard — and the requests' posting-sequence stamps arbitrate
+        between the probes exactly like a linear scan over posting order.
         """
+        channels = mailbox.pending
+        if not mailbox.wild:
+            chan = channels.get((src, tag))
+            if not chan:
+                return None
+            req = chan.popleft()
+            if not chan:
+                del channels[(src, tag)]
+            return req
         best_seq = None
         best_pattern = None
         for pattern in (
@@ -680,14 +860,16 @@ class Engine:
         ):
             chan = channels.get(pattern)
             if chan:
-                seq = chan[0][0]
+                seq = chan[0].seq
                 if best_seq is None or seq < best_seq:
                     best_seq = seq
                     best_pattern = pattern
         if best_pattern is None:
             return None
         chan = channels[best_pattern]
-        _, req = chan.popleft()
+        req = chan.popleft()
+        if best_pattern[0] == ANY_SOURCE or best_pattern[1] == ANY_TAG:
+            mailbox.wild -= 1
         if not chan:
             # Drop drained channels: slow-path collectives mint a fresh tag
             # per call, so stale empty deques would otherwise accumulate
@@ -697,39 +879,56 @@ class Engine:
 
     def _handle_recv_post(self, state: _RankState, op: PostRecv) -> RecvRequest:
         req = RecvRequest(state.rank, op.source, op.tag, op.comm_id)
-        key = (op.comm_id, state.rank)
-        bucket = self._unexpected.get(key)
-        if bucket:
-            message = self._match_unexpected(bucket, op.source, op.tag)
-            if message is not None:
-                req.complete(message)
-                return req
-        channels = self._pending_recvs.get(key)
-        if channels is None:
-            channels = self._pending_recvs[key] = {}
-        chan = channels.get((op.source, op.tag))
-        if chan is None:
-            chan = channels[(op.source, op.tag)] = deque()
-        chan.append((self._seq, req))
-        self._seq += 1
+        self._post_recv(state, req)
         return req
 
-    @staticmethod
-    def _match_unexpected(bucket: dict, source: int, tag: int):
-        """Earliest-arrived unexpected message matching a receive pattern.
+    def _post_recv(self, state: _RankState, req: RecvRequest) -> None:
+        """Enter a receive into matching: serve it from the unexpected
+        queue or park it (stamped) on its pending channel."""
+        source = req.source
+        tag = req.tag
+        comm_id = req.comm_id
+        if comm_id == 0:
+            mailbox = self._world_mail[state.rank]
+            if mailbox is None:
+                mailbox = self._world_mail[state.rank] = _Mailbox()
+        else:
+            mailbox = self._mailboxes.get((comm_id, state.rank))
+            if mailbox is None:
+                mailbox = self._mailboxes[(comm_id, state.rank)] = _Mailbox()
+        bucket = mailbox.unexpected
+        if bucket:
+            slot = self._match_unexpected(bucket, source, tag)
+            if slot is not None:
+                req.complete(slot)
+                return
+        pattern = (source, tag)
+        channels = mailbox.pending
+        chan = channels.get(pattern)
+        if chan is None:
+            chan = channels[pattern] = deque()
+        if source == ANY_SOURCE or tag == ANY_TAG:
+            mailbox.wild += 1
+        req.seq = self._seq
+        self._seq += 1
+        chan.append(req)
+
+    def _match_unexpected(self, bucket: dict, source: int, tag: int):
+        """Earliest-arrived unexpected message slot matching a pattern.
 
         Exact patterns probe one channel deque; wildcard patterns scan the
-        receiver's active channels and take the head with the smallest
-        arrival stamp — identical to scanning one arrival-ordered list.
+        receiver's active channels and take the head slot with the smallest
+        pool stamp — identical to scanning one arrival-ordered list.
         """
         if source != ANY_SOURCE and tag != ANY_TAG:
             chan = bucket.get((source, tag))
             if not chan:
                 return None
-            _, message = chan.popleft()
+            slot = chan.popleft()
             if not chan:
                 del bucket[(source, tag)]
-            return message
+            return slot
+        pool_seq = self.pool.seq
         best_seq = None
         best_key = None
         for (src, mtag), chan in bucket.items():
@@ -737,17 +936,99 @@ class Engine:
                 continue
             if tag != ANY_TAG and mtag != tag:
                 continue
-            seq = chan[0][0]
+            seq = pool_seq[chan[0]]
             if best_seq is None or seq < best_seq:
                 best_seq = seq
                 best_key = (src, mtag)
         if best_key is None:
             return None
         chan = bucket[best_key]
-        _, message = chan.popleft()
+        slot = chan.popleft()
         if not chan:
             del bucket[best_key]
-        return message
+        return slot
+
+    # Plan entry codes: static send (immutable payload, args precomputed),
+    # capturing send (payload snapshotted per start), receive re-arm.
+    _PLAN_SEND_STATIC = 0
+    _PLAN_SEND_CAPTURE = 1
+    _PLAN_RECV = 2
+
+    @classmethod
+    def _compile_start_plan(cls, requests: Sequence[Request]) -> list:
+        """Compile a persistent wave into posting-plan entries.
+
+        Validation and attribute traversal happen here, once per op;
+        steady-state starts then run a branch per entry with the send
+        arguments already packed.
+        """
+        plan: list = []
+        for req in requests:
+            rcls = req.__class__
+            if rcls is PersistentSendRequest:
+                if req.capture:
+                    plan.append((cls._PLAN_SEND_CAPTURE, req))
+                else:
+                    plan.append(
+                        (
+                            cls._PLAN_SEND_STATIC,
+                            (
+                                req.dest,
+                                req.tag,
+                                req.comm_id,
+                                req.payload,
+                                req.nbytes,
+                                req.kind,
+                            ),
+                        )
+                    )
+            elif rcls is PersistentRecvRequest:
+                plan.append((cls._PLAN_RECV, req))
+            else:
+                raise MatchingError(
+                    f"start_all on non-persistent request {req!r}"
+                )
+        return plan
+
+    def _handle_start_all(self, state: _RankState, op: StartAll) -> None:
+        """Activate a persistent wave: post its sends and receives in list
+        order (identical stamps to the equivalent per-message sequence)."""
+        plan = op.plan
+        if plan is None:
+            plan = op.plan = self._compile_start_plan(op.requests)
+        post_send = self._post_send
+        post_recv = self._post_recv
+        for code, data in plan:
+            if code == 0:  # _PLAN_SEND_STATIC
+                post_send(state, *data)
+            elif code == 2:  # _PLAN_RECV
+                if not data.done:
+                    raise MatchingError(
+                        f"rank {state.rank} restarted a persistent receive "
+                        f"that is still in flight ({data.describe()})"
+                    )
+                if data.slot >= 0:
+                    # Matched but never waited on: restarting would silently
+                    # drop the delivered message and leak its pool slot.
+                    raise MatchingError(
+                        f"rank {state.rank} restarted a persistent receive "
+                        f"whose completion was never waited on "
+                        f"({data.describe()})"
+                    )
+                data.done = False
+                data.slot = -1
+                data.view = None
+                post_recv(state, data)
+            else:  # _PLAN_SEND_CAPTURE
+                post_send(
+                    state,
+                    data.dest,
+                    data.tag,
+                    data.comm_id,
+                    capture_payload(data.payload),
+                    data.nbytes,
+                    data.kind,
+                )
 
     def _handle_collective(
         self, state: _RankState, op: CollectiveOp
@@ -824,66 +1105,141 @@ class Engine:
             if states[world].blocked_on is req:
                 self._make_runnable(world)
 
-    def _unblock_if_waiting(self, rank: int, request: Request) -> None:
+    def _unblock_if_waiting(
+        self, rank: int, request: Request, parent: Request | None = None
+    ) -> None:
         state = self._states[rank]
-        if state.blocked_on is request:
-            # Leave blocked_on set: _step consumes it on resume so the
-            # pending Wait yield receives the completed request.
+        blocked = state.blocked_on
+        # Leave blocked_on set: _step consumes it on resume so the pending
+        # yield receives the completed request (or waitall results).
+        # ``parent`` is the WaitAllRequest this completion just finished
+        # (if any) — both conditions can fire at most once per request, so
+        # a rank is never scheduled twice for one wait.
+        if blocked is request or (parent is not None and blocked is parent):
             self._make_runnable(rank)
 
     def _price_pending_sends(self) -> None:
-        """Price the drained batch's send wave in one vectorized pass.
+        """Price, trace and recycle the drained batch's send wave.
 
-        Arrival times are ``send_time + transfer_times(...)`` —
-        bit-identical to the scalar ``transfer_time`` path (same IEEE
-        arithmetic; see :meth:`NetworkModel.transfer_times`), so messages
-        already priced on demand (consumed within their posting batch, see
-        :meth:`_complete_wait`) are simply overwritten with the same value.
-        Tiny waves skip the array machinery.
+        Arrival times are ``pool.send_time[wave] + transfer_times(...)``,
+        written back with a single fancy-indexed assignment — bit-identical
+        to the scalar ``transfer_time`` path (same IEEE arithmetic; see
+        :meth:`NetworkModel.transfer_times`). Slots consumed within their
+        posting batch were priced scalar on demand; the flush simply
+        overwrites them with the same value (their columns are untouched —
+        consumed slots recycle *after* the flush, via the deferred-free
+        list, precisely so wave entries always describe the wave's own
+        messages). The tracer accumulates the wave from the same gathered
+        columns in one ``record_many`` pass per message kind. Tiny waves
+        skip the array machinery.
         """
-        pending = self._unpriced
-        srcs, dsts, nbytes = (
-            self._unpriced_src,
-            self._unpriced_dst,
-            self._unpriced_nbytes,
-        )
-        self._unpriced = []
-        self._unpriced_src = []
-        self._unpriced_dst = []
-        self._unpriced_nbytes = []
-        if len(pending) <= 4:
+        slots = self._wave_slots
+        kinds = self._wave_kinds
+        self._wave_slots = []
+        self._wave_kinds = []
+        pool = self.pool
+        tracer = self.tracer
+        if len(slots) <= 4:
             transfer_time = self.network.transfer_time
-            for m in pending:
-                if m.arrival_time is None:
-                    m.arrival_time = m.send_time + transfer_time(
-                        m.src, m.dst, m.nbytes
+            arrival = pool.arrival
+            for s in slots:
+                if arrival[s] < 0.0:
+                    arrival[s] = pool.send_time[s] + transfer_time(
+                        int(pool.src[s]), int(pool.dst[s]), int(pool.nbytes[s])
                     )
-            return
-        times = self.network.transfer_times(
-            np.array(srcs, dtype=np.int64),
-            np.array(dsts, dtype=np.int64),
-            np.array(nbytes, dtype=np.float64),
-        )
-        for m, t in zip(pending, times.tolist()):
-            m.arrival_time = m.send_time + t
+            if tracer is not None:
+                for s, kind in zip(slots, kinds):
+                    tracer.record(
+                        int(pool.src[s]),
+                        int(pool.dst[s]),
+                        int(pool.nbytes[s]),
+                        kind=kind,
+                    )
+        elif slots:
+            wave = np.array(slots, dtype=np.int64)
+            srcs = pool.src[wave]
+            dsts = pool.dst[wave]
+            nbytes = pool.nbytes[wave]
+            times = self.network.transfer_times(srcs, dsts, nbytes)
+            pool.arrival[wave] = pool.send_time[wave] + times
+            if tracer is not None:
+                first = kinds[0]
+                if all(k is first or k == first for k in kinds):
+                    tracer.record_many(srcs, dsts, nbytes, kind=first)
+                else:
+                    by_kind: dict[str, list[int]] = {}
+                    for i, k in enumerate(kinds):
+                        by_kind.setdefault(k, []).append(i)
+                    for kind, idx in by_kind.items():
+                        tracer.record_many(
+                            srcs[idx], dsts[idx], nbytes[idx], kind=kind
+                        )
+        deferred = self._deferred_free
+        if deferred:
+            self._deferred_free = []
+            pool.free.extend(deferred)
 
-    def _complete_wait(self, state: _RankState, request: Request) -> Request:
-        """Account virtual time for a completed wait and return the request."""
-        if isinstance(request, RecvRequest):
-            message = request.message
-            if message is None:
+    def _consume_recv(self, state: _RankState, request: RecvRequest) -> Any:
+        """First wait on a completed receive: price, account time, build the
+        view, recycle the slot. Idempotent — later waits reuse the view."""
+        view = request.view
+        if view is None:
+            slot = request.slot
+            if slot < 0:
+                if request.__class__ is PersistentRecvRequest:
+                    # Waiting on an inactive (never-started) persistent
+                    # request is MPI's defined no-op: empty completion.
+                    return None
                 raise MatchingError("completed receive without a message")
-            if message.arrival_time is None:
+            pool = self.pool
+            src = int(pool.src[slot])
+            nbytes = int(pool.nbytes[slot])
+            arrival = float(pool.arrival[slot])
+            if arrival < 0.0:
                 # Consumed within its own posting batch: price this one
-                # message scalar; the batch-boundary flush skips it.
-                message.arrival_time = message.send_time + self.network.transfer_time(
-                    message.src, message.dst, message.nbytes
+                # slot scalar; the wave flush overwrites it bit-identically.
+                arrival = float(pool.send_time[slot]) + self.network.transfer_time(
+                    src, int(pool.dst[slot]), nbytes
                 )
-            if message.arrival_time > state.ctx.clock:
-                state.ctx.clock = message.arrival_time
+                pool.arrival[slot] = arrival
+            payload = pool.payload[slot]
+            view = request.view = MessageView(
+                src, int(pool.tag[slot]), nbytes, arrival, payload
+            )
+            request.slot = -1
+            pool.payload[slot] = None
+            pool.kind[slot] = None
+            if self.use_batched_p2p:
+                # The slot may still sit on the current pricing/tracing
+                # wave: recycle it only after the wave flushes.
+                self._deferred_free.append(slot)
+            else:
+                pool.free.append(slot)
+            ctx = state.ctx
+            if arrival > ctx.clock:
+                ctx.clock = arrival
             if self.track_recv_counts:
-                channel = (message.src, state.rank)
+                channel = (src, state.rank)
                 self.recv_counts[channel] = self.recv_counts.get(channel, 0) + 1
+            return payload
+        return view.payload
+
+    def _complete_wait(self, state: _RankState, request: Request) -> Any:
+        """Account virtual time for a completed wait.
+
+        Returns the request itself for single waits (``comm.wait`` reads
+        the view off it) and the ordered per-child results for a
+        :class:`WaitAllRequest` (payloads for receives, ``None`` for
+        sends).
+        """
+        if request.__class__ is WaitAllRequest:
+            consume = self._consume_recv
+            return [
+                consume(state, child) if isinstance(child, RecvRequest) else None
+                for child in request.children
+            ]
+        if isinstance(request, RecvRequest):
+            self._consume_recv(state, request)
         return request
 
     # -- introspection ---------------------------------------------------------
@@ -927,8 +1283,10 @@ __all__ = [
     "Engine",
     "PostRecv",
     "PostSend",
+    "StartAll",
     "RankContext",
     "Wait",
+    "WaitAll",
     "run_program",
     "nbytes_of",
 ]

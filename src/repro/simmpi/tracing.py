@@ -6,6 +6,15 @@ dense ``(nranks, nranks)`` byte matrix — sender on the x axis, receiver on
 the y axis, exactly like Fig. 5a/5b — plus optional per-kind matrices so the
 benchmark for Fig. 5b can separate stencil traffic from the MPICH2-style
 ``Allgather`` pattern and from checkpoint-encoder traffic.
+
+Both recording granularities are exactly equivalent: :meth:`record` is the
+per-message path (the engine's scalar p2p reference and the collective
+cascade), :meth:`record_many` the bulk path the vectorized fast paths use —
+the engine's batched p2p mode gathers each scheduler batch's send wave
+straight from its message-pool columns and records it here in one
+``np.add.at`` pass per kind. Byte counts are integers, so accumulation
+order cannot perturb the float matrices; per-message and per-wave recording
+produce byte-identical artifacts.
 """
 
 from __future__ import annotations

@@ -15,7 +15,6 @@ from repro.clustering import (
     size_guided_clustering,
 )
 from repro.core.tables import (
-    CatastrophicTables,
     RestartTables,
     catastrophic_tables,
     restart_tables,

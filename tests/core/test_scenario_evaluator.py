@@ -1,6 +1,5 @@
 """Scenario + evaluator tests: Table II values and the headline claim."""
 
-import numpy as np
 import pytest
 
 from repro.clustering import naive_clustering

@@ -14,7 +14,6 @@ from repro.commgraph import node_graph, paper_tsunami_matrix
 from repro.failures import (
     CatastrophicModel,
     FailureEvent,
-    FailureTaxonomy,
     MonteCarloEstimator,
     rs_half_tolerance,
     xor_tolerance,

@@ -1,6 +1,5 @@
 """Failure-taxonomy tests."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

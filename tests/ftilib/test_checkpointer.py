@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.clustering import Clustering, distributed_clustering, naive_clustering
+from repro.clustering import distributed_clustering, naive_clustering
 from repro.ftilib import (
     MultilevelCheckpointer,
     RestoreError,
-    fti_rs_code,
     half_parity_code,
 )
 from repro.machine import Machine

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps import TsunamiConfig, TsunamiSimulation
-from repro.clustering import Clustering, naive_clustering
+from repro.clustering import naive_clustering
 from repro.hydee import run_with_protocol
 from repro.machine import Machine
 from repro.simmpi import run_program

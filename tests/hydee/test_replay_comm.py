@@ -119,6 +119,25 @@ class TestRefusals:
 
         replay_engine([0, 1], 4, log, {}, body)
 
+    def test_persistent_requests_rejected(self):
+        """Persistent starts would bypass log serving and send suppression;
+        replay refuses the whole persistent API explicitly."""
+        log = make_log()
+
+        def body(comm):
+            if comm.rank == 0:
+                with pytest.raises(CommunicatorError, match="persistent"):
+                    comm.recv_init(source=1, tag=0)
+                with pytest.raises(CommunicatorError, match="persistent"):
+                    comm.send_init(b"x", dest=1)
+                with pytest.raises(CommunicatorError, match="persistent"):
+                    yield from comm.start_all([])
+            if False:
+                yield
+            return None
+
+        replay_engine([0, 1], 4, log, {}, body)
+
     def test_out_of_world_destination_rejected(self):
         log = make_log()
 

@@ -7,7 +7,6 @@ from repro.clustering import naive_clustering
 from repro.commgraph import paper_tsunami_matrix
 from repro.models import (
     PAPER_BASELINE,
-    BaselineRequirements,
     FourDimScore,
     LogMemoryModel,
     logged_bytes,

@@ -11,7 +11,6 @@ from repro.clustering import (
     size_guided_clustering,
 )
 from repro.commgraph import node_graph, paper_tsunami_matrix
-from repro.failures import FailureTaxonomy
 from repro.machine import tsubame2_machine
 from repro.models import CampaignConfig, CampaignResult, CampaignSimulator
 

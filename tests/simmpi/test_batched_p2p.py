@@ -11,7 +11,12 @@ under fast collectives, under the cascade, and on stencil halo workloads.
 import numpy as np
 import pytest
 
-from repro.apps.stencil import ProcessGrid, halo_exchange, synthetic_halo_exchange
+from repro.apps.stencil import (
+    ProcessGrid,
+    halo_exchange,
+    halo_wave_init,
+    synthetic_halo_exchange,
+)
 from repro.simmpi import Engine, TraceRecorder
 
 from test_fast_collectives import two_level_network  # same-directory module
@@ -145,3 +150,79 @@ class TestPricingSemantics:
             return (total, blocks, ctx.now)
 
         assert_pricing_equivalent(program, size, fast_collectives=False)
+
+
+class TestPersistentWaves:
+    """The persistent-request wave path is the same workload as the
+    per-message halo program: identical clocks, traces and results under
+    both pricing modes."""
+
+    @pytest.mark.parametrize("px,py", [(2, 2), (4, 2), (4, 4)])
+    def test_wave_halo_matches_per_message_halo(self, px, py):
+        grid = ProcessGrid(px=px, py=py, nx=8 * px, ny=8 * py)
+
+        def permsg(ctx):
+            for it in range(4):
+                ctx.advance(1e-4 * (1 + (ctx.rank + it) % 3))
+                yield from synthetic_halo_exchange(ctx.comm, grid, nfields=3)
+            return ctx.now
+
+        def wave(ctx):
+            comm = ctx.comm
+            requests, recvs = halo_wave_init(comm, grid, nfields=3)
+            start = comm.start_all_op(requests)
+            drain = comm.waitall_op(recvs)
+            for it in range(4):
+                ctx.advance(1e-4 * (1 + (ctx.rank + it) % 3))
+                yield start
+                yield drain
+            return ctx.now
+
+        reference = run_both_pricings(permsg, grid.nranks)[0]
+        for batched in (0, 1):
+            waved = run_both_pricings(wave, grid.nranks)[batched]
+            assert reference["results"] == waved["results"]
+            assert reference["clocks"] == waved["clocks"]
+            np.testing.assert_array_equal(
+                reference["tracer"].bytes_matrix, waved["tracer"].bytes_matrix
+            )
+            np.testing.assert_array_equal(
+                reference["tracer"].count_matrix, waved["tracer"].count_matrix
+            )
+
+    def test_wave_with_split_allreduce(self):
+        """Waves interleave with group collectives exactly like the
+        per-message program (the paper's app shape)."""
+        grid = ProcessGrid(px=4, py=2, nx=16, ny=8)
+
+        def permsg(ctx):
+            row_comm = yield from ctx.comm.split(color=ctx.rank // grid.px)
+            total = 0.0
+            for _ in range(3):
+                yield from synthetic_halo_exchange(ctx.comm, grid)
+                total = yield from row_comm.allreduce(total + ctx.rank)
+            return (total, ctx.now)
+
+        def wave(ctx):
+            comm = ctx.comm
+            row_comm = yield from comm.split(color=ctx.rank // grid.px)
+            requests, recvs = halo_wave_init(comm, grid)
+            start = comm.start_all_op(requests)
+            drain = comm.waitall_op(recvs)
+            total = 0.0
+            for _ in range(3):
+                yield start
+                yield drain
+                total = yield from row_comm.allreduce(total + ctx.rank)
+            return (total, ctx.now)
+
+        for fast in (False, True):
+            ref = run_both_pricings(permsg, grid.nranks, fast_collectives=fast)
+            waved = run_both_pricings(wave, grid.nranks, fast_collectives=fast)
+            for mode in (0, 1):
+                assert ref[mode]["results"] == waved[mode]["results"]
+                assert ref[mode]["clocks"] == waved[mode]["clocks"]
+                np.testing.assert_array_equal(
+                    ref[mode]["tracer"].bytes_matrix,
+                    waved[mode]["tracer"].bytes_matrix,
+                )

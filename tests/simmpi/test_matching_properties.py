@@ -8,7 +8,6 @@ exactly-once delivery, per-(sender, tag) non-overtaking through any mix of
 exact and wildcard patterns, and schedule determinism.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

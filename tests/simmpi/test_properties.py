@@ -6,7 +6,6 @@ with conserved byte counts — regardless of schedule shape.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -31,10 +31,11 @@ DOC_FILES = [
 # Tokens that look like repository paths: at least one '/' plus a known
 # text/code suffix, or a bare well-known filename.
 _PATH_RE = re.compile(
-    # Relative paths (segments start with a letter, so "Fig. 5a/5b" and
+    # Relative paths (segments start with a letter — optionally behind a
+    # leading dot for dot-directories like .github/ — so "Fig. 5a/5b" and
     # absolute out-of-repo paths like /root/... do not match) or bare
     # filenames with a doc/code suffix.
-    r"(?<![\w/])(?:[A-Za-z][A-Za-z0-9_.-]*/)+[A-Za-z0-9_.-]*[A-Za-z0-9_]"
+    r"(?<![\w/])\.?(?:[A-Za-z][A-Za-z0-9_.-]*/)+[A-Za-z0-9_.-]*[A-Za-z0-9_]"
     r"|(?<![\w/])[A-Za-z0-9_.-]+\.(?:py|md|json)\b"
 )
 _MODULE_RE = re.compile(r"\brepro(?:\.[a-z_][a-z0-9_]*)+")

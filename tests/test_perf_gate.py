@@ -9,16 +9,27 @@ instead of silently bending the in-tree curve.
 
 The 2× slack absorbs timer noise and container jitter; the probes take
 well under a second each. Tests skip cleanly when an artifact has not been
-recorded yet (fresh clones, partial checkouts).
+recorded yet (fresh clones, partial checkouts), and on CI runners
+(``CI`` set without ``PERF_GATE``): the recorded baselines describe the
+machine class that records the trajectory, not arbitrary shared runners —
+a hosted machine half as fast would fail every push with no code change.
+Set ``PERF_GATE=1`` to force the gates anywhere.
 """
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
 ROOT = Path(__file__).resolve().parent.parent
 REGRESSION_FACTOR = 2.0
+
+pytestmark = pytest.mark.skipif(
+    bool(os.environ.get("CI")) and not os.environ.get("PERF_GATE"),
+    reason="perf-gate baselines are recorded on the dev machine class; "
+    "set PERF_GATE=1 to run them on CI anyway",
+)
 
 
 def _load_bench(module_path: Path):
@@ -88,4 +99,17 @@ class TestPerfGate:
             f"split-communicator fast path at {current:.0f} rank-iters/s, "
             f"below {floor:.0f} (last recorded {recorded}, "
             f"{REGRESSION_FACTOR}x slack)"
+        )
+
+    def test_p2p_wave_path_not_regressed(self, record_bench):
+        record = _last_record(ROOT / "BENCH_simmpi.json")
+        gate = record["simmpi"]["gate"]
+        recorded = gate.get("p2p_wave_msgs_per_s")
+        if recorded is None:
+            pytest.skip("p2p wave gate not recorded yet")
+        current = record_bench.measure_p2p_wave()
+        floor = recorded / REGRESSION_FACTOR
+        assert current >= floor, (
+            f"p2p wave path at {current:.0f} msgs/s, below {floor:.0f} "
+            f"(last recorded {recorded}, {REGRESSION_FACTOR}x slack)"
         )

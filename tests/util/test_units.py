@@ -1,6 +1,5 @@
 """Unit tests for repro.util.units."""
 
-import math
 
 import pytest
 from hypothesis import given
