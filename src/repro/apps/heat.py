@@ -13,7 +13,12 @@ from typing import Callable
 
 import numpy as np
 
-from repro.apps.stencil import ProcessGrid, halo_exchange, synthetic_halo_exchange
+from repro.apps.stencil import (
+    HaloWave,
+    ProcessGrid,
+    halo_exchange,
+    synthetic_halo_exchange,
+)
 from repro.util.validation import check_in_range, check_positive
 
 
@@ -28,6 +33,9 @@ class HeatConfig:
     iterations: int = 100
     alpha: float = 0.2  # diffusion number dt*k/dx^2, stable for < 0.25
     synthetic: bool = False
+    # Persistent-request halo waves (identical messages/traces/clocks;
+    # ``use_waves=False`` pins the per-message reference).
+    use_waves: bool = True
     hot_spot_temp: float = 100.0
 
     def __post_init__(self) -> None:
@@ -79,13 +87,23 @@ class HeatSimulation:
 
     def step(self, comm, state: dict, *, kind: str = "halo"):
         """One parallel iteration (generator coroutine)."""
+        use_wave = self.cfg.use_waves and getattr(comm, "supports_waves", False)
         if self.cfg.synthetic:
-            yield from synthetic_halo_exchange(
-                comm, self.grid, nfields=1, itemsize=8, kind=kind
-            )
+            if use_wave:
+                wave = HaloWave.cached(comm, self.grid, nfields=1, kind=kind)
+                yield wave.start_op
+                yield wave.drain_op
+            else:
+                yield from synthetic_halo_exchange(
+                    comm, self.grid, nfields=1, itemsize=8, kind=kind
+                )
         else:
             t = state["t"]
-            yield from halo_exchange(comm, self.grid, [t], kind=kind)
+            if use_wave:
+                wave = HaloWave.cached(comm, self.grid, [t], nfields=1, kind=kind)
+                yield from wave.exchange()
+            else:
+                yield from halo_exchange(comm, self.grid, [t], kind=kind)
             # Dirichlet walls: ghost stays 0 on physical boundaries, which
             # the zero-initialized padding already provides.
             t[1:-1, 1:-1] = heat_step(t, self.cfg.alpha)

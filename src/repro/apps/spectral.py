@@ -39,6 +39,11 @@ class SpectralConfig:
     iterations: int = 4
     damping: float = 0.99
     synthetic: bool = False
+    # Synthetic transposes post as persistent-request waves (one start_all
+    # + one waitall per round); ``use_waves=False`` pins the per-message
+    # reference, which shares the same post-all-then-drain structure so
+    # stamps, traces and clocks are identical between the two.
+    use_waves: bool = True
 
     def __post_init__(self) -> None:
         check_positive("nranks", self.nranks)
@@ -108,6 +113,44 @@ class SpectralSimulation:
         """Reassemble received blocks into the transposed pencil."""
         return np.concatenate([b.T for b in blocks], axis=1)
 
+    def _transpose_wave(self, comm, *, kind: str):
+        """Cached persistent wave of one synthetic all-to-all round.
+
+        Compiled once per (rank, comm): the pairwise-exchange sends and
+        explicit-source receives of one transpose, interleaved exactly as
+        the per-message loop posts them. Both transpose rounds (and every
+        iteration) restart the same wave.
+        """
+        user = comm.ctx.user
+        # The key tuple holds the simulation itself (identity hash), so
+        # the cache entry keeps it alive and a recycled id can never
+        # resurrect a stale wave compiled for a different simulation.
+        key = ("transpose_wave", self, comm.comm_id, kind)
+        ops = user.get(key)
+        if ops is None:
+            wave = []
+            recvs = []
+            for step in range(1, comm.size):
+                dst = (comm.rank + step) % comm.size
+                src = (comm.rank - step) % comm.size
+                wave.append(
+                    comm.send_init(
+                        None,
+                        dest=dst,
+                        tag=777,
+                        nbytes=self.cfg.block_bytes,
+                        kind=kind,
+                    )
+                )
+                recv = comm.recv_init(source=src, tag=777)
+                wave.append(recv)
+                recvs.append(recv)
+            ops = user[key] = (
+                comm.start_all_op(tuple(wave)),
+                comm.waitall_op(tuple(recvs)),
+            )
+        return ops
+
     def step(self, comm, state: dict, *, kind: str = "transpose"):
         """One iteration: FFT rows → global transpose → FFT rows →
         damp → inverse transform (transpose back included).
@@ -117,15 +160,32 @@ class SpectralSimulation:
         cfg = self.cfg
         if cfg.synthetic:
             # Two all-to-alls per iteration, metadata only. Mirrors the
-            # pairwise-exchange algorithm: no self-message.
-            for _ in range(2):
-                for step in range(1, comm.size):
-                    dst = (comm.rank + step) % comm.size
-                    src = (comm.rank - step) % comm.size
-                    yield from comm.isend(
-                        None, dest=dst, tag=777, nbytes=cfg.block_bytes, kind=kind
-                    )
-                    yield from comm.recv(source=src, tag=777)
+            # pairwise-exchange algorithm (no self-message), posting every
+            # send and explicit-source receive of a round before draining
+            # it — the wave path and the per-message reference share this
+            # structure, so their stamps, traces and clocks are identical.
+            if cfg.use_waves and getattr(comm, "supports_waves", False):
+                start, drain = self._transpose_wave(comm, kind=kind)
+                for _ in range(2):
+                    yield start
+                    yield drain
+            else:
+                for _ in range(2):
+                    recvs = []
+                    for step in range(1, comm.size):
+                        dst = (comm.rank + step) % comm.size
+                        src = (comm.rank - step) % comm.size
+                        yield from comm.isend(
+                            None,
+                            dest=dst,
+                            tag=777,
+                            nbytes=cfg.block_bytes,
+                            kind=kind,
+                        )
+                        recvs.append(
+                            (yield from comm.irecv(source=src, tag=777))
+                        )
+                    yield from comm.waitall(recvs)
             state["iteration"] += 1
             return
 

@@ -29,7 +29,12 @@ from typing import Callable
 
 import numpy as np
 
-from repro.apps.stencil import ProcessGrid, halo_exchange, synthetic_halo_exchange
+from repro.apps.stencil import (
+    HaloWave,
+    ProcessGrid,
+    halo_exchange,
+    synthetic_halo_exchange,
+)
 from repro.util.validation import check_positive
 
 #: Gravitational acceleration used by the solver (m/s^2).
@@ -54,6 +59,11 @@ class TsunamiConfig:
     depth: float = 100.0  # resting water depth (m)
     dt: float | None = None  # None: 0.4 * CFL limit
     synthetic: bool = False
+    # Post the steady-state halo loop as a persistent-request wave (one
+    # start_all + one waitall per iteration) instead of per-message
+    # isend/irecv/wait. Messages, traces and clocks are identical either
+    # way; ``use_waves=False`` pins the per-message reference.
+    use_waves: bool = True
     allreduce_every: int = 25
     # Initial condition: Gaussian hump (amplitude in m, width in cells).
     hump_amplitude: float = 2.0
@@ -211,15 +221,31 @@ class TsunamiSimulation:
 
         Generator coroutine (``yield from`` it inside a rank program).
         Mutates ``state`` in place and bumps ``state['iteration']``.
+        With ``cfg.use_waves`` (and a communicator that supports them) the
+        halo travels as a compiled persistent wave — same messages, traces
+        and clocks as the per-message exchange, two engine yields per
+        iteration.
         """
         cfg = self.cfg
+        use_wave = cfg.use_waves and getattr(comm, "supports_waves", False)
         if cfg.synthetic:
-            yield from synthetic_halo_exchange(
-                comm, self.grid, nfields=3, itemsize=8, kind=kind
-            )
+            if use_wave:
+                wave = HaloWave.cached(comm, self.grid, nfields=3, kind=kind)
+                yield wave.start_op
+                yield wave.drain_op
+            else:
+                yield from synthetic_halo_exchange(
+                    comm, self.grid, nfields=3, itemsize=8, kind=kind
+                )
         else:
             eta, u, v = state["eta"], state["u"], state["v"]
-            yield from halo_exchange(comm, self.grid, [eta, u, v], kind=kind)
+            if use_wave:
+                wave = HaloWave.cached(
+                    comm, self.grid, [eta, u, v], nfields=3, kind=kind
+                )
+                yield from wave.exchange()
+            else:
+                yield from halo_exchange(comm, self.grid, [eta, u, v], kind=kind)
             fill_physical_ghosts(eta, u, v, **self._physical_sides(comm.rank))
             eta_new, u_new, v_new = swe_step(
                 eta, u, v, dt=cfg.timestep, dx=cfg.dx, depth=cfg.depth

@@ -14,6 +14,16 @@ every structure the paper points out in the zoomed matrix:
   Reed–Solomon ring exchange between the encoders of an L1 cluster's nodes;
 * **power-of-two diagonals** — ``MPI_Allgather`` during FTI initialization,
   run over the full 1088-rank world communicator.
+
+The steady-state point-to-point loops are *wave-native* when the
+application's ``use_waves`` flag is set (the default): each repeated
+per-iteration pattern — the app's checkpoint-ready notification, the
+encoder's per-round readiness gather, each ring hop of the Reed–Solomon
+exchange — is compiled once into persistent requests and re-posted with
+``start_all`` / drained with ``waitall``, so a matching-point window costs
+two engine yields instead of one interaction per message. Posting order,
+matching stamps, traces and clocks are identical to the per-message
+reference (``use_waves=False`` on the simulation config pins it).
 """
 
 from __future__ import annotations
@@ -75,6 +85,9 @@ def make_fti_world_programs(
     n_ckpts = len(
         [i for i in range(iterations) if i and i % cfg.checkpoint_every == 0]
     )
+    # Wave-native steady-state loops follow the application's flag so app
+    # halo waves and FTI control waves pin on/off together.
+    use_waves = bool(getattr(sim.cfg, "use_waves", False))
 
     def app_program(ctx):
         comm = ctx.comm
@@ -85,6 +98,20 @@ def make_fti_world_programs(
         encoder_world = (
             placement.node_of_rank(ctx.rank) * placement.procs_per_node
         )
+        if use_waves:
+            # One persistent recipe for every checkpoint-ready message
+            # this rank will ever send (restarted once per checkpoint).
+            ready_start = comm.start_all_op(
+                (
+                    comm.send_init(
+                        None,
+                        dest=encoder_world,
+                        tag=_READY_TAG,
+                        nbytes=cfg.ready_message_bytes,
+                        kind="fti-ready",
+                    ),
+                )
+            )
         state = {"iteration": 0} if sim.cfg.synthetic else sim.make_rank_state(
             app_comm.rank
         )
@@ -93,13 +120,16 @@ def make_fti_world_programs(
             if iteration and iteration % cfg.checkpoint_every == 0:
                 # Notify the node's encoder process that the local
                 # checkpoint is staged (small control message).
-                yield from comm.isend(
-                    None,
-                    dest=encoder_world,
-                    tag=_READY_TAG,
-                    nbytes=cfg.ready_message_bytes,
-                    kind="fti-ready",
-                )
+                if use_waves:
+                    yield ready_start
+                else:
+                    yield from comm.isend(
+                        None,
+                        dest=encoder_world,
+                        tag=_READY_TAG,
+                        nbytes=cfg.ready_message_bytes,
+                        kind="fti-ready",
+                    )
             yield from sim.step(app_comm, state)
         return state
 
@@ -123,29 +153,68 @@ def make_fti_world_programs(
         # then run the RS reduce-scatter ring across the group's encoders.
         chunk = cfg.checkpoint_bytes_per_process * placement.app_per_node
         chunk //= max(1, ring_size)
+        right = enc_world[(ring_index + 1) % ring_size]
+        left = enc_world[(ring_index - 1) % ring_size]
+        if use_waves and n_ckpts:
+            # The readiness gather of one round, compiled once: the same
+            # wildcard receives restart every checkpoint (posting order
+            # and stamps identical to the sequential irecv loop below).
+            ready_recvs = tuple(
+                comm.recv_init(source=ANY_SOURCE, tag=_READY_TAG)
+                for _ in range(placement.app_per_node)
+            )
+            ready_start = comm.start_all_op(ready_recvs)
+            ready_drain = comm.waitall_op(ready_recvs)
+            if ring_size > 1:
+                # One ring hop (send right, receive left), restarted
+                # ring_size - 1 times per round — the hop stays a
+                # sequential pipeline stage exactly like the per-message
+                # loop, so the modeled ring timing is unchanged.
+                ring_recv = comm.recv_init(source=left, tag=_RING_TAG)
+                ring_start = comm.start_all_op(
+                    (
+                        comm.send_init(
+                            None,
+                            dest=right,
+                            tag=_RING_TAG,
+                            nbytes=chunk,
+                            kind="fti-encode",
+                        ),
+                        ring_recv,
+                    )
+                )
+                ring_drain = comm.waitall_op((ring_recv,))
         for _ in range(n_ckpts):
             # Post the whole node's readiness receives up front, then drain:
             # the ready notifications arrive in whatever order the app ranks
             # reach the checkpoint, and batching the posts keeps the engine
             # on its O(1) per-channel matching instead of re-entering the
             # wildcard scan once per message.
-            ready = []
-            for _ in range(placement.app_per_node):
-                req = yield from comm.irecv(source=ANY_SOURCE, tag=_READY_TAG)
-                ready.append(req)
-            yield from comm.waitall(ready)
-            if ring_size > 1:
-                right = enc_world[(ring_index + 1) % ring_size]
-                left = enc_world[(ring_index - 1) % ring_size]
-                for _ in range(ring_size - 1):
-                    yield from comm.isend(
-                        None,
-                        dest=right,
-                        tag=_RING_TAG,
-                        nbytes=chunk,
-                        kind="fti-encode",
+            if use_waves:
+                yield ready_start
+                yield ready_drain
+            else:
+                ready = []
+                for _ in range(placement.app_per_node):
+                    req = yield from comm.irecv(
+                        source=ANY_SOURCE, tag=_READY_TAG
                     )
-                    yield from comm.recv(source=left, tag=_RING_TAG)
+                    ready.append(req)
+                yield from comm.waitall(ready)
+            if ring_size > 1:
+                for _ in range(ring_size - 1):
+                    if use_waves:
+                        yield ring_start
+                        yield ring_drain
+                    else:
+                        yield from comm.isend(
+                            None,
+                            dest=right,
+                            tag=_RING_TAG,
+                            nbytes=chunk,
+                            kind="fti-encode",
+                        )
+                        yield from comm.recv(source=left, tag=_RING_TAG)
         return {"node": node, "checkpoints": n_ckpts}
 
     programs = []

@@ -18,7 +18,16 @@ pool slots*: the message log records payload snapshots at send-post time
 :class:`~repro.simmpi.request.MessagePool`), and ``track_recv_counts``
 counts receives as their waits consume them into
 :class:`~repro.simmpi.request.MessageView`\\ s. Slot reuse inside the pool
-is therefore invisible to checkpoint sidecars and to replay.
+is therefore invisible to checkpoint sidecars and to replay — and so is
+the *posting shape*: wave-native applications (``use_waves=True``, the
+default) post their halo loops as persistent-request waves, whose sends
+run through the same logging post path and whose drained receives are
+consumed into the same views at the same per-channel positions, so logs,
+receive counts, sidecars and clocks are bit-for-bit those of the
+per-message run (pinned by ``tests/hydee/test_protocol.py``). Replay
+windows alone force the per-message shape, via
+:attr:`ReplayCommunicator.supports_waves
+<repro.hydee.replay.ReplayCommunicator.supports_waves>`.
 
 `run_with_protocol` drives a full application execution and returns
 everything recovery needs.

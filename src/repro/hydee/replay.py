@@ -81,6 +81,13 @@ class ReplayCommunicator(Communicator):
         collective tags match the logged ones exactly.
     """
 
+    #: Wave-native applications must not compile persistent waves during
+    #: replay: starts would bypass log serving and send suppression. The
+    #: apps check this flag and fall back to the per-message exchange,
+    #: which posts exactly the messages the original (wave or per-message)
+    #: run logged — waves and per-message sequences are one workload.
+    supports_waves = False
+
     def __init__(
         self,
         ctx: RankContext,

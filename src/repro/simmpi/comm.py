@@ -61,6 +61,14 @@ class Communicator:
     :meth:`split`; application code never constructs one directly.
     """
 
+    #: Whether the persistent-request wave API (``send_init`` /
+    #: ``recv_init`` / ``start_all`` / ``waitall``) is available on this
+    #: communicator. Wave-native applications check this before compiling
+    #: their steady-state waves; the HydEE replay communicator overrides it
+    #: to ``False`` so replay windows transparently fall back to the
+    #: per-message exchange (whose messages are what the log serves).
+    supports_waves: bool = True
+
     def __init__(self, ctx: RankContext, comm_id: int, group: Sequence[int]):
         self.ctx = ctx
         self.comm_id = comm_id
@@ -81,8 +89,15 @@ class Communicator:
 
     @classmethod
     def world(cls, ctx: RankContext) -> "Communicator":
-        """The world communicator covering every rank (comm id 0)."""
-        return cls(ctx, 0, tuple(range(ctx.nranks)))
+        """The world communicator covering every rank (comm id 0).
+
+        The membership tuple is engine-cached: every rank's world
+        communicator shares one ``(0, 1, …, nranks-1)`` tuple instead of
+        building an O(nranks) tuple per rank.
+        """
+        engine = ctx.engine
+        group = engine._groups[0]
+        return cls(ctx, 0, group)
 
     # -- helpers -------------------------------------------------------------
 
@@ -441,22 +456,31 @@ class Communicator:
         # each member sees the same allgather result, so the ids (and the
         # registered group memberships) come out identical no matter which
         # member the engine happens to resume first — and identical between
-        # the fast-path and cascade schedules.
-        by_color: dict[int, list[tuple[int, int]]] = {}
-        for c, k, r in infos:
-            if c is not None:
-                by_color.setdefault(c, []).append((k, r))
-        comm_id = None
-        for c in sorted(by_color):
-            group_world = tuple(self.group[r] for _, r in sorted(by_color[c]))
-            cid = self.ctx.engine.allocate_comm_id(
-                (self.comm_id, seq, c), group_world
-            )
-            if c == color:
-                comm_id = cid
-                my_group = group_world
+        # the fast-path and cascade schedules. Because every member derives
+        # the *same* plan from the same allgather, the first member to get
+        # here computes and registers it once; the engine caches it under
+        # (parent comm, split sequence) and the other members just look
+        # their color up — at 1088 ranks this turns an O(ranks²) init into
+        # O(ranks).
+        engine = self.ctx.engine
+        plan_key = (self.comm_id, seq)
+        plan = engine._split_plans.get(plan_key)
+        if plan is None:
+            by_color: dict[int, list[tuple[int, int]]] = {}
+            for c, k, r in infos:
+                if c is not None:
+                    by_color.setdefault(c, []).append((k, r))
+            plan = {}
+            for c in sorted(by_color):
+                group_world = tuple(
+                    self.group[r] for _, r in sorted(by_color[c])
+                )
+                cid = engine.allocate_comm_id((self.comm_id, seq, c), group_world)
+                plan[c] = (cid, group_world)
+            engine._split_plans[plan_key] = plan
         if color is None:
             return None
+        comm_id, my_group = plan[color]
         return Communicator(self.ctx, comm_id, my_group)
 
     def translate_rank(self, local: int) -> int:

@@ -88,7 +88,13 @@ practice: the per-iteration halo exchange costs two scheduler interactions
 per rank instead of roughly three per message, while posting order, message
 matching, pricing and tracing stay exactly those of the equivalent
 ``isend`` / ``irecv`` / ``wait`` sequence (the equivalence suite pins
-traces, clocks and results against the per-message program).
+traces, clocks and results against the per-message program). All traced
+workloads speak this shape by default (``use_waves`` on the app
+configs); re-arming is restart-safe — a start refuses a receive still in
+flight or matched-but-never-drained — and failure injection sees waves
+and per-message sequences identically (a dropped start posts nothing,
+exactly like a crash before the first ``isend`` of the equivalent
+sequence).
 
 Virtual-time semantics
 ----------------------
@@ -115,7 +121,10 @@ group's slice of the network model (:mod:`repro.simmpi.collectives`,
 second half). Membership bookkeeping lives in the engine: comm id 0 is
 the world group, and ``Communicator.split`` registers each new group
 (stable comm ids via :meth:`Engine.allocate_comm_id`, rank→group-rank
-maps via :meth:`Engine.register_group`). A deadlock involving a
+maps via :meth:`Engine.register_group`). Split *plans* are engine-cached
+too: every member of a split derives the identical color→(id, members)
+map from the identical allgather, so the first member computes it once
+and the rest look their color up — O(ranks) total instead of O(ranks²). A deadlock involving a
 partially-gathered collective is attributed to the stuck group: the error
 names the member's group rank and the world ranks that never arrived.
 
@@ -447,6 +456,12 @@ class Engine:
         # collectives are only available on registered groups.
         self._next_comm_id = 1
         self._split_registry: dict[tuple, int] = {}
+        # Shared split plans: (parent comm id, split seq) → {color → (new
+        # comm id, membership tuple)}. Every member of a split derives the
+        # identical plan from the identical allgather, so the first member
+        # computes it and the rest look their color up (see
+        # Communicator.split).
+        self._split_plans: dict[tuple[int, int], dict] = {}
         world = tuple(range(nranks))
         self._groups: dict[int, tuple[int, ...]] = {0: world}
         self._group_rank: dict[int, dict[int, int]] = {
@@ -539,6 +554,7 @@ class Engine:
         # mis-gather them).
         self._next_comm_id = 1
         self._split_registry = {}
+        self._split_plans = {}
         self._groups = {0: self._groups[0]}
         self._group_rank = {0: self._group_rank[0]}
 

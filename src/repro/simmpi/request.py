@@ -386,8 +386,12 @@ class PersistentRecvRequest(RecvRequest):
     """A reusable receive handle (mirrors ``MPI_Recv_init``).
 
     Created inactive; each ``start_all`` re-arms it (engine resets ``slot``
-    / ``view`` and re-enters it into matching). The handle must not be
-    restarted while still in flight.
+    / ``view`` and re-enters it into matching). Re-arming is restart-safe:
+    the engine refuses to restart a handle still in flight *or* one whose
+    matched message was never drained (either restart would drop a
+    delivered message and leak its pool slot) — under failure injection a
+    dead rank's armed handles simply stay parked in its mailbox until the
+    next run's reset, exactly like un-waited plain receives.
     """
 
     __slots__ = ()

@@ -76,3 +76,30 @@ class TestParallelEquivalence:
 
         run_program(HeatSimulation(cfg).make_program(hook=hook), 4)
         assert seen == [0, 1, 2]
+
+
+class TestWaveEquivalence:
+    @pytest.mark.parametrize("synthetic", [False, True])
+    def test_wave_matches_per_message(self, synthetic):
+        from dataclasses import replace
+
+        from repro.simmpi import Engine, TraceRecorder
+
+        cfg = HeatConfig(
+            px=2, py=2, nx=8, ny=8, iterations=6, synthetic=synthetic
+        )
+        runs = {}
+        for use_waves in (False, True):
+            sim = HeatSimulation(replace(cfg, use_waves=use_waves))
+            tracer = TraceRecorder(4, by_kind=True)
+            engine = Engine(4, tracer=tracer)
+            states = engine.run(sim.make_program())
+            runs[use_waves] = (states, engine.rank_times(), tracer)
+        ref, waved = runs[False], runs[True]
+        assert ref[1] == waved[1]
+        np.testing.assert_array_equal(
+            ref[2].bytes_matrix, waved[2].bytes_matrix
+        )
+        if not synthetic:
+            for ref_state, wave_state in zip(ref[0], waved[0]):
+                np.testing.assert_array_equal(ref_state["t"], wave_state["t"])

@@ -6,6 +6,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.apps import ProcessGrid, halo_exchange, synthetic_halo_exchange
+from repro.apps.stencil import HaloWave
 from repro.simmpi import Engine, TraceRecorder, run_program
 
 
@@ -161,3 +162,111 @@ class TestSyntheticHalo:
                     assert dst in [
                         x for x in g.neighbors_of(src) if x is not None
                     ]
+
+
+class TestHaloWave:
+    """Compiled persistent halo waves vs the per-message exchange."""
+
+    def _two_level_network(self):
+        from repro.simmpi.network import LinkParameters, NetworkModel
+
+        return NetworkModel(
+            intra_node=LinkParameters(5e-7, 6.0e9),
+            inter_node=LinkParameters(2e-6, 8.0e9),
+            locator=lambda rank: rank // 4,
+        )
+
+    def test_real_payload_wave_matches_per_message(self):
+        """Same fields, traces and clocks as halo_exchange over several
+        iterations of an in-place mutating stencil update."""
+        g = ProcessGrid(3, 3, 9, 9)
+
+        def permsg_program(ctx):
+            fields = [
+                np.full((g.tile_ny + 2, g.tile_nx + 2), float(ctx.rank + k))
+                for k in range(2)
+            ]
+            for it in range(4):
+                yield from halo_exchange(ctx.comm, g, fields)
+                for f in fields:
+                    f[1:-1, 1:-1] += 0.5 * it  # mutate in place between waves
+            return fields
+
+        def wave_program(ctx):
+            fields = [
+                np.full((g.tile_ny + 2, g.tile_nx + 2), float(ctx.rank + k))
+                for k in range(2)
+            ]
+            wave = HaloWave(ctx.comm, g, fields)
+            for it in range(4):
+                yield from wave.exchange()
+                for f in fields:
+                    f[1:-1, 1:-1] += 0.5 * it
+            return fields
+
+        runs = {}
+        for name, program in (("permsg", permsg_program), ("wave", wave_program)):
+            tracer = TraceRecorder(g.nranks, by_kind=True)
+            engine = Engine(g.nranks, network=self._two_level_network(), tracer=tracer)
+            results = engine.run(program)
+            runs[name] = (results, engine.rank_times(), tracer)
+        ref_results, ref_clocks, ref_tracer = runs["permsg"]
+        wave_results, wave_clocks, wave_tracer = runs["wave"]
+        assert ref_clocks == wave_clocks
+        np.testing.assert_array_equal(
+            ref_tracer.bytes_matrix, wave_tracer.bytes_matrix
+        )
+        np.testing.assert_array_equal(
+            ref_tracer.count_matrix, wave_tracer.count_matrix
+        )
+        for ref_fields, wave_fields in zip(ref_results, wave_results):
+            for rf, wf in zip(ref_fields, wave_fields):
+                np.testing.assert_array_equal(rf, wf)
+
+    def test_synthetic_wave_matches_synthetic_exchange(self):
+        g = ProcessGrid(4, 2, 8, 8)
+
+        def permsg_program(ctx):
+            for _ in range(3):
+                yield from synthetic_halo_exchange(ctx.comm, g, nfields=3)
+            return ctx.now
+
+        def wave_program(ctx):
+            wave = HaloWave(ctx.comm, g, None, nfields=3)
+            for _ in range(3):
+                yield wave.start_op
+                yield wave.drain_op
+            return ctx.now
+
+        runs = {}
+        for name, program in (("permsg", permsg_program), ("wave", wave_program)):
+            tracer = TraceRecorder(g.nranks)
+            engine = Engine(g.nranks, network=self._two_level_network(), tracer=tracer)
+            results = engine.run(program)
+            runs[name] = (results, tracer.bytes_matrix)
+        assert runs["permsg"][0] == runs["wave"][0]
+        np.testing.assert_array_equal(runs["permsg"][1], runs["wave"][1])
+
+    def test_single_rank_wave_is_empty_noop(self):
+        """A 1x1 grid has four walls: the wave compiles empty and the
+        start/drain ops are harmless no-ops."""
+        g = ProcessGrid(1, 1, 4, 4)
+
+        def program(ctx):
+            wave = HaloWave(ctx.comm, g, None, nfields=1)
+            yield wave.start_op
+            payloads = yield wave.drain_op
+            return payloads
+
+        assert run_program(program, 1) == [[]]
+
+    def test_wrong_field_shape_raises(self):
+        g = ProcessGrid(2, 1, 4, 2)
+
+        def program(ctx):
+            HaloWave(ctx.comm, g, [np.zeros((3, 3))])
+            if False:
+                yield
+
+        with pytest.raises(ValueError):
+            run_program(program, 2)

@@ -139,3 +139,57 @@ class TestSyntheticMode:
         cfg = small_cfg(synthetic=True, iterations=3, allreduce_every=0)
         states = run_program(TsunamiSimulation(cfg).make_program(), 4)
         assert all(s["iteration"] == 3 for s in states)
+
+
+class TestWaveEquivalence:
+    """use_waves=True and the per-message reference are one workload."""
+
+    def _run(self, cfg):
+        from repro.simmpi import Engine, TraceRecorder
+
+        sim = TsunamiSimulation(cfg)
+        tracer = TraceRecorder(cfg.grid.nranks, by_kind=True)
+        engine = Engine(cfg.grid.nranks, tracer=tracer)
+        states = engine.run(sim.make_program())
+        return states, engine.rank_times(), tracer
+
+    @pytest.mark.parametrize("synthetic", [False, True])
+    def test_wave_matches_per_message(self, synthetic):
+        from dataclasses import replace
+
+        cfg = TsunamiConfig(
+            px=4, py=4, nx=16, ny=16, iterations=8, synthetic=synthetic,
+            allreduce_every=3,
+        )
+        wave_states, wave_clocks, wave_tracer = self._run(cfg)
+        ref_states, ref_clocks, ref_tracer = self._run(
+            replace(cfg, use_waves=False)
+        )
+        assert wave_clocks == ref_clocks
+        np.testing.assert_array_equal(
+            wave_tracer.bytes_matrix, ref_tracer.bytes_matrix
+        )
+        np.testing.assert_array_equal(
+            wave_tracer.count_matrix, ref_tracer.count_matrix
+        )
+        if not synthetic:
+            for wave_state, ref_state in zip(wave_states, ref_states):
+                np.testing.assert_array_equal(wave_state["eta"], ref_state["eta"])
+                np.testing.assert_array_equal(wave_state["u"], ref_state["u"])
+                np.testing.assert_array_equal(wave_state["v"], ref_state["v"])
+
+    def test_wave_resume_from_initial_states(self):
+        """Waves rebind to the cloned fields of a resumed run."""
+        from repro.simmpi import run_program
+
+        cfg = TsunamiConfig(px=2, py=2, nx=8, ny=8, iterations=6)
+        sim = TsunamiSimulation(cfg)
+        first = run_program(sim.make_program(iterations=3), 4)
+        resumed = run_program(
+            sim.make_program(iterations=6, initial_states=first), 4
+        )
+        straight = run_program(sim.make_program(iterations=6), 4)
+        for resumed_state, straight_state in zip(resumed, straight):
+            np.testing.assert_array_equal(
+                resumed_state["eta"], straight_state["eta"]
+            )

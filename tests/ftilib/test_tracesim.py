@@ -104,3 +104,40 @@ class TestWorldStructure:
         sim = TsunamiSimulation(cfg)
         with pytest.raises(ValueError):
             make_fti_world_programs(sim, FTIPlacement(4, 4), iterations=5)
+
+
+class TestWaveEquivalence:
+    def test_wave_native_programs_match_per_message(self):
+        """The wave-native §V programs (halo waves + persistent ready /
+        ring control traffic, re-armed across checkpoint rounds) are
+        byte-identical in traces and bit-identical in clocks to the
+        per-message reference."""
+        runs = {}
+        for use_waves in (False, True):
+            cfg = TsunamiConfig(
+                px=4, py=4, nx=16, ny=16, iterations=8, synthetic=True,
+                allreduce_every=0, use_waves=use_waves,
+            )
+            sim = TsunamiSimulation(cfg)
+            placement = FTIPlacement(4, 4)
+            programs = make_fti_world_programs(
+                sim, placement, iterations=8,
+                trace_cfg=FTITraceConfig(
+                    checkpoint_every=3, encoder_group_nodes=4
+                ),
+            )
+            tracer = TraceRecorder(placement.nranks, by_kind=True)
+            engine = Engine(placement.nranks, tracer=tracer)
+            results = engine.run(programs)
+            runs[use_waves] = (results, engine.rank_times(), tracer)
+        ref, waved = runs[False], runs[True]
+        assert ref[0] == waved[0]
+        assert ref[1] == waved[1]
+        assert sorted(ref[2].kind_matrices) == sorted(waved[2].kind_matrices)
+        for kind, matrix in ref[2].kind_matrices.items():
+            np.testing.assert_array_equal(
+                matrix, waved[2].kind_matrices[kind], err_msg=kind
+            )
+        np.testing.assert_array_equal(
+            ref[2].count_matrix, waved[2].count_matrix
+        )

@@ -109,3 +109,60 @@ class TestProtocolRun:
         sim, machine, clustering = small_setup()
         with pytest.raises(ValueError):
             run_with_protocol(sim, Machine(2, 4), clustering, iterations=4)
+
+
+class TestWaveEquivalence:
+    """Wave-native and per-message protocol runs are one workload.
+
+    The protocol installs both per-message observers (sender-based payload
+    log, receive counting); the halo waves must feed them identically —
+    logged receives consume :class:`MessageView`\\ s from waves without
+    perturbing a single count, sidecar or clock.
+    """
+
+    def _pair(self, iterations=12, checkpoint_every=5, **cfg_kw):
+        runs = {}
+        for use_waves in (False, True):
+            sim, machine, clustering = small_setup(
+                use_waves=use_waves, **cfg_kw
+            )
+            runs[use_waves] = run_with_protocol(
+                sim, machine, clustering,
+                iterations=iterations, checkpoint_every=checkpoint_every,
+            )
+        return runs[False], runs[True]
+
+    def test_states_clocks_and_recv_counts_identical(self):
+        ref, waved = self._pair()
+        for ref_state, wave_state in zip(ref.states, waved.states):
+            np.testing.assert_array_equal(ref_state["eta"], wave_state["eta"])
+            np.testing.assert_array_equal(ref_state["u"], wave_state["u"])
+            np.testing.assert_array_equal(ref_state["v"], wave_state["v"])
+        assert ref.engine.rank_times() == waved.engine.rank_times()
+        assert ref.engine.recv_counts == waved.engine.recv_counts
+
+    def test_message_log_identical_channel_by_channel(self):
+        ref, waved = self._pair()
+        assert sorted(ref.log.channels) == sorted(waved.log.channels)
+        for channel, entries in ref.log.channels.items():
+            others = waved.log.channels[channel]
+            assert len(entries) == len(others)
+            for entry, other in zip(entries, others):
+                assert (entry.tag, entry.nbytes) == (other.tag, other.nbytes)
+                if isinstance(entry.payload, np.ndarray):
+                    np.testing.assert_array_equal(entry.payload, other.payload)
+                else:
+                    assert entry.payload == other.payload
+        assert ref.log.logged_bytes == waved.log.logged_bytes
+
+    def test_checkpoint_sidecars_identical(self):
+        """The receive positions frozen into every checkpoint sidecar —
+        what replay resumes from — must not feel the wave port."""
+        ref, waved = self._pair()
+        for rank in range(16):
+            versions = ref.checkpointer.versions_of(rank)
+            assert versions == waved.checkpointer.versions_of(rank)
+            for version in versions:
+                assert ref.checkpointer.sidecar_meta(
+                    rank, version
+                ) == waved.checkpointer.sidecar_meta(rank, version)

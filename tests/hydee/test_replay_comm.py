@@ -138,6 +138,45 @@ class TestRefusals:
 
         replay_engine([0, 1], 4, log, {}, body)
 
+    def test_advertises_no_wave_support(self):
+        """Wave-native apps key their fallback off ``supports_waves``: a
+        replay window must step through the per-message exchange, which is
+        what the log can serve."""
+        from repro.simmpi import Communicator
+
+        assert Communicator.supports_waves is True
+        assert ReplayCommunicator.supports_waves is False
+
+    def test_wave_native_app_steps_fall_back_to_per_message(self):
+        """A wave-native simulation (use_waves=True, the default) steps
+        transparently through a ReplayCommunicator — the app detects the
+        missing wave support instead of calling the refused API."""
+        from repro.apps import TsunamiConfig, TsunamiSimulation
+
+        cfg = TsunamiConfig(px=2, py=2, nx=8, ny=8, iterations=2)
+        sim = TsunamiSimulation(cfg)
+        assert cfg.use_waves
+        log = MessageLog(np.array([0, 0, 1, 1]))
+
+        def body(comm):
+            state = sim.make_rank_state(comm.rank)
+            # Members {0,1} exchange east-west only with each other on a
+            # 2x2 grid... rank 0's south neighbor is 2 (external), so the
+            # exchange needs the log for the (2,0)/(3,1) channels.
+            yield from sim.step(comm, state)
+            return state["iteration"]
+
+        edge = cfg.grid.tile_nx * 3 * 8
+        for src, dst in ((2, 0), (3, 1)):
+            log.record(
+                src, dst, tag=1000 + 0, payload=np.zeros(edge // 8),
+                nbytes=edge, kind="halo",
+            )
+        results, outbound = replay_engine([0, 1], 4, log, {}, body)
+        assert results == [1, 1]
+        # The sends toward the survivors (ranks 2, 3) were suppressed.
+        assert sorted((r.src, r.dst) for r in outbound) == [(0, 2), (1, 3)]
+
     def test_out_of_world_destination_rejected(self):
         log = make_log()
 

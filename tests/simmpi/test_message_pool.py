@@ -484,6 +484,95 @@ class TestPersistentWaves:
             "r3",
         ]
 
+    def test_wave_failure_injection_matches_per_message(self):
+        """A rank killed mid-wave must leave the run in exactly the state
+        the per-message path leaves it in: same deadlock (or completion),
+        same blocked ranks, same number of stranded pool slots.
+
+        ``kill_at=0`` kills the rank at its very first wave start (nothing
+        posted); ``kill_at=2`` kills it between steady-state iterations —
+        its in-flight wave has been drained, its next start is dropped,
+        and neighbors strand exactly like they do on isend/irecv/wait.
+        """
+        from repro.simmpi.errors import DeadlockError
+
+        def wave_program(kill_at):
+            def program(ctx):
+                comm = ctx.comm
+                size = ctx.nranks
+                right, left = (ctx.rank + 1) % size, (ctx.rank - 1) % size
+                send = comm.send_init(None, dest=right, tag=2, nbytes=64)
+                recv = comm.recv_init(source=left, tag=2)
+                start = comm.start_all_op((send, recv))
+                drain = comm.waitall_op((recv,))
+                for i in range(4):
+                    if ctx.rank == 1 and i == kill_at:
+                        ctx.engine.failure_ranks.add(ctx.rank)
+                    yield start
+                    yield drain
+                return ctx.now
+
+            return program
+
+        def permsg_program(kill_at):
+            def program(ctx):
+                comm = ctx.comm
+                size = ctx.nranks
+                right, left = (ctx.rank + 1) % size, (ctx.rank - 1) % size
+                for i in range(4):
+                    if ctx.rank == 1 and i == kill_at:
+                        ctx.engine.failure_ranks.add(ctx.rank)
+                    yield from comm.isend(None, dest=right, tag=2, nbytes=64)
+                    req = yield from comm.irecv(source=left, tag=2)
+                    yield from comm.waitall([req])
+                return ctx.now
+
+            return program
+
+        for kill_at in (0, 2):
+            outcomes = []
+            for make in (permsg_program, wave_program):
+                engine = Engine(4, network=two_level_network())
+                try:
+                    engine.run(make(kill_at))
+                    outcomes.append(("completed", None, engine.pool.live_slots))
+                except DeadlockError as exc:
+                    outcomes.append(
+                        ("deadlock", sorted(exc.blocked), engine.pool.live_slots)
+                    )
+            assert outcomes[0] == outcomes[1], f"kill_at={kill_at}"
+            # Rank 1's death must strand someone — the scenario is live.
+            assert outcomes[0][0] == "deadlock"
+
+    def test_wave_traffic_to_failed_rank_requeues_like_per_message(self):
+        """Wave sends parked in a failed rank's mailbox stay stranded for
+        the run and are dropped by the next run's reset — exactly the
+        per-message requeue/drop contract pinned in TestFailureInjection."""
+        engine = Engine(3, network=two_level_network(), pool_capacity=2)
+        engine.failure_ranks.add(2)
+
+        def fire_wave(ctx):
+            send = ctx.comm.send_init(("to", 2, ctx.rank), dest=2, tag=3)
+            yield ctx.comm.start_all_op((send,))
+            return ctx.rank
+
+        results = engine.run(fire_wave)
+        assert results == [0, 1, None]
+        assert engine.pool.live_slots == 2  # both undeliverable messages
+
+        engine.failure_ranks.clear()
+
+        def clean(ctx):
+            got = yield from ctx.comm.sendrecv(
+                ctx.rank, dest=(ctx.rank + 1) % 3, source=(ctx.rank - 1) % 3,
+                sendtag=3,
+            )
+            return got
+
+        # Same tag as the stale wave traffic: a leak would mis-deliver.
+        assert engine.run(clean) == [2, 0, 1]
+        assert engine.pool.live_slots == 0  # stale slots were reclaimed
+
     def test_status_before_wait_raises(self):
         engine = Engine(2, network=two_level_network())
 
