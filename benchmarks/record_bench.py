@@ -6,13 +6,16 @@ Two artifact files at the repo root, one record appended per run:
   (per-event scalar reference vs the batched engine) on the TSUBAME2 paper
   scenario, plus a batched month-long campaign sweep;
 * ``BENCH_simmpi.json`` — the §V traced discrete-event execution (1088
-  world ranks) timed three ways: the generator cascade reference
+  world ranks) timed four ways: the generator cascade reference
   (``use_fast_collectives=False``), the fast-collective per-message run,
-  and the *wave-native* run (every steady-state p2p loop posted as
-  persistent-request waves, ``use_waves=True`` on the app config) —
-  asserting byte-identical traces and bit-identical per-rank clocks
-  across all three, the ≥5× cascade floor, and (against the last
-  pre-wave record) the ≥1.3× wave-over-engine floor; plus a
+  the *wave-native* run (every steady-state p2p loop posted as
+  persistent-request waves, ``use_waves=True`` on the app config), and
+  the *kernelized* run (the wave loops compiled into whole-world
+  iteration kernels, ``use_kernels=True``) — asserting byte-identical
+  traces and bit-identical per-rank clocks across all four, the ≥5×
+  cascade floor, (against the last pre-wave record) the ≥1.3×
+  wave-over-engine floor, and (against the last pre-kernel record) the
+  ≥2× kernel-over-wave floor; plus a
   split-communicator workload (per-iteration group allreduce) with a ≥3×
   floor, a stencil halo workload timed scalar/batched/wave on the
   struct-of-arrays message pool (≥2× over the recorded PR 3 batched
@@ -40,6 +43,7 @@ trajectory describes. Set ``PERF_GATE=1`` to enforce anywhere.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import subprocess
@@ -72,6 +76,9 @@ MIN_P2P_WAVE_SPEEDUP = 2.0
 #: Floor of the wave-native fig5 run against the last recorded pre-wave
 #: engine baseline (applies exactly once: for the first wave record).
 MIN_FIG5_WAVE_SPEEDUP = 1.3
+#: Floor of the kernelized fig5 run against the last recorded pre-kernel
+#: wave baseline (applies exactly once: for the first kernel record).
+MIN_FIG5_KERNEL_SPEEDUP = 2.0
 
 
 def _floors_enforced() -> bool:
@@ -220,13 +227,20 @@ def measure_batched_montecarlo(
 
 
 def _fig5_setup(
-    nodes: int, app_per_node: int, iterations: int, *, use_waves: bool = True
+    nodes: int,
+    app_per_node: int,
+    iterations: int,
+    *,
+    use_waves: bool = True,
+    use_kernels: bool = False,
 ):
     """Programs + placement + network of one §V-style traced execution.
 
-    ``use_waves`` selects the wave-native steady-state loops (the default
-    production shape) or the per-message reference; messages, traces and
-    clocks are identical either way (asserted by :func:`time_simmpi`).
+    ``use_waves`` selects the wave-native steady-state loops or the
+    per-message reference; ``use_kernels`` additionally compiles the
+    steady loops into whole-world iteration kernels (the production
+    shape). Messages, traces and clocks are identical all three ways
+    (asserted by :func:`time_simmpi`).
     """
     from repro.apps.tsunami import TsunamiConfig, TsunamiSimulation
     from repro.ftilib.tracesim import FTITraceConfig, make_fti_world_programs
@@ -245,6 +259,7 @@ def _fig5_setup(
         synthetic=True,
         allreduce_every=0,
         use_waves=use_waves,
+        use_kernels=use_kernels,
     )
     sim = TsunamiSimulation(cfg)
     placement = FTIPlacement(nodes, app_per_node)
@@ -269,6 +284,10 @@ def _run_traced(placement, programs, network, *, fast: bool):
         tracer=tracer,
         use_fast_collectives=fast,
     )
+    # Earlier runs leave cyclic garbage (generator frames, request
+    # graphs); collect it now so a GC pause triggered by the previous
+    # run's debris never lands inside this run's timed region.
+    gc.collect()
     t0 = time.perf_counter()
     engine.run(programs)
     elapsed = time.perf_counter() - t0
@@ -281,14 +300,19 @@ def measure_simmpi(
     app_per_node: int = 4,
     iterations: int = 10,
     repeats: int = 3,
+    use_kernels: bool = False,
 ) -> float:
     """Fast-path rank-iterations/sec of a traced run — the CI gate probe.
 
     One untimed warm-up run absorbs first-call costs (imports, the network
     model's node-vector cache, NumPy dispatch); the best of ``repeats``
     timed runs is reported so the gate compares warm rates on both sides.
+    ``use_kernels`` probes the kernelized steady-state path instead of
+    the interpreted wave loop.
     """
-    placement, programs, network = _fig5_setup(nodes, app_per_node, iterations)
+    placement, programs, network = _fig5_setup(
+        nodes, app_per_node, iterations, use_kernels=use_kernels
+    )
     _run_traced(placement, programs, network, fast=True)  # warm-up
     best = float("inf")
     for _ in range(repeats):
@@ -589,17 +613,19 @@ def _assert_traced_equal(ref, other, what: str) -> None:
 def time_simmpi(
     *, nodes: int = 64, app_per_node: int = 16, iterations: int = 10
 ) -> dict:
-    """Time the §V traced run three ways; assert byte-identical traces.
+    """Time the §V traced run four ways; assert byte-identical traces.
 
     * **slow** — generator-cascade collectives, per-message p2p loops;
     * **fast** — vectorized collectives, per-message p2p loops (the PR 4
       engine shape, ``use_waves=False``);
     * **wave** — vectorized collectives plus wave-native steady-state
-      loops (``use_waves=True``, the production shape).
+      loops (``use_waves=True``, the PR 5 shape);
+    * **kernel** — the wave loops compiled into whole-world iteration
+      kernels (``use_kernels=True``, the production shape).
 
-    All three must produce byte-identical traces and bit-identical
+    All four must produce byte-identical traces and bit-identical
     per-rank virtual clocks. ``ranks_per_s`` counts rank-iterations per
-    second of the wave-native traced run (1088 world ranks × the
+    second of the kernelized traced run (1088 world ranks × the
     iteration count over the wall time).
     """
     placement, programs, network = _fig5_setup(
@@ -617,6 +643,20 @@ def time_simmpi(
     tracer_wave, clocks_wave, wave_s = _run_traced(
         placement, programs_wave, network, fast=True
     )
+    # One untimed kernel warm-up: the kernel run is the first to touch
+    # the compile path's NumPy entry points (argsort/unique/reduceat
+    # dispatch), first-call costs the three interpreted runs amortized
+    # across each other above. Fresh programs — engine state is per-run.
+    _, programs_warm, _ = _fig5_setup(
+        nodes, app_per_node, iterations, use_waves=True, use_kernels=True
+    )
+    _run_traced(placement, programs_warm, network, fast=True)
+    _, programs_kernel, _ = _fig5_setup(
+        nodes, app_per_node, iterations, use_waves=True, use_kernels=True
+    )
+    tracer_kernel, clocks_kernel, kernel_s = _run_traced(
+        placement, programs_kernel, network, fast=True
+    )
 
     _assert_traced_equal(
         (tracer_slow, clocks_slow),
@@ -628,6 +668,11 @@ def time_simmpi(
         (tracer_wave, clocks_wave),
         "wave-native programs vs the per-message reference",
     )
+    _assert_traced_equal(
+        (tracer_wave, clocks_wave),
+        (tracer_kernel, clocks_kernel),
+        "kernelized steady state vs the interpreted wave loop",
+    )
 
     return {
         "nranks": placement.nranks,
@@ -635,15 +680,19 @@ def time_simmpi(
         "slow_s": round(slow_s, 4),
         "fast_s": round(fast_s, 4),
         "wave_s": round(wave_s, 4),
+        "kernel_s": round(kernel_s, 4),
         "speedup": round(slow_s / fast_s, 1),
         "wave_speedup_vs_permsg": round(fast_s / wave_s, 2),
-        "ranks_per_s": round(placement.nranks * iterations / wave_s),
-        "traced_messages": int(tracer_wave.total_messages),
+        "kernel_speedup_vs_wave": round(wave_s / kernel_s, 2),
+        "wave_ranks_per_s": round(placement.nranks * iterations / wave_s),
+        "ranks_per_s": round(placement.nranks * iterations / kernel_s),
+        "traced_messages": int(tracer_kernel.total_messages),
         "gate": {
             "nodes": 16,
             "app_per_node": 4,
             "iterations": 10,
             "ranks_per_s": round(measure_simmpi()),
+            "fig5_kernel_ranks_per_s": round(measure_simmpi(use_kernels=True)),
         },
     }
 
@@ -667,6 +716,29 @@ def _pr4_engine_baseline() -> int | None:
         if simmpi:
             latest = simmpi
     if latest is None or "wave_s" in latest:
+        return None
+    return latest.get("ranks_per_s")
+
+
+def _pr5_wave_baseline() -> int | None:
+    """PR 5's recorded fig5 wave-engine throughput (rank-iters/s), if current.
+
+    Pre-kernel records are recognizable by a ``simmpi`` section with
+    ``wave_s`` but no ``kernel_s`` — their ``ranks_per_s`` measured the
+    interpreted wave loop. The baseline (and the kernel-speedup floor in
+    ``main``) applies only while such a record is the latest one, i.e.
+    exactly once: for the first kernelized record. Later re-records are
+    regression-guarded by the perf-gate probe against their own
+    trajectory instead.
+    """
+    if not SIMMPI_ARTIFACT.exists():
+        return None
+    latest = None
+    for record in json.loads(SIMMPI_ARTIFACT.read_text()):
+        simmpi = record.get("simmpi")
+        if simmpi:
+            latest = simmpi
+    if latest is None or "wave_s" not in latest or "kernel_s" in latest:
         return None
     return latest.get("ranks_per_s")
 
@@ -868,10 +940,12 @@ def diff_against_baseline(
 
 
 def _smoke_wave_apps() -> None:
-    """Wave-vs-per-message equivalence of the heat and spectral apps.
+    """Per-message vs wave vs kernel equivalence of the heat and
+    spectral apps.
 
-    The tsunami app's wave path is covered by the smoke fig5 run; this
-    sweeps the other wave-native steady-state loops on tiny shapes.
+    The tsunami app's wave and kernel paths are covered by the smoke
+    fig5 run; this sweeps the other kernel-eligible steady-state loops
+    on tiny shapes.
     """
     from dataclasses import replace
 
@@ -883,20 +957,33 @@ def _smoke_wave_apps() -> None:
     for name, sim_cls, cfg in (
         ("heat", HeatSimulation, HeatConfig(px=2, py=2, nx=8, ny=8, iterations=4)),
         (
+            "heat-synthetic",
+            HeatSimulation,
+            HeatConfig(px=2, py=2, nx=8, ny=8, iterations=4, synthetic=True),
+        ),
+        (
             "spectral",
             SpectralSimulation,
             SpectralConfig(nranks=4, n=8, iterations=3, synthetic=True),
         ),
     ):
         runs = {}
-        for use_waves in (False, True):
+        for shape in (("permsg", False, False), ("wave", True, False), ("kernel", True, True)):
+            label, use_waves, use_kernels = shape
             nranks = 4
             tracer = TraceRecorder(nranks, by_kind=True)
             engine = Engine(nranks, network=_bench_network(), tracer=tracer)
-            engine.run(sim_cls(replace(cfg, use_waves=use_waves)).make_program())
-            runs[use_waves] = (tracer, engine.rank_times())
+            engine.run(
+                sim_cls(
+                    replace(cfg, use_waves=use_waves, use_kernels=use_kernels)
+                ).make_program()
+            )
+            runs[label] = (tracer, engine.rank_times())
         _assert_traced_equal(
-            runs[False], runs[True], f"{name} wave vs per-message"
+            runs["permsg"], runs["wave"], f"{name} wave vs per-message"
+        )
+        _assert_traced_equal(
+            runs["wave"], runs["kernel"], f"{name} kernel vs wave"
         )
 
 
@@ -923,7 +1010,7 @@ def run_smoke() -> None:
 
     simmpi = time_simmpi(nodes=4, app_per_node=4, iterations=3)
     print(
-        f"smoke simmpi: {simmpi['nranks']} ranks, cascade/fast/wave "
+        f"smoke simmpi: {simmpi['nranks']} ranks, cascade/fast/wave/kernel "
         f"traces identical"
     )
     split = time_simmpi_split(nranks=32, group_size=8, iterations=4)
@@ -934,7 +1021,7 @@ def run_smoke() -> None:
         f"clocks and traces identical"
     )
     _smoke_wave_apps()
-    print("smoke wave apps: heat/spectral wave paths identical")
+    print("smoke wave apps: heat/spectral wave and kernel paths identical")
     protocol = time_protocol_end2end(iterations=8, checkpoint_every=3)
     print(
         f"smoke protocol: {protocol['logged_messages']} logged messages, "
@@ -1053,6 +1140,7 @@ def main() -> None:
     if not args.skip_simmpi:
         pr3_baseline = _pr3_p2p_baseline()
         pr4_baseline = _pr4_engine_baseline()
+        pr5_baseline = _pr5_wave_baseline()
         simmpi = time_simmpi(iterations=args.simmpi_iterations)
         simmpi["split"] = time_simmpi_split()
         simmpi["p2p"] = time_simmpi_p2p()
@@ -1084,6 +1172,22 @@ def main() -> None:
                     f"recorded PR 4 engine (floor {MIN_FIG5_WAVE_SPEEDUP}x) "
                     f"— not recording"
                 )
+        if pr5_baseline is not None:
+            # The honest before/after of the kernel compiler: PR 5's
+            # recorded interpreted wave engine on the full traced fig5
+            # run vs the kernelized steady state, same machine class,
+            # same shape. The floor applies only while a pre-kernel
+            # record is the latest; later re-records are guarded by the
+            # perf-gate probe.
+            simmpi["pr5_wave_ranks_per_s"] = pr5_baseline
+            speedup = simmpi["ranks_per_s"] / pr5_baseline
+            simmpi["kernel_speedup_vs_pr5"] = round(speedup, 2)
+            if enforce and speedup < MIN_FIG5_KERNEL_SPEEDUP:
+                raise RuntimeError(
+                    f"kernelized fig5 run at {speedup:.2f}x over the "
+                    f"recorded PR 5 wave engine (floor "
+                    f"{MIN_FIG5_KERNEL_SPEEDUP}x) — not recording"
+                )
         p2p = simmpi["p2p"]
         if pr3_baseline is not None:
             # The honest before/after: PR 3's recorded per-message batched
@@ -1106,8 +1210,10 @@ def main() -> None:
         print(
             f"simmpi: {simmpi['nranks']} ranks x {simmpi['iterations']} iters "
             f"— cascade {simmpi['slow_s']}s, fast {simmpi['fast_s']}s, wave "
-            f"{simmpi['wave_s']}s ({simmpi['speedup']}x cascade→fast, "
+            f"{simmpi['wave_s']}s, kernel {simmpi['kernel_s']}s "
+            f"({simmpi['speedup']}x cascade→fast, "
             f"{simmpi['wave_speedup_vs_permsg']}x fast→wave, "
+            f"{simmpi['kernel_speedup_vs_wave']}x wave→kernel, "
             f"{simmpi['ranks_per_s']} rank-iters/s)"
         )
         split = simmpi["split"]

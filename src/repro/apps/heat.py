@@ -36,6 +36,10 @@ class HeatConfig:
     # Persistent-request halo waves (identical messages/traces/clocks;
     # ``use_waves=False`` pins the per-message reference).
     use_waves: bool = True
+    # Emit the synthetic steady loop as one KernelLoop op so the engine
+    # can vectorize whole iterations (falls back to the wave loop under
+    # hooks, real payloads, or non-wave communicators).
+    use_kernels: bool = True
     hot_spot_temp: float = 100.0
 
     def __post_init__(self) -> None:
@@ -129,6 +133,19 @@ class HeatSimulation:
                 state = {"iteration": 0}
             else:
                 state = self.make_rank_state(comm.rank)
+            if (
+                hook is None
+                and self.cfg.synthetic
+                and self.cfg.use_waves
+                and self.cfg.use_kernels
+                and getattr(comm, "supports_waves", False)
+                and state["iteration"] < niter
+            ):
+                wave = HaloWave.cached(comm, self.grid, nfields=1, kind="halo")
+                remaining = niter - state["iteration"]
+                yield wave.kernel_loop(remaining)
+                state["iteration"] = niter
+                return state
             while state["iteration"] < niter:
                 if hook is not None:
                     yield from hook(ctx, comm, self, state, state["iteration"])

@@ -44,6 +44,9 @@ class SpectralConfig:
     # reference, which shares the same post-all-then-drain structure so
     # stamps, traces and clocks are identical between the two.
     use_waves: bool = True
+    # Emit the synthetic loop as one KernelLoop (two transpose rounds
+    # per iteration) so the engine can vectorize whole iterations.
+    use_kernels: bool = True
 
     def __post_init__(self) -> None:
         check_positive("nranks", self.nranks)
@@ -216,6 +219,22 @@ class SpectralSimulation:
                 if self.cfg.synthetic
                 else self.make_rank_state(comm.rank)
             )
+            if (
+                hook is None
+                and self.cfg.synthetic
+                and self.cfg.use_waves
+                and self.cfg.use_kernels
+                and getattr(comm, "supports_waves", False)
+                and state["iteration"] < niter
+            ):
+                from repro.simmpi.engine import KernelLoop
+
+                start, drain = self._transpose_wave(comm, kind="transpose")
+                # Two transpose rounds per iteration — same wave twice.
+                remaining = niter - state["iteration"]
+                yield KernelLoop(start, drain, 2 * remaining)
+                state["iteration"] = niter
+                return state
             while state["iteration"] < niter:
                 if hook is not None:
                     yield from hook(ctx, comm, self, state, state["iteration"])

@@ -412,6 +412,14 @@ class HaloWave:
                 for i, f in enumerate(fields):
                     f[sl] = payload[i * n : (i + 1) * n].reshape(f[sl].shape)
 
+    def kernel_loop(self, iterations: int, colls: tuple = ()):
+        """A :class:`~repro.simmpi.engine.KernelLoop` op repeating this
+        wave ``iterations`` times (synthetic waves only — the kernel never
+        touches payload buffers, so packing fields would be skipped)."""
+        from repro.simmpi.engine import KernelLoop
+
+        return KernelLoop(self.start_op, self.drain_op, iterations, colls)
+
 
 def synthetic_halo_exchange(
     comm,

@@ -64,6 +64,10 @@ class TsunamiConfig:
     # isend/irecv/wait. Messages, traces and clocks are identical either
     # way; ``use_waves=False`` pins the per-message reference.
     use_waves: bool = True
+    # Emit the synthetic steady loop as KernelLoop ops (one per
+    # allreduce window) so the engine can vectorize whole iterations;
+    # identical messages/traces/clocks, hooks/real payloads fall back.
+    use_kernels: bool = True
     allreduce_every: int = 25
     # Initial condition: Gaussian hump (amplitude in m, width in cells).
     hump_amplitude: float = 2.0
@@ -297,6 +301,15 @@ class TsunamiSimulation:
                 state = {"iteration": 0}
             else:
                 state = self.make_rank_state(comm.rank)
+            if (
+                hook is None
+                and self.cfg.synthetic
+                and self.cfg.use_waves
+                and self.cfg.use_kernels
+                and getattr(comm, "supports_waves", False)
+            ):
+                yield from self._kernel_program(comm, state, niter)
+                return state
             while state["iteration"] < niter:
                 if hook is not None:
                     yield from hook(ctx, comm, self, state, state["iteration"])
@@ -304,6 +317,34 @@ class TsunamiSimulation:
             return state
 
         return program
+
+    def _kernel_program(self, comm, state: dict, niter: int):
+        """Synthetic steady loop as KernelLoop ops, chunked at allreduce
+        boundaries so each chunk's trailing collective rides in the
+        kernel's fused window (or, when the group can't take the fast
+        path, as a plain allreduce after the chunk — same tags, traces
+        and clocks as the interpreted loop either way)."""
+        from repro.simmpi.collectives import max_op
+
+        every = self.cfg.allreduce_every
+        wave = HaloWave.cached(comm, self.grid, nfields=3, kind="halo")
+        while state["iteration"] < niter:
+            it = state["iteration"]
+            if every:
+                chunk = min((it // every + 1) * every, niter) - it
+            else:
+                chunk = niter - it
+            fire = bool(every) and (it + chunk) % every == 0
+            if fire and comm.collective_windows_ok():
+                _, wres = yield wave.kernel_loop(
+                    chunk, (comm.allreduce_op(0.0, max_op),)
+                )
+                state["eta_max"] = wres[0]
+            else:
+                yield wave.kernel_loop(chunk)
+                if fire:
+                    state["eta_max"] = yield from comm.allreduce(0.0, max_op)
+            state["iteration"] = it + chunk
 
     # -- serial reference ---------------------------------------------------
 

@@ -115,6 +115,27 @@ def make_fti_world_programs(
         state = {"iteration": 0} if sim.cfg.synthetic else sim.make_rank_state(
             app_comm.rank
         )
+        if (
+            use_waves
+            and sim.cfg.synthetic
+            and getattr(sim.cfg, "use_kernels", False)
+            and getattr(app_comm, "supports_waves", False)
+        ):
+            # Kernelized steady state: between checkpoint-ready sends the
+            # app loop is the tsunami steady loop, so hand each segment to
+            # its KernelLoop emitter (chunked further at allreduce
+            # boundaries). Same messages, traces and clocks either way.
+            while state["iteration"] < iterations:
+                iteration = state["iteration"]
+                if iteration and iteration % cfg.checkpoint_every == 0:
+                    yield ready_start
+                boundary = iteration + cfg.checkpoint_every - (
+                    iteration % cfg.checkpoint_every
+                )
+                yield from sim._kernel_program(
+                    app_comm, state, min(boundary, iterations)
+                )
+            return state
         while state["iteration"] < iterations:
             iteration = state["iteration"]
             if iteration and iteration % cfg.checkpoint_every == 0:

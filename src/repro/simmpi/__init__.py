@@ -10,7 +10,7 @@ message is byte-accurately recorded by
 """
 
 from repro.simmpi.comm import Communicator
-from repro.simmpi.engine import Engine, RankContext, run_program
+from repro.simmpi.engine import Engine, KernelLoop, RankContext, run_program
 from repro.simmpi.errors import (
     CommunicatorError,
     DeadlockError,
@@ -38,6 +38,7 @@ __all__ = [
     "CommunicatorError",
     "DeadlockError",
     "Engine",
+    "KernelLoop",
     "LinkParameters",
     "MessagePool",
     "MessageView",

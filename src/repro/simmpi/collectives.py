@@ -546,3 +546,36 @@ def execute_fast_collective(
     return FAST_COLLECTIVES[kind](
         values, op_fns, root, trace_kind, clocks, group, network, tracer
     )
+
+
+def execute_fused_window(
+    specs: list,
+    *,
+    clocks: np.ndarray,
+    group: np.ndarray,
+    network,
+    tracer,
+):
+    """Price a fused window of back-to-back same-group collectives.
+
+    ``specs`` is an ordered list of ``(kind, values, op_fns, root,
+    trace_kind)`` tuples, each shaped exactly like one
+    :func:`execute_fast_collective` call. The window runs in one pass:
+    every collective's output clocks feed the next one's input clocks
+    without the engine re-gathering the group in between, which is
+    bit-identical to executing them sequentially — all members enter the
+    window synchronized, so no other event can interleave. Returns
+    ``(results_per_spec, new_clocks)`` where ``results_per_spec[j]`` is
+    spec ``j``'s per-group-rank result list.
+
+    The steady-state kernel uses this for a :class:`~repro.simmpi.engine.
+    KernelLoop`'s trailing collective window; the generator cascade and the
+    per-collective fast path remain the reference semantics.
+    """
+    results_per_spec = []
+    for kind, values, op_fns, root, trace_kind in specs:
+        results, clocks = FAST_COLLECTIVES[kind](
+            values, op_fns, root, trace_kind, clocks, group, network, tracer
+        )
+        results_per_spec.append(results)
+    return results_per_spec, clocks

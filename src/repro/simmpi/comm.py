@@ -290,6 +290,39 @@ class Communicator:
         yielding it returns the ordered payload list."""
         return WaitAll(tuple(requests))
 
+    def collective_windows_ok(self) -> bool:
+        """Whether prebuilt collective ops may be attached to a
+        :class:`~repro.simmpi.engine.KernelLoop` window this run.
+
+        True exactly when this communicator's collectives take the
+        engine's vectorized fast path (size > 1, registered group, no
+        per-message observers, plain :class:`Communicator`). When false,
+        apps must fall back to ``yield from`` collectives *after* the
+        loop — the generator cascade needs real per-message posting that a
+        window cannot replicate.
+        """
+        return self.size > 1 and self._fast_collective_ok()
+
+    def allreduce_op(self, value: Any, op: Callable = coll.sum_op) -> CollectiveOp:
+        """Prebuild an allreduce op for a :class:`KernelLoop` window.
+
+        Consumes exactly the tags the equivalent ``yield from
+        comm.allreduce(value, op)`` fast path would (two on non-power-of-
+        two groups, whose cascade runs reduce-then-bcast), so a program
+        switching between the kernelized and per-iteration paths keeps
+        every later collective's tags — and hence traces and clocks —
+        aligned. Only legal while :meth:`collective_windows_ok` holds.
+        """
+        if not self.collective_windows_ok():
+            raise CommunicatorError(
+                "allreduce_op needs the vectorized collective path "
+                "(collective_windows_ok() is false)"
+            )
+        tag = self._next_coll_tag()
+        if not coll._is_pow2(self.size):
+            self._next_coll_tag()
+        return self._collective_op("allreduce", tag, value, op=op)
+
     def send(
         self,
         obj: Any,

@@ -159,6 +159,9 @@ from repro.simmpi.request import (
     CollectiveRequest,
     MessagePool,
     MessageView,
+    PLAN_RECV,
+    PLAN_SEND_CAPTURE,
+    PLAN_SEND_STATIC,
     PersistentRecvRequest,
     PersistentSendRequest,
     RecvRequest,
@@ -166,6 +169,7 @@ from repro.simmpi.request import (
     WaitAllRequest,
     capture_payload,
     nbytes_of,
+    static_wave_columns,
 )
 from repro.simmpi.tracing import TraceRecorder
 
@@ -241,7 +245,44 @@ class CollectiveOp:
     trace_kind: str
 
 
-Op = PostSend | PostRecv | Wait | WaitAll | StartAll | CollectiveOp
+@dataclass(slots=True)
+class KernelLoop:
+    """A declared steady-state loop: ``iterations`` repetitions of (post
+    ``start``, drain ``drain``), then an optional back-to-back collective
+    window, in one engine interaction.
+
+    The op is *defined* as exactly this program fragment::
+
+        for _ in range(iterations):
+            yield start
+            results = yield drain
+        window = [(yield c) for c in colls]
+        # engine replies with `results` (the LAST drain's payload list),
+        # or `(results, window)` when the collective window is non-empty
+
+    and the engine's interpreted handler executes precisely that expansion
+    through the ordinary ``StartAll`` / ``WaitAll`` / ``CollectiveOp``
+    machinery — identical posting order, matching, pricing, tracing,
+    clocks and failure injection — without resuming the rank's generator
+    between iterations. Intermediate drain payloads are discarded; only a
+    program that does not consume them (synthetic traced steady loops) may
+    yield this op.
+
+    When every unfinished rank reaches such a loop and the cycle is
+    provably static (see ``Engine._compile_kernel``), the engine compiles
+    the whole-world iteration into a :class:`_SteadyStateKernel` and
+    executes all iterations with closed-form clock recurrences —
+    byte-identical traces, bit-identical clocks. Anything dynamic deopts
+    back to the expansion above.
+    """
+
+    start: StartAll
+    drain: WaitAll
+    iterations: int
+    colls: tuple = ()  # CollectiveOps run back-to-back after the last drain
+
+
+Op = PostSend | PostRecv | Wait | WaitAll | StartAll | CollectiveOp | KernelLoop
 
 
 class RankContext:
@@ -285,7 +326,16 @@ class RankContext:
 class _RankState:
     """Book-keeping for one live rank inside the engine."""
 
-    __slots__ = ("rank", "gen", "ctx", "blocked_on", "finished", "result", "failed")
+    __slots__ = (
+        "rank",
+        "gen",
+        "ctx",
+        "blocked_on",
+        "finished",
+        "result",
+        "failed",
+        "kernel",
+    )
 
     def __init__(self, rank: int, gen: Generator, ctx: RankContext):
         self.rank = rank
@@ -295,6 +345,68 @@ class _RankState:
         self.finished = False
         self.result: Any = None
         self.failed = False
+        self.kernel: _KernelState | None = None
+
+
+class _KernelState:
+    """Progress of one rank through a :class:`KernelLoop`.
+
+    ``remaining`` counts iterations whose drain has not been consumed yet
+    (so a rank parked on its drain still counts that iteration);
+    ``window_at`` indexes the next collective of the trailing window;
+    ``results`` holds the final drain's ordered payload list once the last
+    iteration is consumed; ``window_results`` collects the trailing
+    collective window's per-position results.
+    """
+
+    __slots__ = ("op", "remaining", "window_at", "results", "window_results")
+
+    def __init__(self, op: KernelLoop):
+        self.op = op
+        self.remaining = op.iterations
+        self.window_at = 0
+        self.results: list | None = None
+        self.window_results: list = []
+
+
+#: Sentinels returned by the kernel-loop driver to _step.
+_KERNEL_PARKED = object()
+_KERNEL_FAILED = object()
+
+
+class _SteadyStateKernel:
+    """A compiled whole-world iteration: the static (send wave → drain)
+    cycle of one participant set, ready for closed-form execution.
+
+    Built by ``Engine._compile_kernel`` once the participants' persistent
+    wave plans are proven static and closed (every send matched by exactly
+    one receive of another participant per iteration). Holds the edge
+    arrays (world/participant-indexed sources and destinations, byte
+    counts, per-edge transfer times), the destination-sorted view used by
+    the ``np.maximum.reduceat`` clock recurrence, per-kind tracer index
+    groups, the per-iteration posting-sequence consumption, and for each
+    participant the drain-position → edge mapping that materializes the
+    final iteration's results.
+    """
+
+    __slots__ = (
+        "participants",
+        "ops",
+        "comm_ids",
+        "esrc_w",
+        "edst_w",
+        "enb",
+        "transfer",
+        "src_idx",
+        "order",
+        "dst_starts",
+        "dst_uniq",
+        "kind_groups",
+        "seq_per_iter",
+        "edge_payloads",
+        "edge_tags",
+        "drain_edges",
+    )
 
 
 class _PendingCollective:
@@ -382,6 +494,17 @@ class Engine:
         :meth:`NetworkModel.transfer_time` call per message. Arrival times
         are bit-identical either way; set to ``False`` to pin the scalar
         reference path.
+    use_kernels:
+        Allow :class:`KernelLoop` steady-state loops to compile into
+        whole-world :class:`_SteadyStateKernel` executions once every
+        unfinished rank cycles through a static wave. Set to ``False`` to
+        pin the loop's interpreted expansion (still zero generator wakeups
+        between matching points, but every message posted individually —
+        the kernel equivalence suite's reference). The vectorized path
+        additionally self-gates exactly like the other fast paths: any
+        per-message observer (``message_log``, ``track_recv_counts``,
+        failure injection) or ``use_batched_p2p=False`` keeps the
+        interpreted expansion.
     pool_capacity:
         Initial slot count of the engine's :class:`MessagePool`; the pool
         doubles on demand, so this only sizes the steady state (tests use
@@ -400,6 +523,7 @@ class Engine:
         tracer: TraceRecorder | None = None,
         use_fast_collectives: bool = True,
         use_batched_p2p: bool = True,
+        use_kernels: bool = True,
         pool_capacity: int = 512,
     ):
         if nranks <= 0:
@@ -409,6 +533,7 @@ class Engine:
         self.tracer = tracer
         self.use_fast_collectives = use_fast_collectives
         self.use_batched_p2p = use_batched_p2p
+        self.use_kernels = use_kernels
         self.failure_ranks: set[int] = set()
 
         # Protocol hooks (used by repro.hydee): an optional message log that
@@ -476,6 +601,22 @@ class Engine:
         self._pending_colls: dict[tuple[int, int], _PendingCollective] = {}
         self._fast_coll_active = False
         self.fast_collectives_run = 0
+
+        # Steady-state kernel bookkeeping: compiled kernels (or cached
+        # rejections) keyed by the participants' (rank, start-op, drain-op)
+        # identity signature, per-run vectorization eligibility, the ranks
+        # currently held at a KernelLoop yield, a live count of unfinished
+        # ranks (the whole-world trigger condition), and cumulative
+        # counters mirroring ``fast_collectives_run``. ``kernel_deopts``
+        # counts, per reason, cycles that stayed on the interpreted
+        # expansion — the deopt tests read it.
+        self._kernel_cache: dict[tuple, tuple] = {}
+        self._kernel_held: list[int] = []
+        self._kernel_fast_ok = False
+        self._unfinished = 0
+        self.kernel_runs = 0
+        self.kernel_iterations = 0
+        self.kernel_deopts: dict[str, int] = {}
 
     # -- communicator-id service -------------------------------------------
 
@@ -604,6 +745,20 @@ class Engine:
             and not self.track_recv_counts
             and not self.failure_ranks
         )
+        # Steady-state kernels share the observers gate (vectorized
+        # execution posts no individual messages) and additionally need the
+        # batched p2p invariants. Failure injection is re-checked at every
+        # trigger: tests arm it mid-run. Compiled kernels cannot outlive
+        # the ops they were compiled from, so the cache resets per run.
+        self._kernel_cache = {}
+        self._kernel_held = []
+        self._kernel_fast_ok = (
+            self.use_kernels
+            and self.use_batched_p2p
+            and self.message_log is None
+            and not self.track_recv_counts
+        )
+        self._unfinished = self.nranks
 
         states = self._states
         step = self._step
@@ -631,6 +786,13 @@ class Engine:
                 batch.sort()
                 self._next_runnable = []
                 self._in_next = set()
+                if not batch and self._kernel_held:
+                    # Scheduler quiescent with ranks held at KernelLoop
+                    # yields: execute the steady state in closed form if the
+                    # whole unfinished world is held and compiles, else
+                    # release the held ranks through the interpreted
+                    # expansion. Either way they form the next batch.
+                    batch = self._release_held_kernels()
         finally:
             if resume_gc:
                 gc.enable()
@@ -684,7 +846,18 @@ class Engine:
             state.blocked_on = None
             if not request.done:
                 raise MatchingError("rank resumed on an incomplete request")
-            if request.__class__ is CollectiveRequest:
+            if state.kernel is not None:
+                # Mid-KernelLoop wake: keep driving the loop inside the
+                # engine; the generator only resumes once the loop is done.
+                outcome = self._kernel_resume(state, request)
+                if outcome is _KERNEL_PARKED:
+                    return
+                if outcome is _KERNEL_FAILED:
+                    state.failed = True
+                    throw_exc = RankFailedError(state.rank)
+                else:
+                    send_value = outcome
+            elif request.__class__ is CollectiveRequest:
                 send_value = request.result
             else:
                 send_value = self._complete_wait(state, request)
@@ -701,11 +874,13 @@ class Engine:
             except StopIteration as stop:
                 state.finished = True
                 state.result = stop.value
+                self._unfinished -= 1
                 return
             except RankFailedError:
                 state.finished = True
                 state.failed = True
                 state.result = None
+                self._unfinished -= 1
                 return
 
             if failure_ranks and state.rank in failure_ranks and not state.failed:
@@ -755,6 +930,15 @@ class Engine:
                 else:
                     state.blocked_on = request
                     return
+            elif cls is KernelLoop:
+                outcome = self._handle_kernel_loop(state, op)
+                if outcome is _KERNEL_PARKED:
+                    return
+                if outcome is _KERNEL_FAILED:
+                    state.failed = True
+                    throw_exc = RankFailedError(state.rank)
+                    continue
+                send_value = outcome
             else:
                 raise MatchingError(f"rank {state.rank} yielded unknown op {op!r}")
 
@@ -966,9 +1150,10 @@ class Engine:
 
     # Plan entry codes: static send (immutable payload, args precomputed),
     # capturing send (payload snapshotted per start), receive re-arm.
-    _PLAN_SEND_STATIC = 0
-    _PLAN_SEND_CAPTURE = 1
-    _PLAN_RECV = 2
+    # Canonical values live in request.py next to the plan data layout.
+    _PLAN_SEND_STATIC = PLAN_SEND_STATIC
+    _PLAN_SEND_CAPTURE = PLAN_SEND_CAPTURE
+    _PLAN_RECV = PLAN_RECV
 
     @classmethod
     def _compile_start_plan(cls, requests: Sequence[Request]) -> list:
@@ -1120,6 +1305,461 @@ class Engine:
             req.done = True
             if states[world].blocked_on is req:
                 self._make_runnable(world)
+
+    # -- steady-state kernels --------------------------------------------------
+
+    def _kernel_deopt(self, reason: str) -> None:
+        """Record one deopt (cycle kept on the interpreted expansion)."""
+        self.kernel_deopts[reason] = self.kernel_deopts.get(reason, 0) + 1
+        return None
+
+    def _handle_kernel_loop(self, state: _RankState, op: KernelLoop):
+        """Enter a declared steady-state loop (see :class:`KernelLoop`)."""
+        if op.iterations < 1:
+            raise MatchingError(
+                f"rank {state.rank} yielded KernelLoop with "
+                f"{op.iterations} iterations (need >= 1)"
+            )
+        if op.start.__class__ is not StartAll or op.drain.__class__ is not WaitAll:
+            raise MatchingError(
+                f"rank {state.rank} yielded KernelLoop whose start/drain are "
+                f"not StartAll/WaitAll ops"
+            )
+        state.kernel = _KernelState(op)
+        if self._kernel_fast_ok and not self.failure_ranks:
+            # Hold the rank at the yield instead of posting: once the
+            # scheduler goes quiescent with the whole unfinished world
+            # held, the run loop compiles and executes the steady state in
+            # closed form (or releases everyone through the interpreted
+            # expansion below, in the same ascending-rank order the
+            # ordinary batch step would have used — the global posting
+            # sequence is identical either way).
+            self._kernel_held.append(state.rank)
+            state.blocked_on = Request(state.rank)
+            return _KERNEL_PARKED
+        if not self._kernel_fast_ok:
+            self._kernel_deopt("engine-gated")
+        return self._kernel_advance(state)
+
+    def _kernel_resume(self, state: _RankState, request: Request):
+        """Wake a rank parked inside a :class:`KernelLoop` — on a drain,
+        a window collective, or a (released) hold — and keep driving."""
+        if request.__class__ is WaitAllRequest:
+            self._kernel_consume(state, request)
+        elif request.__class__ is CollectiveRequest:
+            state.kernel.window_results.append(request.result)
+        return self._kernel_advance(state)
+
+    def _kernel_consume(self, state: _RankState, request: WaitAllRequest) -> None:
+        """Consume one completed drain exactly like ``_complete_wait``;
+        only the final iteration materializes the ordered result list."""
+        kstate = state.kernel
+        consume = self._consume_recv
+        if kstate.remaining == 1:
+            kstate.results = [
+                consume(state, child) if isinstance(child, RecvRequest) else None
+                for child in request.children
+            ]
+        else:
+            for child in request.children:
+                if isinstance(child, RecvRequest):
+                    consume(state, child)
+        kstate.remaining -= 1
+
+    def _kernel_advance(self, state: _RankState):
+        """Drive a rank's :class:`KernelLoop` from inside the engine.
+
+        Executes the op's defining expansion — post start, drain, repeat,
+        then the collective window — through the ordinary op handlers, but
+        without resuming the rank's generator between iterations. Returns
+        ``_KERNEL_PARKED`` after blocking the rank, ``_KERNEL_FAILED`` when
+        failure injection strikes (at exactly the yield points the
+        expansion would have offered), or the final drain's result list.
+        """
+        kstate = state.kernel
+        op = kstate.op
+        rank = state.rank
+        failure_ranks = self.failure_ranks
+        while kstate.remaining:
+            if failure_ranks and rank in failure_ranks and not state.failed:
+                state.kernel = None
+                return _KERNEL_FAILED
+            self._handle_start_all(state, op.start)
+            if failure_ranks and rank in failure_ranks and not state.failed:
+                state.kernel = None
+                return _KERNEL_FAILED
+            request = WaitAllRequest(rank, list(op.drain.requests))
+            if not request.done:
+                state.blocked_on = request
+                return _KERNEL_PARKED
+            self._kernel_consume(state, request)
+        colls = op.colls
+        while kstate.window_at < len(colls):
+            if failure_ranks and rank in failure_ranks and not state.failed:
+                state.kernel = None
+                return _KERNEL_FAILED
+            request = self._handle_collective(state, colls[kstate.window_at])
+            kstate.window_at += 1
+            if not request.done:
+                state.blocked_on = request
+                return _KERNEL_PARKED
+            kstate.window_results.append(request.result)
+        if colls:
+            results = (kstate.results, kstate.window_results)
+        else:
+            results = kstate.results
+        state.kernel = None
+        return results
+
+    def _release_held_kernels(self) -> list[int]:
+        """Quiescence trigger: vectorize or release the held ranks.
+
+        If every unfinished rank is held at a KernelLoop yield with the
+        same iteration count and the participants' cycle compiles, execute
+        the whole loop in closed form (nothing is ever posted); otherwise
+        deopt. Either way every held rank's hold request completes and the
+        held set — in ascending rank order, matching the batch order the
+        ordinary scheduler would have used — becomes the next batch: the
+        resume path then either collects the precomputed results
+        (``remaining == 0``) or drives the interpreted expansion.
+        """
+        held = self._kernel_held
+        self._kernel_held = []
+        held.sort()
+        states = self._states
+        if self._kernel_fast_ok and not self.failure_ranks:
+            if len(held) < self._unfinished:
+                self._kernel_deopt("partial-world")
+            else:
+                first = states[held[0]].kernel.op.iterations
+                if any(
+                    states[r].kernel.op.iterations != first for r in held
+                ):
+                    self._kernel_deopt("iteration-mismatch")
+                else:
+                    kern = self._compile_kernel(held)
+                    if kern is not None:
+                        if not self._kernel_quiescent(kern):
+                            self._kernel_deopt("mailbox-busy")
+                        else:
+                            window = self._kernel_window(kern)
+                            if window is not None:
+                                self._execute_kernel(kern, first, window)
+        for rank in held:
+            states[rank].blocked_on.done = True
+        return held
+
+    def _compile_kernel(self, batch: list[int]) -> "_SteadyStateKernel | None":
+        """Cached compile of the batch's cycle (a cached rejection keeps
+        deopting). Cache values pin the compiled-from ops so the identity
+        keys cannot be recycled by the allocator mid-run."""
+        states = self._states
+        ops = [states[r].kernel.op for r in batch]
+        key = tuple(
+            (r, id(op.start), id(op.drain)) for r, op in zip(batch, ops)
+        )
+        cached = self._kernel_cache.get(key)
+        if cached is not None:
+            return cached[0]
+        kern = self._try_compile_kernel(batch)
+        self._kernel_cache[key] = (kern, ops)
+        return kern
+
+    def _try_compile_kernel(self, batch: list[int]) -> "_SteadyStateKernel | None":
+        """Prove the participants' cycle static and closed; build the kernel.
+
+        Replays one steady-state scheduler batch *statically* — ranks in
+        ascending order, each rank's start plan in list order, FIFO
+        per-channel queues — which yields three things at once: the proof
+        that every send is consumed by exactly one participant receive per
+        iteration (anything else rejects), the per-iteration
+        posting-sequence consumption (sends always stamp; a receive stamps
+        only when it parks before its message arrives), and the receive →
+        sending-edge pairing used to materialize the final iteration's
+        results. Rejections deopt to the interpreted expansion.
+        """
+        states = self._states
+        idx_of = {r: i for i, r in enumerate(batch)}
+        esrc_w: list[int] = []
+        edst_w: list[int] = []
+        enb: list[int] = []
+        ekind: list[str] = []
+        edge_payloads: list[Any] = []
+        edge_tags: list[int] = []
+        unexpected: dict[tuple, deque] = {}
+        parked: dict[tuple, deque] = {}
+        recv_edge: dict[int, int] = {}
+        seq_per_iter = 0
+        ops: list[KernelLoop] = []
+        comm_ids: set[int] = set()
+        plan_recvs: dict[int, list] = {}
+        for rank in batch:
+            op = states[rank].kernel.op
+            ops.append(op)
+            plan = op.start.plan
+            if plan is None:
+                plan = op.start.plan = self._compile_start_plan(op.start.requests)
+            cols = static_wave_columns(plan)
+            if cols is None:
+                return self._kernel_deopt("capture-send")
+            dests, tags, send_comms, payloads, sizes, kinds = cols
+            if any(d not in idx_of for d in dests):
+                return self._kernel_deopt("external-destination")
+            edge = len(esrc_w)
+            esrc_w.extend([rank] * len(dests))
+            edst_w.extend(dests)
+            enb.extend(sizes)
+            ekind.extend(kinds)
+            edge_payloads.extend(payloads)
+            edge_tags.extend(tags)
+            comm_ids.update(send_comms)
+            seq_per_iter += len(dests)
+            recvs = []
+            for code, data in plan:
+                if code == PLAN_SEND_STATIC:
+                    chan = (data[2], data[0], rank, data[1])
+                    queue = parked.get(chan)
+                    if queue:
+                        recv_edge[id(queue.popleft())] = edge
+                    else:
+                        unexpected.setdefault(chan, deque()).append(edge)
+                    edge += 1
+                else:  # PLAN_RECV (capture sends were rejected above)
+                    req = data
+                    if req.source < 0 or req.tag < 0:
+                        return self._kernel_deopt("wildcard-recv")
+                    recvs.append(req)
+                    comm_ids.add(req.comm_id)
+                    chan = (req.comm_id, rank, req.source, req.tag)
+                    queue = unexpected.get(chan)
+                    if queue:
+                        recv_edge[id(req)] = queue.popleft()
+                    else:
+                        parked.setdefault(chan, deque()).append(req)
+                        seq_per_iter += 1
+            plan_recvs[rank] = recvs
+        if any(unexpected.values()) or any(parked.values()):
+            return self._kernel_deopt("unmatched-traffic")
+        if not esrc_w:
+            return self._kernel_deopt("no-traffic")
+
+        drain_edges: list[list[int]] = []
+        for i, rank in enumerate(batch):
+            need = {id(r) for r in plan_recvs[rank]}
+            have = set()
+            edges = []
+            for child in ops[i].drain.requests:
+                if isinstance(child, RecvRequest):
+                    have.add(id(child))
+                    edges.append(recv_edge.get(id(child), -1))
+                elif isinstance(child, PersistentSendRequest):
+                    edges.append(-1)
+                else:
+                    return self._kernel_deopt("dynamic-drain")
+            if need != have:
+                return self._kernel_deopt("drain-mismatch")
+            drain_edges.append(edges)
+
+        kern = _SteadyStateKernel()
+        kern.participants = tuple(batch)
+        kern.ops = ops
+        kern.comm_ids = tuple(comm_ids)
+        kern.esrc_w = np.array(esrc_w, dtype=np.int64)
+        kern.edst_w = np.array(edst_w, dtype=np.int64)
+        kern.enb = np.array(enb, dtype=np.int64)
+        kern.src_idx = np.fromiter(
+            (idx_of[s] for s in esrc_w), dtype=np.int64, count=len(esrc_w)
+        )
+        dst_idx = np.fromiter(
+            (idx_of[d] for d in edst_w), dtype=np.int64, count=len(edst_w)
+        )
+        # Per-edge transfer times are iteration-invariant; transfer_times
+        # is elementwise and bit-identical to the scalar path, so reusing
+        # them every iteration reproduces the interpreted arrivals exactly.
+        kern.transfer = self.network.transfer_times(
+            kern.esrc_w, kern.edst_w, kern.enb
+        )
+        kern.order = np.argsort(dst_idx, kind="stable")
+        dst_sorted = dst_idx[kern.order]
+        kern.dst_uniq, kern.dst_starts = np.unique(dst_sorted, return_index=True)
+        groups: dict[str, list[int]] = {}
+        for edge, kind in enumerate(ekind):
+            groups.setdefault(kind, []).append(edge)
+        kern.kind_groups = {
+            kind: np.array(idx, dtype=np.int64) for kind, idx in groups.items()
+        }
+        kern.seq_per_iter = seq_per_iter
+        kern.edge_payloads = edge_payloads
+        kern.edge_tags = edge_tags
+        kern.drain_edges = drain_edges
+        return kern
+
+    def _kernel_quiescent(self, kern: "_SteadyStateKernel") -> bool:
+        """No leftover matching state on any participant mailbox of the
+        kernel's communicators (a parked wildcard or stale unexpected
+        message could steal a kernel send from its static receive)."""
+        for comm_id in kern.comm_ids:
+            for rank in kern.participants:
+                if comm_id == 0:
+                    mailbox = self._world_mail[rank]
+                else:
+                    mailbox = self._mailboxes.get((comm_id, rank))
+                if mailbox is not None and (
+                    mailbox.pending or mailbox.unexpected or mailbox.wild
+                ):
+                    return False
+        return True
+
+    def _kernel_window(self, kern: "_SteadyStateKernel"):
+        """Validate (and fuse) the participants' trailing collective windows.
+
+        Returns a list of ``(comm_id, specs)`` runs for
+        :func:`~repro.simmpi.collectives.execute_fused_window` — back-to-back
+        same-communicator positions fuse into one run — or ``None`` on any
+        mismatch (deopt). Every collective must gather its registered group
+        exactly, entirely from kernel participants, with matching
+        kind/tag/root across members.
+
+        Reads the *current* KernelLoop ops off the rank states, not the
+        cached compile's: a chunked steady loop reuses its start/drain ops
+        (same compiled kernel) while minting fresh collective windows —
+        with fresh tags — per chunk.
+        """
+        states = self._states
+        ops = [states[r].kernel.op for r in kern.participants]
+        length = len(ops[0].colls)
+        if any(len(op.colls) != length for op in ops):
+            return self._kernel_deopt("window-mismatch")
+        if length == 0:
+            return []
+        runs: list[list] = []  # [comm_id, specs, window positions]
+        for j in range(length):
+            by_comm: dict[int, list] = {}
+            for i, op in enumerate(ops):
+                c = op.colls[j]
+                if c.__class__ is not CollectiveOp:
+                    return self._kernel_deopt("window-mismatch")
+                by_comm.setdefault(c.comm_id, []).append(
+                    (kern.participants[i], c)
+                )
+            for comm_id, members in by_comm.items():
+                group = self._groups.get(comm_id)
+                if (
+                    group is None
+                    or len(members) != len(group)
+                    or {r for r, _ in members} != set(group)
+                ):
+                    return self._kernel_deopt("window-mismatch")
+                first = members[0][1]
+                if first.kind not in _coll.FAST_COLLECTIVES:
+                    return self._kernel_deopt("window-mismatch")
+                if any(
+                    m.kind != first.kind
+                    or m.tag != first.tag
+                    or m.root != first.root
+                    for _, m in members
+                ):
+                    return self._kernel_deopt("window-mismatch")
+                grank = self._group_rank[comm_id]
+                values: list[Any] = [None] * len(group)
+                op_fns: list[Callable | None] = [None] * len(group)
+                for r, m in members:
+                    values[grank[r]] = m.value
+                    op_fns[grank[r]] = m.op
+                spec = (first.kind, values, op_fns, first.root, first.trace_kind)
+                if runs and runs[-1][0] == comm_id and len(by_comm) == 1:
+                    runs[-1][1].append(spec)
+                    runs[-1][2].append(j)
+                else:
+                    runs.append([comm_id, [spec], [j]])
+        return runs
+
+    def _execute_kernel(
+        self, kern: "_SteadyStateKernel", n_iter: int, window: list
+    ) -> None:
+        """Run all ``n_iter`` iterations of the compiled cycle in closed
+        form — no message is ever posted, no generator resumed.
+
+        The clock recurrence per iteration is exactly the interpreted
+        schedule's: every participant posts its sends at its current clock
+        (posting never advances the poster), and each receiver's next
+        clock is ``max(own clock, max over in-edges (sender clock +
+        transfer))`` — the same IEEE adds the wave flush performs and the
+        same (exact) float maxima the sequential waitall consumes would
+        take. Traces book all iterations through one
+        ``record_many(..., repeats=...)`` per kind; the posting-sequence
+        counter advances by the statically derived per-iteration
+        consumption; the collective window prices off the folded clocks.
+        Each participant's result list (final iteration's payloads in
+        drain order) lands on its kernel state with ``remaining = 0`` so
+        the ordinary resume hands it straight to the generator.
+        """
+        states = self._states
+        parts = kern.participants
+        nparts = len(parts)
+        c = np.fromiter(
+            (states[r].ctx.clock for r in parts), dtype=np.float64, count=nparts
+        )
+        src_idx = kern.src_idx
+        transfer = kern.transfer
+        order = kern.order
+        dst_starts = kern.dst_starts
+        dst_uniq = kern.dst_uniq
+        for _ in range(n_iter):
+            arr = c[src_idx] + transfer
+            c[dst_uniq] = np.maximum(
+                c[dst_uniq], np.maximum.reduceat(arr[order], dst_starts)
+            )
+        tracer = self.tracer
+        if tracer is not None:
+            for kind, idx in kern.kind_groups.items():
+                tracer.record_many(
+                    kern.esrc_w[idx],
+                    kern.edst_w[idx],
+                    kern.enb[idx],
+                    kind=kind,
+                    repeats=n_iter,
+                )
+        self._seq += n_iter * kern.seq_per_iter
+
+        wres: list[list] | None = None
+        if window:
+            pos = {r: i for i, r in enumerate(parts)}
+            n_colls = len(states[parts[0]].kernel.op.colls)
+            wres = [[None] * n_colls for _ in parts]
+            for comm_id, specs, positions in window:
+                group = self._groups[comm_id]
+                gidx = np.fromiter(
+                    (pos[r] for r in group), dtype=np.int64, count=len(group)
+                )
+                results_per_spec, new_clocks = _coll.execute_fused_window(
+                    specs,
+                    clocks=c[gidx],
+                    group=np.asarray(group, dtype=np.int64),
+                    network=self.network,
+                    tracer=tracer,
+                )
+                c[gidx] = new_clocks
+                for j, res in zip(positions, results_per_spec):
+                    for g, world in enumerate(group):
+                        wres[pos[world]][j] = res[g]
+                self.fast_collectives_run += len(specs)
+
+        payloads = kern.edge_payloads
+        for i, rank in enumerate(parts):
+            state = states[rank]
+            kstate = state.kernel
+            kstate.results = [
+                payloads[edge] if edge >= 0 else None
+                for edge in kern.drain_edges[i]
+            ]
+            if wres is not None:
+                kstate.window_results = wres[i]
+            kstate.remaining = 0
+            kstate.window_at = len(kstate.op.colls)
+            state.ctx.clock = float(c[i])
+        self.kernel_runs += 1
+        self.kernel_iterations += n_iter
 
     def _unblock_if_waiting(
         self, rank: int, request: Request, parent: Request | None = None
@@ -1297,6 +1937,7 @@ __all__ = [
     "ANY_TAG",
     "CollectiveOp",
     "Engine",
+    "KernelLoop",
     "PostRecv",
     "PostSend",
     "StartAll",

@@ -42,6 +42,46 @@ ANY_TAG: int = -1
 #: batched wave pricing (arrival times are physical, hence non-negative).
 UNPRICED: float = -1.0
 
+#: Posting-plan entry codes for compiled persistent waves (see
+#: ``Engine._compile_start_plan``). A plan is a list of ``(code, data)``
+#: pairs: static sends carry their packed ``(dest, tag, comm_id, payload,
+#: nbytes, kind)`` argument tuple, capture sends and receives carry the
+#: persistent request itself.
+PLAN_SEND_STATIC: int = 0
+PLAN_SEND_CAPTURE: int = 1
+PLAN_RECV: int = 2
+
+
+def static_wave_columns(plan: list) -> tuple | None:
+    """Column-wise view of a compiled wave plan's static sends.
+
+    Returns parallel lists ``(dests, tags, comm_ids, payloads, nbytes,
+    kinds)`` — one row per :data:`PLAN_SEND_STATIC` entry, in posting
+    order — or ``None`` if the plan contains any capture send (a captured
+    payload is re-snapshotted per start, so its column is not static).
+    Receive entries are skipped. The steady-state kernel compiler uses
+    this to turn a participant's per-iteration send wave into fixed edge
+    arrays instead of re-walking the plan every iteration.
+    """
+    dests: list[int] = []
+    tags: list[int] = []
+    comm_ids: list[int] = []
+    payloads: list[Any] = []
+    nbytes: list[int] = []
+    kinds: list[str] = []
+    for code, data in plan:
+        if code == PLAN_SEND_CAPTURE:
+            return None
+        if code == PLAN_SEND_STATIC:
+            dest, tag, comm_id, payload, size, kind = data
+            dests.append(dest)
+            tags.append(tag)
+            comm_ids.append(comm_id)
+            payloads.append(payload)
+            nbytes.append(size)
+            kinds.append(kind)
+    return dests, tags, comm_ids, payloads, nbytes, kinds
+
 
 def nbytes_of(payload: Any) -> int:
     """Best-effort on-the-wire size of ``payload`` in bytes.

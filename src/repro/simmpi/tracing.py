@@ -61,22 +61,28 @@ class TraceRecorder:
                 )
             mat[dst, src] += nbytes
 
-    def record_many(self, srcs, dsts, nbytes, kind: str = "p2p") -> None:
+    def record_many(self, srcs, dsts, nbytes, kind: str = "p2p", *, repeats: int = 1) -> None:
         """Record a whole batch of messages in one vectorized pass.
 
         ``srcs``/``dsts``/``nbytes`` are parallel arrays; duplicated
         (src, dst) pairs accumulate exactly as repeated :meth:`record`
         calls would (byte counts are integers, so accumulation order
-        cannot perturb the float matrices).
+        cannot perturb the float matrices). ``repeats`` records the same
+        batch that many times over — the steady-state kernel uses it to
+        book K identical iterations in one pass; since per-message byte
+        counts are integers well below 2**53, ``nbytes * repeats`` is
+        exact and the result is byte-identical to K separate calls.
         """
         srcs = np.asarray(srcs, dtype=np.int64)
         dsts = np.asarray(dsts, dtype=np.int64)
         nb = np.asarray(nbytes, dtype=np.float64)
         if nb.ndim == 0:
             nb = np.broadcast_to(nb, srcs.shape)
+        if repeats != 1:
+            nb = nb * repeats
         np.add.at(self.bytes_matrix, (dsts, srcs), nb)
-        np.add.at(self.count_matrix, (dsts, srcs), 1)
-        self.total_messages += int(srcs.size)
+        np.add.at(self.count_matrix, (dsts, srcs), repeats)
+        self.total_messages += int(srcs.size) * repeats
         self.total_bytes += float(nb.sum())
         if self.by_kind:
             mat = self.kind_matrices.get(kind)

@@ -177,6 +177,43 @@ class TestRefusals:
         # The sends toward the survivors (ranks 2, 3) were suppressed.
         assert sorted((r.src, r.dst) for r in outbound) == [(0, 2), (1, 3)]
 
+    def test_kernel_flagged_app_falls_back_through_replay(self):
+        """A kernel-flagged app (use_kernels=True, the default) never
+        emits a KernelLoop under a ReplayCommunicator: the gate keys off
+        ``supports_waves`` exactly like the wave fallback, so the whole
+        rank program — not just one step — runs per-message. (If the gate
+        broke, the program would call the refused persistent-request API
+        and this test would see CommunicatorError.)"""
+        from types import SimpleNamespace
+
+        from repro.apps import TsunamiConfig, TsunamiSimulation
+
+        cfg = TsunamiConfig(
+            px=2, py=2, nx=8, ny=8, iterations=2, synthetic=True,
+            allreduce_every=0,
+        )
+        sim = TsunamiSimulation(cfg)
+        assert cfg.use_kernels and cfg.use_waves
+        log = MessageLog(np.array([0, 0, 1, 1]))
+        edge = cfg.grid.tile_nx * 3 * 8
+        for _ in range(cfg.iterations):
+            for src, dst in ((2, 0), (3, 1)):
+                log.record(
+                    src, dst, tag=1000 + 0, payload=np.zeros(edge // 8),
+                    nbytes=edge, kind="halo",
+                )
+        program = sim.make_program()
+
+        def body(comm):
+            state = yield from program(SimpleNamespace(comm=comm))
+            return state["iteration"]
+
+        results, outbound = replay_engine([0, 1], 4, log, {}, body)
+        assert results == [2, 2]
+        assert sorted((r.src, r.dst) for r in outbound) == [
+            (0, 2), (0, 2), (1, 3), (1, 3),
+        ]
+
     def test_out_of_world_destination_rejected(self):
         log = make_log()
 

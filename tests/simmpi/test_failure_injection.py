@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simmpi import DeadlockError, Engine, RankFailedError
+from repro.simmpi import DeadlockError, Engine, KernelLoop, RankFailedError
 
 
 class TestFailureRanks:
@@ -68,3 +68,109 @@ class TestFailureRanks:
         with pytest.raises(DeadlockError) as err:
             engine.run(program)
         assert 1 in err.value.blocked
+
+
+class TestKernelLoopFailures:
+    """Failure injection must behave exactly as today when the steady
+    loop arrives as a KernelLoop: active failures gate the vectorized
+    path off, the micro-step expansion strikes at the same communication
+    points, and deadlock attribution names the same stuck ranks."""
+
+    @staticmethod
+    def _ring_program(kernel, iterations=3):
+        def program(ctx):
+            comm = ctx.comm
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            send = comm.send_init(
+                None, dest=right, tag=5, nbytes=512, kind="ring"
+            )
+            recv = comm.recv_init(source=left, tag=5)
+            start = comm.start_all_op((send, recv))
+            drain = comm.waitall_op((recv,))
+            if kernel:
+                yield KernelLoop(start, drain, iterations)
+            else:
+                for _ in range(iterations):
+                    yield start
+                    yield drain
+            return f"done-{ctx.rank}"
+
+        return program
+
+    def test_rank_killed_mid_kernel_attributes_like_the_loop(self):
+        """The dead rank's partner blocks at the same point either way."""
+        blocked = {}
+        for kernel in (False, True):
+            engine = Engine(4)
+            engine.failure_ranks.add(2)
+            with pytest.raises(DeadlockError) as err:
+                engine.run(self._ring_program(kernel))
+            blocked[kernel] = set(err.value.blocked)
+        assert blocked[True] == blocked[False]
+        assert 3 in blocked[True]
+
+    def test_failed_rank_terminates_without_result_in_kernel(self):
+        """Self-traffic world: the failed rank dies at its first
+        communication point, survivors finish — identically both ways."""
+
+        def self_program(kernel):
+            def program(ctx):
+                comm = ctx.comm
+                send = comm.send_init(
+                    None, dest=comm.rank, tag=2, nbytes=64, kind="self"
+                )
+                recv = comm.recv_init(source=comm.rank, tag=2)
+                start = comm.start_all_op((send, recv))
+                drain = comm.waitall_op((recv,))
+                if kernel:
+                    yield KernelLoop(start, drain, 4)
+                else:
+                    for _ in range(4):
+                        yield start
+                        yield drain
+                return f"done-{ctx.rank}"
+
+            return program
+
+        outcomes = {}
+        for kernel in (False, True):
+            engine = Engine(3)
+            engine.failure_ranks.add(1)
+            outcomes[kernel] = (
+                engine.run(self_program(kernel)),
+                engine.rank_times(),
+                engine.kernel_runs,
+            )
+        assert outcomes[True][0] == outcomes[False][0] == [
+            "done-0", None, "done-2"
+        ]
+        assert outcomes[True][1] == outcomes[False][1]
+        # Active failures gate the vectorized kernel off entirely.
+        assert outcomes[True][2] == 0
+
+    def test_program_can_catch_failure_inside_kernel(self):
+        """RankFailedError surfaces at the KernelLoop yield, where the
+        program can clean up — exactly like a failure at `yield start`."""
+        cleaned = []
+
+        def program(ctx):
+            comm = ctx.comm
+            send = comm.send_init(
+                None, dest=comm.rank, tag=4, nbytes=32, kind="self"
+            )
+            recv = comm.recv_init(source=comm.rank, tag=4)
+            start = comm.start_all_op((send, recv))
+            drain = comm.waitall_op((recv,))
+            try:
+                yield KernelLoop(start, drain, 2)
+            except RankFailedError:
+                cleaned.append(ctx.rank)
+                raise
+            return "survived"
+
+        engine = Engine(2)
+        engine.failure_ranks.add(0)
+        results = engine.run(program)
+        assert cleaned == [0]
+        assert results == [None, "survived"]

@@ -101,6 +101,25 @@ class TestPerfGate:
             f"{REGRESSION_FACTOR}x slack)"
         )
 
+    def test_fig5_kernel_path_not_regressed(self, record_bench):
+        record = _last_record(ROOT / "BENCH_simmpi.json")
+        gate = record["simmpi"]["gate"]
+        recorded = gate.get("fig5_kernel_ranks_per_s")
+        if recorded is None:
+            pytest.skip("kernel gate not recorded yet")
+        current = record_bench.measure_simmpi(
+            nodes=gate["nodes"],
+            app_per_node=gate["app_per_node"],
+            iterations=gate["iterations"],
+            use_kernels=True,
+        )
+        floor = recorded / REGRESSION_FACTOR
+        assert current >= floor, (
+            f"kernelized fig5 path at {current:.0f} rank-iters/s, below "
+            f"{floor:.0f} (last recorded {recorded}, "
+            f"{REGRESSION_FACTOR}x slack)"
+        )
+
     def test_p2p_wave_path_not_regressed(self, record_bench):
         record = _last_record(ROOT / "BENCH_simmpi.json")
         gate = record["simmpi"]["gate"]
