@@ -1,6 +1,6 @@
-"""Record the Monte-Carlo / campaign / simmpi perf trajectories in-tree.
+"""Record the Monte-Carlo / campaign / simmpi / fuzzer trajectories in-tree.
 
-Two artifact files at the repo root, one record appended per run:
+Three artifact files at the repo root, one record appended per run:
 
 * ``BENCH_montecarlo.json`` — the failure-sampling hot paths both ways
   (per-event scalar reference vs the batched engine) on the TSUBAME2 paper
@@ -20,7 +20,11 @@ Two artifact files at the repo root, one record appended per run:
   floor, a stencil halo workload timed scalar/batched/wave on the
   struct-of-arrays message pool (≥2× over the recorded PR 3 batched
   path), and the end-to-end HydEE protocol run (sender-based logging +
-  receive counting live) wave vs per-message.
+  receive counting live) wave vs per-message;
+* ``BENCH_fuzzer.json`` — one steered adversarial fuzz campaign
+  (``repro fuzz``): scenarios/s through the full engine+protocol
+  executor, classification histogram, per-actor coverage, disagreement
+  rate and the shrunken minimal repros.
 
 Each record also carries small ``gate`` measurements (same code paths,
 reduced shapes) that ``tests/test_perf_gate.py`` re-runs on every tier-1
@@ -69,6 +73,7 @@ from repro.models import CampaignConfig, CampaignSimulator
 ROOT = Path(__file__).resolve().parent.parent
 ARTIFACT = ROOT / "BENCH_montecarlo.json"
 SIMMPI_ARTIFACT = ROOT / "BENCH_simmpi.json"
+FUZZER_ARTIFACT = ROOT / "BENCH_fuzzer.json"
 MIN_SPEEDUP = 10.0
 MIN_SIMMPI_SPEEDUP = 5.0
 MIN_SPLIT_SPEEDUP = 3.0
@@ -851,6 +856,76 @@ def time_protocol_end2end(
     }
 
 
+# -- adversarial fuzzer campaign (model falsification throughput) -----------
+
+
+def time_fuzzer(*, budget: int = 120, seed: int = 42) -> dict:
+    """Run one steered fuzz campaign and report its summary record.
+
+    The record is :meth:`CampaignReport.to_record` — scenarios/s,
+    classification histogram, per-actor coverage, disagreement rate and
+    the shrunken repros — i.e. the campaign's falsification throughput,
+    not a microbenchmark. Asserts the campaign is seed-deterministic in
+    its classification stream before recording (the acceptance criterion
+    of the fuzz subsystem, cheap to re-check here on a small prefix).
+    """
+    from repro.fuzz import FuzzCampaignConfig, run_campaign
+
+    report = run_campaign(FuzzCampaignConfig(budget=budget, seed=seed))
+    # Re-run a small prefix and pin determinism before the record lands.
+    prefix = run_campaign(
+        FuzzCampaignConfig(budget=min(8, budget), seed=seed, shrink_limit=0)
+    )
+    if prefix.scenarios != report.scenarios[: len(prefix.scenarios)]:
+        raise RuntimeError("fuzz campaign scenario stream is not seed-stable")
+    if [r.classification for r in prefix.results] != [
+        r.classification for r in report.results[: len(prefix.results)]
+    ]:
+        raise RuntimeError("fuzz campaign classifications are not seed-stable")
+    return report.to_record()
+
+
+def _smoke_fuzzer() -> None:
+    """One scenario per actor type through the executor, asserts live.
+
+    Composes a single-actor scenario for each registered adversary and
+    executes it end to end: the classification must be a known class, a
+    scenario that kills nodes must force the engine off its kernels
+    (``failure-injection`` deopt recorded), and the whole sweep stays
+    well under two seconds on the tiny default shape.
+    """
+    from repro.fuzz import (
+        ACTOR_NAMES,
+        CLASSIFICATIONS,
+        FuzzShape,
+        compose_scenario,
+        execute_scenario,
+    )
+    from repro.util.rng import resolve_rng
+
+    shape = FuzzShape()
+    for i, name in enumerate(ACTOR_NAMES):
+        scenario = compose_scenario(
+            shape, (name,), resolve_rng(1000 + i), seed=i
+        )
+        result = execute_scenario(scenario)
+        if result.classification not in CLASSIFICATIONS:
+            raise RuntimeError(
+                f"actor {name}: unknown classification {result.classification}"
+            )
+        killed = scenario.schedule.killed_nodes()
+        if (
+            killed
+            and len(killed) < shape.nnodes  # total wipeout never deopts
+            and not any(
+                "failure-injection" in d for d, _ in result.kernel_deopts
+            )
+        ):
+            raise RuntimeError(
+                f"actor {name}: node kills did not deopt the engine kernels"
+            )
+
+
 def _append(path: Path, record: dict) -> None:
     trajectory = json.loads(path.read_text()) if path.exists() else []
     trajectory.append(record)
@@ -876,6 +951,9 @@ _BASELINE_RATES: dict[str, list[tuple[tuple[str, ...], str]]] = {
         (("simmpi", "split", "ranks_per_s"), "split-collective rank-iters/s"),
         (("simmpi", "p2p", "wave_msgs_per_s"), "p2p wave msgs/s"),
         (("simmpi", "protocol", "wave_s"), "protocol end-to-end seconds"),
+    ],
+    "BENCH_fuzzer.json": [
+        (("fuzzer", "scenarios_per_s"), "fuzz scenarios/s"),
     ],
 }
 
@@ -1027,6 +1105,12 @@ def run_smoke() -> None:
         f"smoke protocol: {protocol['logged_messages']} logged messages, "
         f"wave run indistinguishable end-to-end"
     )
+    t_fuzz = time.perf_counter()
+    _smoke_fuzzer()
+    print(
+        f"smoke fuzzer: one scenario per actor classified "
+        f"({time.perf_counter() - t_fuzz:.1f}s)"
+    )
     print(f"smoke ok in {time.perf_counter() - t_start:.1f}s")
 
 
@@ -1054,6 +1138,17 @@ def main() -> None:
         "--skip-montecarlo",
         action="store_true",
         help="only rerun the simmpi sections",
+    )
+    parser.add_argument(
+        "--skip-fuzzer",
+        action="store_true",
+        help="skip the adversarial fuzz-campaign section",
+    )
+    parser.add_argument(
+        "--fuzz-budget",
+        type=int,
+        default=120,
+        help="scenario budget of the recorded fuzz campaign",
     )
     parser.add_argument(
         "--smoke",
@@ -1234,6 +1329,20 @@ def main() -> None:
             f"({protocol['wave_speedup']}x, runs indistinguishable)"
         )
         print(f"recorded -> {simmpi_artifact}")
+
+    if not args.skip_fuzzer:
+        fuzzer = time_fuzzer(budget=args.fuzz_budget)
+        fuzzer_record = {**stamp, "fuzzer": fuzzer}
+        fresh[FUZZER_ARTIFACT.name] = fuzzer_record
+        fuzzer_artifact = out_root / FUZZER_ARTIFACT.name
+        _append(fuzzer_artifact, fuzzer_record)
+        print(
+            f"fuzzer: {fuzzer['scenarios']} scenarios in "
+            f"{fuzzer['wall_seconds']}s ({fuzzer['scenarios_per_s']}/s), "
+            f"disagreement rate {100 * fuzzer['disagreement_rate']:.1f}%, "
+            f"{len(fuzzer['shrunken'])} shrunken repros"
+        )
+        print(f"recorded -> {fuzzer_artifact}")
 
     if args.diff_baseline:
         ok = diff_against_baseline(fresh, committed_baselines)

@@ -157,6 +157,58 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.fuzz import (
+        ACTOR_NAMES,
+        FuzzCampaignConfig,
+        execute_scenario,
+        load_repro,
+        run_campaign,
+        save_repro,
+    )
+
+    if args.replay is not None:
+        scenario, expected = load_repro(args.replay)
+        result = execute_scenario(scenario)
+        print(f"replay {args.replay}: {scenario.describe()}")
+        print(f"classification: {result.classification}")
+        if result.detail:
+            print(f"detail: {result.detail}")
+        if expected is not None and result.classification != expected:
+            print(f"MISMATCH: repro file recorded {expected!r}")
+            return 1
+        return 0
+
+    config = FuzzCampaignConfig(
+        budget=args.budget,
+        seed=args.seed,
+        actors=tuple(args.actors) if args.actors else ACTOR_NAMES,
+        workers=args.workers,
+        shrink_limit=args.shrink,
+        max_seconds=args.max_seconds,
+    )
+    report = run_campaign(config)
+    print(report.summary())
+    if args.out_dir is not None:
+        out = Path(args.out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "BENCH_fuzzer.json").write_text(
+            json.dumps(report.to_record(), indent=2) + "\n"
+        )
+        for i, outcome in enumerate(report.shrunken):
+            save_repro(
+                out / f"repro_{i}_{outcome.classification}.json",
+                outcome.scenario,
+                outcome.classification,
+            )
+        print(f"artifacts written to {out}")
+    # Report-only: disagreements are findings to study, not failures.
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -224,6 +276,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--node-mtbf-years", type=float, default=0.25)
     p.add_argument("--seed", type=int, default=2012)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="adversarial scenario fuzzing against the reliability model",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--budget", type=int, default=200,
+        help="scenarios to generate and execute (default 200)",
+    )
+    p.add_argument(
+        "--actors", nargs="+", default=None,
+        help="restrict generation to these adversary actors",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="pool workers for execution (0 = in-process; the scenario "
+        "stream is identical either way)",
+    )
+    p.add_argument(
+        "--shrink", type=int, default=4,
+        help="max disagreeing scenarios to shrink to minimal repros",
+    )
+    p.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="time-box the campaign (checked at round boundaries)",
+    )
+    p.add_argument(
+        "--out-dir", default=None,
+        help="write BENCH_fuzzer.json and shrunken repro files here",
+    )
+    p.add_argument(
+        "--replay", default=None, metavar="REPRO_FILE",
+        help="re-execute a saved repro file and check its classification",
+    )
+    p.set_defaults(func=cmd_fuzz)
 
     return parser
 

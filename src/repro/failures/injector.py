@@ -4,6 +4,16 @@ A :class:`FailureScenario` is a concrete schedule of failure events pinned
 to application iterations (deterministic — protocol tests need exact
 replays); :class:`FailureInjector` samples scenarios from the stochastic
 models for Monte-Carlo experiments.
+
+Scenario schedules are *normalized at construction*: the failures tuple is
+sorted into execution order (iteration, then node events before soft
+errors, then the event's node run / victim process), exact duplicate
+``(iteration, event)`` pairs are rejected, and a node event naming a node
+that an earlier event in the same schedule already killed is rejected —
+a dead node cannot die again, and silently accepting the overlap would
+make the schedule's cumulative damage ambiguous. The adversarial fuzzer
+(:mod:`repro.fuzz`) leans on these invariants when it composes schedules
+from independent actors via :meth:`FailureScenario.merge`.
 """
 
 from __future__ import annotations
@@ -27,12 +37,47 @@ class ScheduledFailure:
         if self.iteration < 0:
             raise ValueError(f"iteration must be >= 0, got {self.iteration}")
 
+    def sort_key(self) -> tuple:
+        """Total order over scheduled failures: iteration, node events
+        first, then the node run / victim process."""
+        event = self.event
+        return (
+            self.iteration,
+            0 if event.kind == "node" else 1,
+            event.nodes,
+            -1 if event.process is None else event.process,
+        )
+
 
 @dataclass(frozen=True)
 class FailureScenario:
-    """A deterministic schedule of failures for one run."""
+    """A deterministic, normalized schedule of failures for one run."""
 
     failures: tuple[ScheduledFailure, ...] = ()
+
+    def __post_init__(self) -> None:
+        normalized = tuple(sorted(self.failures, key=ScheduledFailure.sort_key))
+        object.__setattr__(self, "failures", normalized)
+        dead: set[int] = set()
+        previous: ScheduledFailure | None = None
+        for scheduled in normalized:
+            if previous is not None and previous == scheduled:
+                raise ValueError(
+                    f"duplicate scheduled failure at iteration "
+                    f"{scheduled.iteration}: {scheduled.event}"
+                )
+            previous = scheduled
+            event = scheduled.event
+            if event.kind != "node":
+                continue
+            overlap = dead.intersection(event.nodes)
+            if overlap:
+                raise ValueError(
+                    f"iteration {scheduled.iteration}: node(s) "
+                    f"{sorted(overlap)} are already dead — overlapping kills "
+                    f"make the schedule's cumulative damage ambiguous"
+                )
+            dead.update(event.nodes)
 
     @classmethod
     def node_failure(cls, iteration: int, node: int) -> "FailureScenario":
@@ -50,9 +95,31 @@ class FailureScenario:
             (ScheduledFailure(iteration, FailureEvent(kind="node", nodes=nodes)),)
         )
 
+    def merge(self, *others: "FailureScenario") -> "FailureScenario":
+        """Union of this schedule and ``others``, re-normalized.
+
+        The constructor re-validates the combined schedule, so merging
+        schedules that duplicate an event or re-kill a dead node raises
+        ``ValueError`` — the fuzzer's actor composer catches that and
+        drops the conflicting fragment deterministically.
+        """
+        failures = self.failures
+        for other in others:
+            failures = failures + other.failures
+        return FailureScenario(failures)
+
     def events_at(self, iteration: int) -> list[FailureEvent]:
         """Events scheduled for ``iteration``."""
         return [f.event for f in self.failures if f.iteration == iteration]
+
+    def killed_nodes(self) -> set[int]:
+        """All nodes killed by some event of this schedule."""
+        return {
+            node
+            for f in self.failures
+            if f.event.kind == "node"
+            for node in f.event.nodes
+        }
 
     @property
     def n_failures(self) -> int:
@@ -77,7 +144,15 @@ class FailureInjector:
     def sample_scenario(
         self, iterations: int, failure_rate_per_iteration: float
     ) -> FailureScenario:
-        """Bernoulli failure draw per iteration with the given rate."""
+        """Bernoulli failure draw per iteration with the given rate.
+
+        Node events that would re-kill an already-dead node are dropped
+        (their draws are still consumed, so the RNG stream — and hence
+        every later event — is identical whether or not a drop occurs
+        earlier): the normalized :class:`FailureScenario` constructor
+        rejects overlapping kills, and a sampler must only emit valid
+        schedules.
+        """
         if not 0.0 <= failure_rate_per_iteration <= 1.0:
             raise ValueError("failure_rate_per_iteration must be in [0, 1]")
         from repro.failures.catastrophic import CatastrophicModel
@@ -87,7 +162,13 @@ class FailureInjector:
             rng=self.rng,
         )
         scheduled = []
+        dead: set[int] = set()
         for it in range(iterations):
             if self.rng.random() < failure_rate_per_iteration:
-                scheduled.append(ScheduledFailure(it, sampler.sample_event()))
+                event = sampler.sample_event()
+                if event.kind == "node":
+                    if dead.intersection(event.nodes):
+                        continue
+                    dead.update(event.nodes)
+                scheduled.append(ScheduledFailure(it, event))
         return FailureScenario(tuple(scheduled))

@@ -1,0 +1,78 @@
+"""Adversarial scenario fuzzer: falsify the analytic reliability model.
+
+Four layers (see ``docs/architecture.md``, *Life of a fuzz run*):
+
+* :mod:`~repro.fuzz.actors` — composable adversaries (correlated bursts,
+  cascades, soft errors, slow ranks, degraded links, checkpoint
+  corruption) merged into one :class:`FuzzScenario`;
+* :mod:`~repro.fuzz.executor` — runs a scenario end to end through the
+  hydee protocol on the simmpi engine and classifies the outcome against
+  the model tables;
+* :mod:`~repro.fuzz.shrink` — reduces disagreeing scenarios to minimal
+  replayable repros (:mod:`~repro.fuzz.reprofile`);
+* :mod:`~repro.fuzz.autopilot` — the steered generate → execute →
+  classify → shrink campaign loop behind ``repro fuzz``.
+"""
+
+from repro.fuzz.actors import (
+    ACTOR_NAMES,
+    ALL_ACTORS,
+    ActorContext,
+    CorruptionSpec,
+    FuzzScenario,
+    ScenarioFragment,
+    actor_by_name,
+    compose_scenario,
+)
+from repro.fuzz.autopilot import (
+    CampaignReport,
+    FuzzCampaignConfig,
+    run_campaign,
+)
+from repro.fuzz.executor import (
+    CLASSIFICATIONS,
+    EventRecord,
+    ScenarioResult,
+    execute_scenario,
+)
+from repro.fuzz.perturb import (
+    PerturbationSpec,
+    PerturbedNetwork,
+    apply_perturbation,
+)
+from repro.fuzz.reprofile import (
+    load_repro,
+    save_repro,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.fuzz.shape import FuzzShape
+from repro.fuzz.shrink import ShrinkOutcome, shrink
+
+__all__ = [
+    "ACTOR_NAMES",
+    "ALL_ACTORS",
+    "ActorContext",
+    "CLASSIFICATIONS",
+    "CampaignReport",
+    "CorruptionSpec",
+    "EventRecord",
+    "FuzzCampaignConfig",
+    "FuzzScenario",
+    "FuzzShape",
+    "PerturbationSpec",
+    "PerturbedNetwork",
+    "ScenarioFragment",
+    "ScenarioResult",
+    "ShrinkOutcome",
+    "actor_by_name",
+    "apply_perturbation",
+    "compose_scenario",
+    "execute_scenario",
+    "load_repro",
+    "run_campaign",
+    "save_repro",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "shrink",
+]

@@ -1,0 +1,330 @@
+"""Composable adversary actors: each contributes one slice of a scenario.
+
+An actor is a tiny generator with a stable ``name`` and one method,
+``generate(ctx, rng) -> ScenarioFragment``. Fragments carry a failure
+schedule plus optional network perturbations and checkpoint corruption;
+the composer merges them into one :class:`FuzzScenario` through
+:meth:`FailureScenario.merge`, dropping (deterministically, in actor
+order) any fragment whose kills collide with nodes an earlier fragment
+already killed — the scenario-hardening invariants do the conflict
+detection.
+
+Every draw comes from the child stream the autopilot spawned for the
+scenario, so a scenario is a pure function of ``(shape, actor names,
+child seed)`` — the seed-for-seed reproducibility the campaign invariance
+tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.failures.events import FailureEvent
+from repro.failures.injector import FailureScenario, ScheduledFailure
+from repro.fuzz.perturb import PerturbationSpec
+from repro.fuzz.shape import FuzzShape
+
+
+@dataclass(frozen=True)
+class CorruptionSpec:
+    """Checkpoint corruption fed to the erasure decoders.
+
+    ``target`` selects what gets flipped: ``"parity"`` shards (visible only
+    when a node loss forces the decode path) or surviving ranks'
+    ``"local"`` checkpoint blobs. ``n_shards`` blobs are XORed with
+    ``xor_mask`` at a fixed offset inside the serialized state — far
+    enough in to land in array payload, so the damage is *silent* until
+    recovery compares states or replayed sends against the log.
+    """
+
+    target: str = "parity"
+    n_shards: int = 2
+    xor_mask: int = 0xA5
+
+    def __post_init__(self) -> None:
+        if self.target not in ("parity", "local"):
+            raise ValueError(f"unknown corruption target {self.target!r}")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if not 1 <= self.xor_mask <= 0xFF:
+            raise ValueError("xor_mask must be a nonzero byte")
+
+
+@dataclass(frozen=True)
+class ScenarioFragment:
+    """One actor's contribution to a scenario."""
+
+    schedule: FailureScenario = field(default_factory=FailureScenario)
+    perturbation: PerturbationSpec = field(default_factory=PerturbationSpec)
+    corruption: CorruptionSpec | None = None
+
+
+@dataclass(frozen=True)
+class FuzzScenario:
+    """A fully composed, executable, picklable fuzz scenario."""
+
+    shape: FuzzShape
+    schedule: FailureScenario
+    perturbation: PerturbationSpec = field(default_factory=PerturbationSpec)
+    corruption: CorruptionSpec | None = None
+    actor_names: tuple[str, ...] = ()
+    seed: int | None = None
+
+    def describe(self) -> str:
+        """One-line summary for logs and repro listings."""
+        bits = [f"{self.schedule.n_failures} events"]
+        if not self.perturbation.is_identity:
+            bits.append("perturbed-net")
+        if self.corruption is not None:
+            bits.append(f"corrupt-{self.corruption.target}")
+        actors = ",".join(self.actor_names) or "manual"
+        return f"[{actors}] " + " + ".join(bits)
+
+
+class ActorContext:
+    """Shape facts the actors key their draws off."""
+
+    def __init__(self, shape: FuzzShape):
+        self.shape = shape
+        self.nnodes = shape.nnodes
+        self.nranks = shape.nranks
+        self.iterations = shape.iterations
+        # The catastrophic boundary: bursts of this run length are the
+        # smallest that can break an L2 stripe.
+        self.boundary = shape.boundary_run_length()
+
+    def random_iteration(self, rng: np.random.Generator) -> int:
+        """An iteration in [1, iterations] — always recoverable (the
+        protocol checkpoints at iteration 0)."""
+        return int(rng.integers(1, self.iterations + 1))
+
+
+def _node_run(
+    rng: np.random.Generator, nnodes: int, length: int, *, forbidden: set[int]
+) -> tuple[int, ...] | None:
+    """A contiguous node run of ``length`` avoiding ``forbidden``; a fixed
+    number of rejection draws keeps the RNG stream schedule-independent."""
+    length = min(length, nnodes)
+    for _ in range(8):
+        start = int(rng.integers(nnodes - length + 1))
+        run = tuple(range(start, start + length))
+        if not forbidden.intersection(run):
+            return run
+    return None
+
+
+class CorrelatedBurstActor:
+    """One correlated multi-node burst sized around the catastrophic
+    boundary (shared PSU / chassis locality, §II-C2)."""
+
+    name = "burst"
+
+    def generate(self, ctx: ActorContext, rng: np.random.Generator) -> ScenarioFragment:
+        length = int(
+            rng.integers(max(1, ctx.boundary - 1), ctx.boundary + 2)
+        )
+        run = _node_run(rng, ctx.nnodes, length, forbidden=set())
+        iteration = ctx.random_iteration(rng)
+        if run is None:
+            return ScenarioFragment()
+        return ScenarioFragment(
+            schedule=FailureScenario.multi_node_failure(iteration, run)
+        )
+
+
+class CascadeActor:
+    """A failure cascade: consecutive-iteration kills marching through
+    the machine, each run drawn near the boundary."""
+
+    name = "cascade"
+
+    def generate(self, ctx: ActorContext, rng: np.random.Generator) -> ScenarioFragment:
+        steps = int(rng.integers(2, 4))
+        first = ctx.random_iteration(rng)
+        failures = []
+        killed: set[int] = set()
+        for step in range(steps):
+            length = int(rng.integers(1, ctx.boundary + 1))
+            run = _node_run(rng, ctx.nnodes, length, forbidden=killed)
+            iteration = min(first + step, ctx.iterations)
+            if run is None:
+                continue
+            killed.update(run)
+            failures.append(
+                ScheduledFailure(
+                    iteration, FailureEvent(kind="node", nodes=run)
+                )
+            )
+        try:
+            schedule = FailureScenario(tuple(failures))
+        except ValueError:
+            # Clamping two steps onto the last iteration can duplicate a
+            # (iteration, event) pair; keep the first occurrence only.
+            schedule = FailureScenario(tuple(dict.fromkeys(failures)))
+        return ScenarioFragment(schedule=schedule)
+
+
+class SoftErrorActor:
+    """Process-level soft errors (always survivable per the model)."""
+
+    name = "soft"
+
+    def generate(self, ctx: ActorContext, rng: np.random.Generator) -> ScenarioFragment:
+        count = int(rng.integers(1, 4))
+        seen: set[tuple[int, int]] = set()
+        failures = []
+        for _ in range(count):
+            iteration = ctx.random_iteration(rng)
+            process = int(rng.integers(ctx.nranks))
+            if (iteration, process) in seen:
+                continue
+            seen.add((iteration, process))
+            failures.append(
+                ScheduledFailure(
+                    iteration, FailureEvent(kind="soft", process=process)
+                )
+            )
+        return ScenarioFragment(schedule=FailureScenario(tuple(failures)))
+
+
+class SlowRankActor:
+    """Slow/flaky ranks: inflated per-rank transfer times plus jitter,
+    and one soft error so the recovery path runs under the perturbed
+    clock."""
+
+    name = "slow-rank"
+
+    def generate(self, ctx: ActorContext, rng: np.random.Generator) -> ScenarioFragment:
+        n_slow = int(rng.integers(1, 3))
+        ranks = rng.choice(ctx.nranks, size=n_slow, replace=False)
+        factors = tuple(
+            (int(r), float(2.0 + 8.0 * rng.random())) for r in ranks
+        )
+        jitter = float(rng.random() * 0.3)
+        iteration = ctx.random_iteration(rng)
+        victim = int(rng.integers(ctx.nranks))
+        return ScenarioFragment(
+            schedule=FailureScenario(
+                (
+                    ScheduledFailure(
+                        iteration, FailureEvent(kind="soft", process=victim)
+                    ),
+                )
+            ),
+            perturbation=PerturbationSpec(
+                rank_factors=factors, jitter_amp=jitter
+            ),
+        )
+
+
+class DegradedLinkActor:
+    """Degraded node links plus a single-node kill elsewhere — recovery
+    traffic must cross the slow links."""
+
+    name = "bad-link"
+
+    def generate(self, ctx: ActorContext, rng: np.random.Generator) -> ScenarioFragment:
+        n_bad = int(rng.integers(1, 3))
+        bad = tuple(
+            int(n) for n in rng.choice(ctx.nnodes, size=n_bad, replace=False)
+        )
+        factor = float(3.0 + 17.0 * rng.random())
+        victim = int(rng.integers(ctx.nnodes))
+        iteration = ctx.random_iteration(rng)
+        return ScenarioFragment(
+            schedule=FailureScenario.node_failure(iteration, victim),
+            perturbation=PerturbationSpec(
+                bad_nodes=bad, link_factor=factor
+            ),
+        )
+
+
+class CheckpointCorruptionActor:
+    """Corrupts checkpoint/parity blobs, then kills a node so recovery is
+    forced through the damaged erasure data — the direct attack on the
+    decoders."""
+
+    name = "corrupt"
+
+    def generate(self, ctx: ActorContext, rng: np.random.Generator) -> ScenarioFragment:
+        target = "parity" if rng.random() < 0.7 else "local"
+        n_shards = int(rng.integers(1, 5))
+        victim = int(rng.integers(ctx.nnodes))
+        # Strike late enough that a checkpoint exists to corrupt.
+        lo = min(ctx.shape.checkpoint_every, ctx.iterations)
+        iteration = int(rng.integers(lo, ctx.iterations + 1))
+        return ScenarioFragment(
+            schedule=FailureScenario.node_failure(iteration, victim),
+            corruption=CorruptionSpec(target=target, n_shards=n_shards),
+        )
+
+
+ALL_ACTORS = (
+    CorrelatedBurstActor(),
+    CascadeActor(),
+    SoftErrorActor(),
+    SlowRankActor(),
+    DegradedLinkActor(),
+    CheckpointCorruptionActor(),
+)
+
+ACTOR_NAMES = tuple(actor.name for actor in ALL_ACTORS)
+
+_BY_NAME = {actor.name: actor for actor in ALL_ACTORS}
+
+
+def actor_by_name(name: str):
+    """Registry lookup (CLI ``--actors`` and repro files use the names)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown actor {name!r}; choose from {', '.join(ACTOR_NAMES)}"
+        ) from None
+
+
+def compose_scenario(
+    shape: FuzzShape,
+    actor_names: tuple[str, ...],
+    rng: np.random.Generator,
+    *,
+    seed: int | None = None,
+) -> FuzzScenario:
+    """Run each named actor and merge the fragments into one scenario.
+
+    Fragments conflicting with earlier ones (overlapping kills, duplicate
+    events — detected by the hardened :class:`FailureScenario`
+    constructor) are dropped in actor order; every actor still consumes
+    its draws, so drops never shift the stream for later actors.
+    """
+    ctx = ActorContext(shape)
+    schedule = FailureScenario()
+    perturbation = PerturbationSpec()
+    corruption: CorruptionSpec | None = None
+    kept: list[str] = []
+    for name in actor_names:
+        fragment = actor_by_name(name).generate(ctx, rng)
+        try:
+            merged = schedule.merge(fragment.schedule)
+        except ValueError:
+            continue
+        schedule = merged
+        perturbation = perturbation.merge(fragment.perturbation)
+        if corruption is None:
+            corruption = fragment.corruption
+        kept.append(name)
+    return FuzzScenario(
+        shape=shape,
+        schedule=schedule,
+        perturbation=perturbation,
+        corruption=corruption,
+        actor_names=tuple(kept),
+        seed=seed,
+    )
+
+
+def simplified(scenario: FuzzScenario, **changes) -> FuzzScenario:
+    """A copy with ``changes`` applied (shrinker convenience)."""
+    return replace(scenario, **changes)

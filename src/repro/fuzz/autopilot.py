@@ -1,0 +1,267 @@
+"""Autopilot: the steering loop that drives a fuzz campaign.
+
+Generation → execution → classification → steering, in rounds:
+
+* **generation** — for each scenario the parent RNG draws how many and
+  which actors participate (weighted without replacement) and spawns one
+  child stream that the actors consume. The stream of scenarios is a pure
+  function of ``(seed, budget, actor set, shape)`` — executing them on 0,
+  2 or 8 pool workers cannot change it, because workers never touch the
+  parent RNG and results are consumed in submission order (the same
+  discipline as the PR 2 campaign sweep).
+* **steering** — actors that participated in a disagreeing scenario get
+  their selection weight multiplied at the *round boundary* (a barrier),
+  pushing generation toward the model-disagreement regions the campaign
+  exists to map. Weight updates depend only on classifications, which are
+  deterministic, so steering preserves bit-reproducibility.
+* **shrinking** — after the budget is spent, the first few disagreeing
+  scenarios are reduced to minimal repros (:mod:`repro.fuzz.shrink`).
+
+The campaign summary (scenarios/s, disagreement rate, coverage by actor,
+classification histogram) is what ``repro fuzz`` prints and what lands in
+``BENCH_fuzzer.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fuzz.actors import ACTOR_NAMES, FuzzScenario, compose_scenario
+from repro.fuzz.executor import ScenarioResult, execute_scenario
+from repro.fuzz.shape import FuzzShape
+from repro.fuzz.shrink import ShrinkOutcome, shrink
+from repro.util.rng import resolve_rng
+
+MAX_ACTOR_WEIGHT = 8.0
+STEER_FACTOR = 1.5
+
+
+def _execute_task(scenario: FuzzScenario) -> ScenarioResult:
+    """Module-level so ProcessPoolExecutor can pickle it; executor-internal
+    blowups become a ``crash`` classification instead of killing the
+    campaign."""
+    try:
+        return execute_scenario(scenario)
+    except Exception as exc:  # noqa: BLE001 — a crash IS the finding
+        return ScenarioResult(
+            classification="crash",
+            detail=f"executor raised {type(exc).__name__}: {exc}",
+        )
+
+
+@dataclass(frozen=True)
+class FuzzCampaignConfig:
+    """Knobs of one campaign (CLI flags map 1:1)."""
+
+    budget: int = 200
+    seed: int = 42
+    actors: tuple[str, ...] = ACTOR_NAMES
+    workers: int = 0
+    shape: FuzzShape = field(default_factory=FuzzShape)
+    shrink_limit: int = 4
+    shrink_executions: int = 48
+    round_size: int = 16
+    max_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+        if not self.actors:
+            raise ValueError("need at least one actor")
+        from repro.fuzz.actors import actor_by_name
+
+        for name in self.actors:
+            actor_by_name(name)  # validates early, with the actor list
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign produced, plus the derived summary numbers."""
+
+    config: FuzzCampaignConfig
+    scenarios: list[FuzzScenario]
+    results: list[ScenarioResult]
+    shrunken: list[ShrinkOutcome]
+    wall_seconds: float
+    final_weights: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def classifications(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in self.results:
+            counts[result.classification] = (
+                counts.get(result.classification, 0) + 1
+            )
+        return dict(sorted(counts.items()))
+
+    @property
+    def coverage(self) -> dict[str, int]:
+        counts = {name: 0 for name in self.config.actors}
+        for scenario in self.scenarios:
+            for name in scenario.actor_names:
+                counts[name] += 1
+        return counts
+
+    @property
+    def disagreements(self) -> list[tuple[FuzzScenario, ScenarioResult]]:
+        return [
+            (scenario, result)
+            for scenario, result in zip(self.scenarios, self.results)
+            if result.disagrees
+        ]
+
+    @property
+    def disagreement_rate(self) -> float:
+        return len(self.disagreements) / max(1, len(self.results))
+
+    @property
+    def scenarios_per_s(self) -> float:
+        return len(self.results) / self.wall_seconds if self.wall_seconds else 0.0
+
+    def to_record(self) -> dict:
+        """The BENCH_fuzzer.json payload."""
+        return {
+            "section": "fuzzer",
+            "seed": self.config.seed,
+            "budget": self.config.budget,
+            "scenarios": len(self.results),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "scenarios_per_s": round(self.scenarios_per_s, 2),
+            "classifications": self.classifications,
+            "disagreement_rate": round(self.disagreement_rate, 4),
+            "coverage": self.coverage,
+            "shrunken": [
+                {
+                    "classification": outcome.classification,
+                    "events": outcome.scenario.schedule.n_failures,
+                    "executions": outcome.executions,
+                }
+                for outcome in self.shrunken
+            ],
+        }
+
+    def summary(self) -> str:
+        """Human-readable campaign wrap-up for the CLI."""
+        lines = [
+            f"fuzz campaign: {len(self.results)} scenarios "
+            f"(seed {self.config.seed}) in {self.wall_seconds:.1f}s "
+            f"({self.scenarios_per_s:.1f}/s)",
+            "classifications: "
+            + ", ".join(
+                f"{name}={count}"
+                for name, count in self.classifications.items()
+            ),
+            "coverage: "
+            + ", ".join(
+                f"{name}={count}" for name, count in self.coverage.items()
+            ),
+            f"disagreement rate: {100 * self.disagreement_rate:.1f}%",
+        ]
+        for outcome in self.shrunken:
+            lines.append(
+                f"shrunk {outcome.classification}: "
+                f"{outcome.original_cost} -> {outcome.final_cost} "
+                f"({outcome.scenario.describe()})"
+            )
+        return "\n".join(lines)
+
+
+def generate_scenarios(
+    config: FuzzCampaignConfig,
+    rng: np.random.Generator,
+    count: int,
+    weights: np.ndarray,
+    start_index: int,
+) -> list[FuzzScenario]:
+    """Draw ``count`` scenarios from the parent stream (the only RNG
+    consumer — see the module docstring's invariance argument)."""
+    names = config.actors
+    scenarios = []
+    for offset in range(count):
+        n_actors = int(rng.integers(1, min(3, len(names)) + 1))
+        p = weights / weights.sum()
+        chosen = rng.choice(len(names), size=n_actors, replace=False, p=p)
+        child = rng.spawn(1)[0]
+        scenarios.append(
+            compose_scenario(
+                config.shape,
+                tuple(names[i] for i in chosen),
+                child,
+                seed=start_index + offset,
+            )
+        )
+    return scenarios
+
+
+def run_campaign(config: FuzzCampaignConfig) -> CampaignReport:
+    """Run one steered fuzz campaign; see the module docstring."""
+    rng = resolve_rng(config.seed)
+    weights = np.ones(len(config.actors), dtype=np.float64)
+    scenarios: list[FuzzScenario] = []
+    results: list[ScenarioResult] = []
+    started = time.perf_counter()
+
+    pool = (
+        ProcessPoolExecutor(max_workers=config.workers)
+        if config.workers > 0
+        else None
+    )
+    try:
+        while len(results) < config.budget:
+            if (
+                config.max_seconds is not None
+                and time.perf_counter() - started > config.max_seconds
+            ):
+                break
+            count = min(config.round_size, config.budget - len(results))
+            batch = generate_scenarios(
+                config, rng, count, weights, start_index=len(results)
+            )
+            if pool is not None:
+                batch_results = list(pool.map(_execute_task, batch))
+            else:
+                batch_results = [_execute_task(s) for s in batch]
+            scenarios.extend(batch)
+            results.extend(batch_results)
+            # Round-boundary steering: lean into the actors that found
+            # disagreements this round.
+            for scenario, result in zip(batch, batch_results):
+                if not result.disagrees:
+                    continue
+                for name in scenario.actor_names:
+                    index = config.actors.index(name)
+                    weights[index] = min(
+                        weights[index] * STEER_FACTOR, MAX_ACTOR_WEIGHT
+                    )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    shrunken: list[ShrinkOutcome] = []
+    for scenario, result in zip(scenarios, results):
+        if len(shrunken) >= config.shrink_limit:
+            break
+        if result.disagrees:
+            shrunken.append(
+                shrink(
+                    scenario,
+                    target=result.classification,
+                    max_executions=config.shrink_executions,
+                )
+            )
+
+    wall = time.perf_counter() - started
+    return CampaignReport(
+        config=config,
+        scenarios=scenarios,
+        results=results,
+        shrunken=shrunken,
+        wall_seconds=wall,
+        final_weights={
+            name: float(w) for name, w in zip(config.actors, weights)
+        },
+    )

@@ -1,0 +1,140 @@
+"""Engine/network perturbations for fuzzed scenarios.
+
+Adversary actors do not only kill nodes: they also degrade the *timing*
+substrate the engine prices messages with — slow ranks (a flaky NIC or a
+thermally throttled socket), degraded nodes (every message touching the
+node pays a penalty) and deterministic per-channel jitter. A
+:class:`PerturbationSpec` is the declarative, picklable description an
+actor emits; :func:`apply_perturbation` compiles it into a
+:class:`PerturbedNetwork` and installs it on a machine.
+
+The bit-identity discipline of :class:`~repro.simmpi.network.NetworkModel`
+(scalar ``transfer_time`` == vectorized ``transfer_times``, bit for bit —
+both engine fast paths lean on it) must survive perturbation, so the
+scalar entry point here *routes through the vectorized code*: one
+implementation, two arities, no drift for the fuzzer's differential
+engine check to trip over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.machine import Machine
+from repro.simmpi.network import NetworkModel
+
+
+@dataclass(frozen=True)
+class PerturbationSpec:
+    """Declarative network degradation (picklable, actor-composable).
+
+    ``rank_factors``
+        ``(rank, factor)`` pairs: every message touching ``rank`` is slowed
+        by at least ``factor`` (the max over both endpoints applies).
+    ``bad_nodes`` / ``link_factor``
+        Messages with an endpoint on a bad node pay ``link_factor``.
+    ``jitter_amp``
+        Deterministic per-(src, dst) jitter in ``[1, 1 + amp]`` — a cheap
+        stand-in for congestion that stays bit-reproducible.
+    """
+
+    rank_factors: tuple[tuple[int, float], ...] = ()
+    bad_nodes: tuple[int, ...] = ()
+    link_factor: float = 1.0
+    jitter_amp: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "rank_factors",
+            tuple(sorted((int(r), float(f)) for r, f in self.rank_factors)),
+        )
+        object.__setattr__(
+            self, "bad_nodes", tuple(sorted(int(n) for n in self.bad_nodes))
+        )
+        if self.link_factor < 1.0:
+            raise ValueError("link_factor must be >= 1")
+        if self.jitter_amp < 0.0:
+            raise ValueError("jitter_amp must be >= 0")
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether this spec leaves the network untouched."""
+        return (
+            not self.rank_factors
+            and (not self.bad_nodes or self.link_factor == 1.0)
+            and self.jitter_amp == 0.0
+        )
+
+    def merge(self, other: "PerturbationSpec") -> "PerturbationSpec":
+        """Compose two specs: per-rank max, node union, max penalties."""
+        factors: dict[int, float] = dict(self.rank_factors)
+        for rank, f in other.rank_factors:
+            factors[rank] = max(factors.get(rank, 1.0), f)
+        return PerturbationSpec(
+            rank_factors=tuple(factors.items()),
+            bad_nodes=tuple(set(self.bad_nodes) | set(other.bad_nodes)),
+            link_factor=max(self.link_factor, other.link_factor),
+            jitter_amp=max(self.jitter_amp, other.jitter_amp),
+        )
+
+
+class PerturbedNetwork(NetworkModel):
+    """A :class:`NetworkModel` whose transfer times are inflated by a
+    :class:`PerturbationSpec`.
+
+    The slowdown is a pure function of ``(src, dst)`` so the scalar and
+    vectorized paths stay bit-identical: the scalar ``transfer_time``
+    delegates to the same numpy expression ``transfer_times`` uses
+    (``src == dst`` entries are zero either way, and ``0 * factor == 0``).
+    """
+
+    def __init__(self, base: NetworkModel, spec: PerturbationSpec, nranks: int):
+        super().__init__(
+            intra_node=base.intra_node,
+            inter_node=base.inter_node,
+            locator=base._node_of,
+        )
+        self.spec = spec
+        rank_factor = np.ones(nranks, dtype=np.float64)
+        for rank, factor in spec.rank_factors:
+            if 0 <= rank < nranks:
+                rank_factor[rank] = max(rank_factor[rank], factor)
+        nodes = self.node_vector(nranks)[:nranks]
+        on_bad = np.isin(nodes, np.asarray(spec.bad_nodes, dtype=np.int64))
+        self._rank_factor = rank_factor
+        self._on_bad_node = on_bad
+
+    def _factors(self, srcs: np.ndarray, dsts: np.ndarray) -> np.ndarray:
+        """Slowdown of each (src, dst) message — one numpy expression
+        serving both the scalar and the vectorized entry points."""
+        f = np.maximum(self._rank_factor[srcs], self._rank_factor[dsts])
+        if self.spec.bad_nodes and self.spec.link_factor != 1.0:
+            bad = self._on_bad_node[srcs] | self._on_bad_node[dsts]
+            f = f * np.where(bad, self.spec.link_factor, 1.0)
+        if self.spec.jitter_amp:
+            noise = ((srcs * 7919 + dsts * 104729) % 997) / 997.0
+            f = f * (1.0 + self.spec.jitter_amp * noise)
+        return f
+
+    def transfer_times(self, src, dests, nbytes) -> np.ndarray:
+        srcs = np.asarray(src, dtype=np.int64)
+        dsts = np.asarray(dests, dtype=np.int64)
+        base = super().transfer_times(srcs, dsts, nbytes)
+        return base * self._factors(srcs, dsts)
+
+    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        return float(
+            self.transfer_times(
+                np.int64(src), np.int64(dst), float(nbytes)
+            )
+        )
+
+
+def apply_perturbation(machine: Machine, spec: PerturbationSpec) -> None:
+    """Install ``spec`` on ``machine`` (no-op for the identity spec)."""
+    if spec.is_identity:
+        return
+    machine._network = PerturbedNetwork(machine.network, spec, machine.nranks)

@@ -1,0 +1,114 @@
+"""Replayable repro files: a fuzz finding serialized to JSON.
+
+A repro file captures the *inputs* of one scenario — shape, failure
+schedule, perturbation, corruption — plus the classification it
+reproduced. No timings or states are stored: replay re-executes the
+scenario from scratch and checks that the same classification comes back,
+which is exactly the determinism guarantee the executor makes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.failures.events import FailureEvent
+from repro.failures.injector import FailureScenario, ScheduledFailure
+from repro.fuzz.actors import CorruptionSpec, FuzzScenario
+from repro.fuzz.perturb import PerturbationSpec
+from repro.fuzz.shape import FuzzShape
+
+REPRO_VERSION = 1
+
+
+def scenario_to_dict(
+    scenario: FuzzScenario, classification: str | None = None
+) -> dict:
+    """JSON-able description of ``scenario`` (+ the class it reproduces)."""
+    return {
+        "version": REPRO_VERSION,
+        "classification": classification,
+        "shape": scenario.shape.to_dict(),
+        "schedule": [
+            {
+                "iteration": f.iteration,
+                "kind": f.event.kind,
+                "nodes": list(f.event.nodes),
+                "process": f.event.process,
+            }
+            for f in scenario.schedule.failures
+        ],
+        "perturbation": {
+            "rank_factors": [list(p) for p in scenario.perturbation.rank_factors],
+            "bad_nodes": list(scenario.perturbation.bad_nodes),
+            "link_factor": scenario.perturbation.link_factor,
+            "jitter_amp": scenario.perturbation.jitter_amp,
+        },
+        "corruption": None
+        if scenario.corruption is None
+        else {
+            "target": scenario.corruption.target,
+            "n_shards": scenario.corruption.n_shards,
+            "xor_mask": scenario.corruption.xor_mask,
+        },
+        "actors": list(scenario.actor_names),
+        "seed": scenario.seed,
+    }
+
+
+def scenario_from_dict(data: dict) -> tuple[FuzzScenario, str | None]:
+    """Inverse of :func:`scenario_to_dict`; returns the scenario and the
+    recorded classification (``None`` for hand-written files)."""
+    version = data.get("version")
+    if version != REPRO_VERSION:
+        raise ValueError(f"unsupported repro version {version!r}")
+    failures = []
+    for entry in data["schedule"]:
+        kind = entry["kind"]
+        if kind == "node":
+            event = FailureEvent(kind="node", nodes=tuple(entry["nodes"]))
+        else:
+            event = FailureEvent(kind="soft", process=entry["process"])
+        failures.append(ScheduledFailure(int(entry["iteration"]), event))
+    pert = data.get("perturbation") or {}
+    corr = data.get("corruption")
+    scenario = FuzzScenario(
+        shape=FuzzShape.from_dict(data["shape"]),
+        schedule=FailureScenario(tuple(failures)),
+        perturbation=PerturbationSpec(
+            rank_factors=tuple(
+                (int(r), float(f)) for r, f in pert.get("rank_factors", [])
+            ),
+            bad_nodes=tuple(pert.get("bad_nodes", [])),
+            link_factor=float(pert.get("link_factor", 1.0)),
+            jitter_amp=float(pert.get("jitter_amp", 0.0)),
+        ),
+        corruption=None
+        if corr is None
+        else CorruptionSpec(
+            target=corr["target"],
+            n_shards=int(corr["n_shards"]),
+            xor_mask=int(corr["xor_mask"]),
+        ),
+        actor_names=tuple(data.get("actors", [])),
+        seed=data.get("seed"),
+    )
+    return scenario, data.get("classification")
+
+
+def save_repro(
+    path: str | Path, scenario: FuzzScenario, classification: str
+) -> Path:
+    """Write a repro file; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(scenario_to_dict(scenario, classification), indent=2)
+        + "\n"
+    )
+    return path
+
+
+def load_repro(path: str | Path) -> tuple[FuzzScenario, str | None]:
+    """Read a repro file back into an executable scenario."""
+    return scenario_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,106 @@
+"""The (small) machine/app/clustering shape fuzzed scenarios run on.
+
+One frozen, hashable, picklable description from which every fuzz
+component — actors, executor, shrinker, repro files — can rebuild the
+exact same world: a machine, a hierarchical clustering, the tsunami
+application, and the analytic reliability model whose predictions the
+executor falsifies.
+
+The default shape generalizes the proven ``hierarchical_16`` fixture of
+the recovery tests: 8 nodes x 2 ranks, two L1 clusters of 4 nodes, L2
+encoding stripes of 4 with one member per node. Reed–Solomon tolerance is
+``floor(4/2) = 2`` dead members per stripe, so the catastrophic boundary
+sits at contiguous runs of 3 nodes — exactly the region the adversary
+actors aim bursts at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.tsunami import TsunamiConfig, TsunamiSimulation
+from repro.clustering.base import Clustering
+from repro.failures.catastrophic import CatastrophicModel
+from repro.machine.machine import Machine
+
+
+@dataclass(frozen=True)
+class FuzzShape:
+    """Everything needed to rebuild a fuzz world from scratch."""
+
+    nnodes: int = 8
+    procs_per_node: int = 2
+    cluster_nodes: int = 4
+    px: int = 4
+    py: int = 4
+    nx: int = 16
+    ny: int = 16
+    iterations: int = 10
+    checkpoint_every: int = 4
+    allreduce_every: int = 4
+    keep_versions: int = 4
+
+    def __post_init__(self) -> None:
+        if self.nnodes % self.cluster_nodes:
+            raise ValueError("cluster_nodes must divide nnodes")
+        if self.px * self.py != self.nranks:
+            raise ValueError(
+                f"grid {self.px}x{self.py} needs {self.px * self.py} ranks, "
+                f"machine hosts {self.nranks}"
+            )
+
+    @property
+    def nranks(self) -> int:
+        return self.nnodes * self.procs_per_node
+
+    def machine(self) -> Machine:
+        """A fresh machine (fresh SSDs — executor phases must not share)."""
+        return Machine(self.nnodes, self.procs_per_node)
+
+    def clustering(self) -> Clustering:
+        """Node-aligned L1 clusters of ``cluster_nodes`` nodes, L2 stripes
+        with one member per node (the paper's hierarchical layout)."""
+        ppn = self.procs_per_node
+        ranks = np.arange(self.nranks)
+        l1 = (ranks // ppn) // self.cluster_nodes
+        l2 = l1 * ppn + ranks % ppn
+        return Clustering(
+            f"fuzz-{self.nnodes}x{ppn}-c{self.cluster_nodes}", l1, l2
+        )
+
+    def simulation(self, *, synthetic: bool = False) -> TsunamiSimulation:
+        """The application; ``synthetic=True`` gives the hook-less
+        kernel-native variant the engine differential check runs."""
+        return TsunamiSimulation(
+            TsunamiConfig(
+                px=self.px,
+                py=self.py,
+                nx=self.nx,
+                ny=self.ny,
+                iterations=self.iterations,
+                synthetic=synthetic,
+                allreduce_every=self.allreduce_every,
+            )
+        )
+
+    def model(self) -> CatastrophicModel:
+        """The analytic reliability model under falsification."""
+        return CatastrophicModel(self.machine().placement)
+
+    def boundary_run_length(self) -> int:
+        """Smallest contiguous node run that can break an L2 stripe."""
+        l2_size = self.cluster_nodes  # one stripe member per node
+        from repro.failures.catastrophic import rs_half_tolerance
+
+        return rs_half_tolerance(l2_size) + 1
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzShape":
+        return cls(**{k: int(v) for k, v in data.items()})

@@ -1,0 +1,146 @@
+"""Shrinker: reduce a disagreeing scenario to a minimal failing schedule.
+
+Greedy delta-debugging over a strict cost measure: repeatedly try the
+cheapest simplifications — drop an event, shorten a node run, discard the
+network perturbation, weaken the corruption, cut the iteration horizon —
+and keep a candidate only if it still reproduces the *exact* original
+classification. Every accepted candidate strictly decreases the cost
+tuple, so the loop terminates; the result is locally minimal (no single
+remaining simplification preserves the failure class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.failures.events import FailureEvent
+from repro.failures.injector import FailureScenario, ScheduledFailure
+from repro.fuzz.actors import FuzzScenario
+from repro.fuzz.executor import ScenarioResult, execute_scenario
+from repro.fuzz.perturb import PerturbationSpec
+
+
+@dataclass(frozen=True)
+class ShrinkOutcome:
+    """The minimal scenario plus the bookkeeping tests assert on."""
+
+    scenario: FuzzScenario
+    result: ScenarioResult
+    classification: str
+    executions: int
+    original_cost: tuple
+    final_cost: tuple
+
+
+def _cost(scenario: FuzzScenario) -> tuple:
+    """Strictly decreasing along every accepted shrink step."""
+    schedule = scenario.schedule
+    total_nodes = sum(
+        len(f.event.nodes)
+        for f in schedule.failures
+        if f.event.kind == "node"
+    )
+    return (
+        schedule.n_failures,
+        total_nodes,
+        0 if scenario.perturbation.is_identity else 1,
+        0 if scenario.corruption is None else scenario.corruption.n_shards,
+        scenario.shape.iterations,
+    )
+
+
+def _candidates(scenario: FuzzScenario):
+    """Yield every one-step simplification, cheapest class first."""
+    failures = scenario.schedule.failures
+
+    # Drop one event at a time.
+    if len(failures) > 1:
+        for skip in range(len(failures)):
+            kept = tuple(f for i, f in enumerate(failures) if i != skip)
+            yield replace(scenario, schedule=FailureScenario(kept))
+
+    # Shorten multi-node runs (halve, then single-node).
+    for index, scheduled in enumerate(failures):
+        event = scheduled.event
+        if event.kind != "node" or len(event.nodes) <= 1:
+            continue
+        for keep in {max(1, len(event.nodes) // 2), 1}:
+            shorter = ScheduledFailure(
+                scheduled.iteration,
+                FailureEvent(kind="node", nodes=event.nodes[:keep]),
+            )
+            schedule = FailureScenario(
+                tuple(
+                    shorter if i == index else f
+                    for i, f in enumerate(failures)
+                )
+            )
+            yield replace(scenario, schedule=schedule)
+
+    # Discard the network perturbation wholesale.
+    if not scenario.perturbation.is_identity:
+        yield replace(scenario, perturbation=PerturbationSpec())
+
+    # Weaken, then drop, the corruption.
+    if scenario.corruption is not None:
+        if scenario.corruption.n_shards > 1:
+            yield replace(
+                scenario,
+                corruption=replace(scenario.corruption, n_shards=1),
+            )
+        yield replace(scenario, corruption=None)
+
+    # Cut the horizon down to the last scheduled event.
+    if failures:
+        needed = max(f.iteration for f in failures)
+        if needed < scenario.shape.iterations:
+            yield replace(
+                scenario,
+                shape=replace(scenario.shape, iterations=needed),
+            )
+
+
+def shrink(
+    scenario: FuzzScenario,
+    *,
+    target: str | None = None,
+    max_executions: int = 64,
+) -> ShrinkOutcome:
+    """Minimize ``scenario`` while preserving its classification.
+
+    ``target`` defaults to the scenario's own classification (one
+    execution to establish it). ``max_executions`` bounds the executor
+    calls — shrinking is deterministic, so the bound only truncates how
+    minimal the result gets, never changes what it reproduces.
+    """
+    executions = 0
+    if target is None:
+        baseline = execute_scenario(scenario)
+        executions += 1
+        target = baseline.classification
+    original_cost = _cost(scenario)
+
+    current = scenario
+    improved = True
+    while improved and executions < max_executions:
+        improved = False
+        for candidate in _candidates(current):
+            if executions >= max_executions:
+                break
+            result = execute_scenario(candidate)
+            executions += 1
+            if result.classification == target:
+                current = candidate
+                improved = True
+                break
+
+    final = execute_scenario(current)
+    executions += 1
+    return ShrinkOutcome(
+        scenario=current,
+        result=final,
+        classification=target,
+        executions=executions,
+        original_cost=original_cost,
+        final_cost=_cost(current),
+    )

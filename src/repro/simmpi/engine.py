@@ -1339,6 +1339,11 @@ class Engine:
             return _KERNEL_PARKED
         if not self._kernel_fast_ok:
             self._kernel_deopt("engine-gated")
+        else:
+            # Fast path is on but failure injection is active: the loop
+            # must expand to micro-steps so the injection strikes at the
+            # exact communication points the interpreted run would offer.
+            self._kernel_deopt("failure-injection")
         return self._kernel_advance(state)
 
     def _kernel_resume(self, state: _RankState, request: Request):

@@ -1,0 +1,153 @@
+"""FailureScenario normalization: sort order, rejection rules, merge."""
+
+import pytest
+
+from repro.failures import (
+    FailureEvent,
+    FailureInjector,
+    FailureScenario,
+    ScheduledFailure,
+)
+from repro.machine import Machine
+
+
+def node_event(*nodes):
+    return FailureEvent(kind="node", nodes=tuple(nodes))
+
+
+def soft_event(process):
+    return FailureEvent(kind="soft", process=process)
+
+
+class TestNormalization:
+    def test_schedule_is_sorted_by_iteration(self):
+        scenario = FailureScenario(
+            (
+                ScheduledFailure(7, node_event(3)),
+                ScheduledFailure(2, node_event(0)),
+                ScheduledFailure(5, soft_event(1)),
+            )
+        )
+        assert [f.iteration for f in scenario.failures] == [2, 5, 7]
+
+    def test_node_events_sort_before_soft_at_same_iteration(self):
+        scenario = FailureScenario(
+            (
+                ScheduledFailure(3, soft_event(0)),
+                ScheduledFailure(3, node_event(5)),
+            )
+        )
+        assert [f.event.kind for f in scenario.failures] == ["node", "soft"]
+
+    def test_list_input_is_coerced_to_tuple(self):
+        scenario = FailureScenario(
+            [ScheduledFailure(1, node_event(0))]  # type: ignore[arg-type]
+        )
+        assert isinstance(scenario.failures, tuple)
+
+    def test_events_at_sees_normalized_schedule(self):
+        scenario = FailureScenario(
+            (
+                ScheduledFailure(4, soft_event(2)),
+                ScheduledFailure(4, node_event(1)),
+            )
+        )
+        kinds = [e.kind for e in scenario.events_at(4)]
+        assert kinds == ["node", "soft"]
+
+    def test_killed_nodes(self):
+        scenario = FailureScenario(
+            (
+                ScheduledFailure(1, node_event(2, 3)),
+                ScheduledFailure(5, node_event(6)),
+                ScheduledFailure(6, soft_event(0)),
+            )
+        )
+        assert scenario.killed_nodes() == {2, 3, 6}
+
+
+class TestRejection:
+    def test_duplicate_scheduled_failure_rejected(self):
+        with pytest.raises(ValueError, match="duplicate scheduled failure"):
+            FailureScenario(
+                (
+                    ScheduledFailure(2, node_event(1)),
+                    ScheduledFailure(2, node_event(1)),
+                )
+            )
+
+    def test_rekilling_a_dead_node_rejected(self):
+        with pytest.raises(ValueError, match="already dead"):
+            FailureScenario(
+                (
+                    ScheduledFailure(1, node_event(0, 1)),
+                    ScheduledFailure(4, node_event(1, 2)),
+                )
+            )
+
+    def test_overlapping_kill_at_same_iteration_rejected(self):
+        with pytest.raises(ValueError, match="already dead"):
+            FailureScenario(
+                (
+                    ScheduledFailure(3, node_event(0)),
+                    ScheduledFailure(3, node_event(0, 1)),
+                )
+            )
+
+    def test_duplicate_soft_errors_on_distinct_iterations_ok(self):
+        scenario = FailureScenario(
+            (
+                ScheduledFailure(1, soft_event(4)),
+                ScheduledFailure(2, soft_event(4)),
+            )
+        )
+        assert scenario.n_failures == 2
+
+
+class TestMerge:
+    def test_merge_interleaves_and_sorts(self):
+        a = FailureScenario.node_failure(5, 0)
+        b = FailureScenario.node_failure(2, 3)
+        c = FailureScenario((ScheduledFailure(2, soft_event(1)),))
+        merged = a.merge(b, c)
+        assert [f.iteration for f in merged.failures] == [2, 2, 5]
+        assert merged.failures[0].event.kind == "node"
+
+    def test_merge_rejects_overlapping_kills(self):
+        a = FailureScenario.node_failure(1, 3)
+        b = FailureScenario.multi_node_failure(6, (3, 4))
+        with pytest.raises(ValueError, match="already dead"):
+            a.merge(b)
+
+    def test_merge_rejects_duplicates(self):
+        a = FailureScenario.node_failure(1, 3)
+        with pytest.raises(ValueError, match="duplicate"):
+            a.merge(FailureScenario.node_failure(1, 3))
+
+    def test_merge_with_empty_is_identity(self):
+        a = FailureScenario.node_failure(4, 2)
+        assert a.merge(FailureScenario()) == a
+
+
+class TestInjectorSampling:
+    def test_sampled_scenarios_never_rekill_dead_nodes(self):
+        placement = Machine(16, 2).placement
+        for seed in range(8):
+            injector = FailureInjector(placement, rng=seed)
+            scenario = injector.sample_scenario(40, 0.8)
+            dead = set()
+            for f in scenario.failures:
+                if f.event.kind == "node":
+                    assert not dead.intersection(f.event.nodes)
+                    dead.update(f.event.nodes)
+
+    def test_drop_does_not_shift_later_draws(self):
+        """Dropping an overlapping event consumes its draws, so the tail
+        of the stream is unchanged whether or not a drop occurred."""
+        placement = Machine(4, 2).placement
+        injector = FailureInjector(placement, rng=123)
+        scenario = injector.sample_scenario(60, 0.9)
+        # High rate on a tiny machine forces drops; the schedule must
+        # still be valid and deterministic.
+        again = FailureInjector(placement, rng=123).sample_scenario(60, 0.9)
+        assert scenario == again

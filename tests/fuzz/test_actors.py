@@ -1,0 +1,116 @@
+"""Adversary actors: fragment validity, composition, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.fuzz import (
+    ACTOR_NAMES,
+    ActorContext,
+    FuzzShape,
+    actor_by_name,
+    compose_scenario,
+)
+from repro.fuzz.actors import ALL_ACTORS
+
+
+SHAPE = FuzzShape()
+
+
+class TestShape:
+    def test_default_shape_matches_recovery_fixture(self):
+        clustering = SHAPE.clustering()
+        assert clustering.n == 16
+        assert clustering.n_l1_clusters == 2
+        assert clustering.n_l2_clusters == 4
+        # One L2 stripe member per node: a 4-stripe survives 2 node losses.
+        assert SHAPE.boundary_run_length() == 3
+
+    def test_shape_roundtrip(self):
+        assert FuzzShape.from_dict(SHAPE.to_dict()) == SHAPE
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzShape(nnodes=6, cluster_nodes=4)
+        with pytest.raises(ValueError):
+            FuzzShape(px=3)
+
+
+class TestActors:
+    @pytest.mark.parametrize("name", ACTOR_NAMES)
+    def test_fragments_are_valid_and_deterministic(self, name):
+        ctx = ActorContext(SHAPE)
+        actor = actor_by_name(name)
+        for seed in range(5):
+            a = actor.generate(ctx, np.random.default_rng(seed))
+            b = actor.generate(ctx, np.random.default_rng(seed))
+            assert a == b
+            # Events stay inside the horizon (replayable iterations).
+            for f in a.schedule.failures:
+                assert 1 <= f.iteration <= SHAPE.iterations
+
+    def test_burst_targets_the_catastrophic_boundary(self):
+        ctx = ActorContext(SHAPE)
+        actor = actor_by_name("burst")
+        lengths = set()
+        for seed in range(30):
+            fragment = actor.generate(ctx, np.random.default_rng(seed))
+            for f in fragment.schedule.failures:
+                lengths.add(len(f.event.nodes))
+        assert lengths  # bursts were generated
+        assert lengths <= {ctx.boundary - 1, ctx.boundary, ctx.boundary + 1}
+
+    def test_corruption_actor_always_provides_trigger(self):
+        ctx = ActorContext(SHAPE)
+        actor = actor_by_name("corrupt")
+        for seed in range(10):
+            fragment = actor.generate(ctx, np.random.default_rng(seed))
+            assert fragment.corruption is not None
+            kinds = [f.event.kind for f in fragment.schedule.failures]
+            assert "node" in kinds
+
+    def test_unknown_actor_rejected(self):
+        with pytest.raises(ValueError, match="unknown actor"):
+            actor_by_name("gremlin")
+
+
+class TestComposition:
+    def test_compose_is_deterministic(self):
+        names = tuple(ACTOR_NAMES)
+        a = compose_scenario(SHAPE, names, np.random.default_rng(3), seed=3)
+        b = compose_scenario(SHAPE, names, np.random.default_rng(3), seed=3)
+        assert a == b
+
+    def test_composed_schedule_is_always_valid(self):
+        """The composer must only ever emit schedules the hardened
+        FailureScenario constructor accepts — conflicting fragments are
+        dropped, not force-merged."""
+        names = tuple(ACTOR_NAMES)
+        for seed in range(20):
+            scenario = compose_scenario(
+                SHAPE, names, np.random.default_rng(seed), seed=seed
+            )
+            dead = set()
+            for f in scenario.schedule.failures:
+                if f.event.kind == "node":
+                    assert not dead.intersection(f.event.nodes)
+                    dead.update(f.event.nodes)
+            assert set(scenario.actor_names) <= set(names)
+
+    def test_conflicting_fragment_is_dropped_in_actor_order(self):
+        """Two kill-happy actors on a tiny machine: later conflicting
+        fragments vanish, earlier ones stay."""
+        dropped_some = False
+        for seed in range(30):
+            scenario = compose_scenario(
+                SHAPE,
+                ("burst", "cascade", "burst", "cascade"),
+                np.random.default_rng(seed),
+                seed=seed,
+            )
+            if len(scenario.actor_names) < 4:
+                dropped_some = True
+        assert dropped_some
+
+    def test_all_actors_registered(self):
+        assert len(ALL_ACTORS) == 6
+        assert len(set(ACTOR_NAMES)) == 6

@@ -1,0 +1,132 @@
+"""Campaign loop: bit-reproducibility, worker invariance, steering."""
+
+import pytest
+
+from repro.fuzz import FuzzCampaignConfig, run_campaign
+
+
+def small_config(**kwargs):
+    kwargs.setdefault("budget", 10)
+    kwargs.setdefault("seed", 42)
+    kwargs.setdefault("shrink_limit", 1)
+    kwargs.setdefault("round_size", 5)
+    return FuzzCampaignConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def baseline_report():
+    return run_campaign(small_config())
+
+
+class TestReproducibility:
+    def test_same_seed_same_campaign(self, baseline_report):
+        """Acceptance criterion: same seed + budget ⇒ identical scenario
+        stream, classifications and shrunken repros."""
+        again = run_campaign(small_config())
+        assert again.scenarios == baseline_report.scenarios
+        assert [r.classification for r in again.results] == [
+            r.classification for r in baseline_report.results
+        ]
+        assert [o.scenario for o in again.shrunken] == [
+            o.scenario for o in baseline_report.shrunken
+        ]
+
+    def test_worker_count_does_not_change_the_stream(self, baseline_report):
+        """Acceptance criterion: the campaign is independent of the worker
+        count — 2 pool workers replay the exact serial stream."""
+        pooled = run_campaign(small_config(workers=2))
+        assert pooled.scenarios == baseline_report.scenarios
+        assert [r.classification for r in pooled.results] == [
+            r.classification for r in baseline_report.results
+        ]
+        assert [o.scenario for o in pooled.shrunken] == [
+            o.scenario for o in baseline_report.shrunken
+        ]
+
+    def test_different_seed_different_stream(self, baseline_report):
+        other = run_campaign(small_config(seed=7, shrink_limit=0))
+        assert other.scenarios != baseline_report.scenarios
+
+
+class TestSteering:
+    def test_disagreements_boost_actor_weights(self):
+        """The steering invariant: exactly the actors that participated in
+        a disagreeing scenario end the campaign with a boosted selection
+        weight; everyone else stays at 1."""
+        report = run_campaign(
+            FuzzCampaignConfig(
+                budget=24,
+                seed=42,
+                shrink_limit=0,
+                round_size=6,
+                actors=("soft", "corrupt"),
+            )
+        )
+        assert report.disagreements
+        boosted = {
+            name
+            for scenario, result in zip(report.scenarios, report.results)
+            if result.disagrees
+            for name in scenario.actor_names
+        }
+        assert boosted
+        for name in report.config.actors:
+            if name in boosted:
+                assert report.final_weights[name] > 1.0
+            else:
+                assert report.final_weights[name] == 1.0
+
+    def test_skewed_weights_skew_generation(self):
+        """generate_scenarios honors the weight vector (the mechanism the
+        steering loop drives)."""
+        import numpy as np
+
+        from repro.fuzz.autopilot import generate_scenarios
+        from repro.util.rng import resolve_rng
+
+        config = FuzzCampaignConfig(
+            budget=40, seed=0, actors=("soft", "corrupt"), shrink_limit=0
+        )
+        scenarios = generate_scenarios(
+            config,
+            resolve_rng(0),
+            40,
+            np.array([1.0, 8.0]),
+            start_index=0,
+        )
+        picks = {"soft": 0, "corrupt": 0}
+        for scenario in scenarios:
+            for name in scenario.actor_names:
+                picks[name] += 1
+        assert picks["corrupt"] > picks["soft"]
+
+    def test_report_numbers_are_consistent(self, baseline_report):
+        report = baseline_report
+        assert len(report.scenarios) == len(report.results) == 10
+        assert sum(report.classifications.values()) == 10
+        assert 0.0 <= report.disagreement_rate <= 1.0
+        assert report.scenarios_per_s > 0
+        record = report.to_record()
+        assert record["section"] == "fuzzer"
+        assert record["scenarios"] == 10
+        assert set(record["coverage"]) == set(report.config.actors)
+
+    def test_shrunken_repros_preserve_their_class(self, baseline_report):
+        for outcome in baseline_report.shrunken:
+            assert outcome.result.classification == outcome.classification
+            assert outcome.final_cost <= outcome.original_cost
+
+
+class TestConfig:
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            FuzzCampaignConfig(budget=0)
+
+    def test_unknown_actor_rejected_early(self):
+        with pytest.raises(ValueError, match="unknown actor"):
+            FuzzCampaignConfig(actors=("gremlin",))
+
+    def test_summary_mentions_the_headline_numbers(self, baseline_report):
+        text = baseline_report.summary()
+        assert "10 scenarios" in text
+        assert "disagreement rate" in text

@@ -1,0 +1,100 @@
+"""PerturbationSpec composition and PerturbedNetwork bit-identity."""
+
+import numpy as np
+import pytest
+
+from repro.fuzz import PerturbationSpec, PerturbedNetwork, apply_perturbation
+from repro.machine import Machine
+
+
+class TestSpec:
+    def test_identity(self):
+        assert PerturbationSpec().is_identity
+        assert PerturbationSpec(bad_nodes=(1,)).is_identity  # factor 1
+        assert not PerturbationSpec(rank_factors=((0, 2.0),)).is_identity
+        assert not PerturbationSpec(jitter_amp=0.1).is_identity
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerturbationSpec(link_factor=0.5)
+        with pytest.raises(ValueError):
+            PerturbationSpec(jitter_amp=-0.1)
+
+    def test_merge_takes_maxima(self):
+        a = PerturbationSpec(
+            rank_factors=((0, 2.0), (3, 5.0)), bad_nodes=(1,), link_factor=2.0
+        )
+        b = PerturbationSpec(
+            rank_factors=((0, 4.0),), bad_nodes=(2,), jitter_amp=0.2
+        )
+        merged = a.merge(b)
+        assert dict(merged.rank_factors) == {0: 4.0, 3: 5.0}
+        assert merged.bad_nodes == (1, 2)
+        assert merged.link_factor == 2.0
+        assert merged.jitter_amp == 0.2
+
+    def test_normalized_and_picklable(self):
+        import pickle
+
+        spec = PerturbationSpec(rank_factors=((3, 2.0), (1, 4.0)), bad_nodes=(5, 2))
+        assert spec.rank_factors == ((1, 4.0), (3, 2.0))
+        assert spec.bad_nodes == (2, 5)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestPerturbedNetwork:
+    def _network(self, spec):
+        machine = Machine(4, 2)
+        return PerturbedNetwork(machine.network, spec, machine.nranks)
+
+    def test_scalar_matches_vectorized_bitwise(self):
+        """The discipline every engine fast path leans on must survive
+        perturbation: transfer_time == transfer_times, bit for bit."""
+        spec = PerturbationSpec(
+            rank_factors=((1, 3.5), (6, 2.0)),
+            bad_nodes=(2,),
+            link_factor=4.0,
+            jitter_amp=0.25,
+        )
+        net = self._network(spec)
+        dests = np.arange(8)
+        for src in range(8):
+            vectorized = net.transfer_times(src, dests, 4096)
+            for dst in range(8):
+                assert net.transfer_time(src, dst, 4096) == vectorized[dst]
+
+    def test_self_messages_stay_free(self):
+        net = self._network(PerturbationSpec(rank_factors=((0, 9.0),)))
+        assert net.transfer_time(0, 0, 1 << 20) == 0.0
+
+    def test_slow_rank_applies_to_both_directions(self):
+        base = Machine(4, 2).network
+        net = self._network(PerturbationSpec(rank_factors=((1, 3.0),)))
+        plain = base.transfer_time(1, 5, 1024)
+        assert net.transfer_time(1, 5, 1024) == 3.0 * plain
+        assert net.transfer_time(5, 1, 1024) == 3.0 * plain
+
+    def test_bad_node_penalizes_touching_messages(self):
+        base = Machine(4, 2).network
+        net = self._network(
+            PerturbationSpec(bad_nodes=(1,), link_factor=5.0)
+        )
+        # ranks 2, 3 live on node 1
+        assert net.transfer_time(2, 6, 512) == 5.0 * base.transfer_time(2, 6, 512)
+        assert net.transfer_time(4, 6, 512) == base.transfer_time(4, 6, 512)
+
+    def test_jitter_is_deterministic(self):
+        net_a = self._network(PerturbationSpec(jitter_amp=0.3))
+        net_b = self._network(PerturbationSpec(jitter_amp=0.3))
+        for src, dst in [(0, 5), (3, 1), (7, 2)]:
+            assert net_a.transfer_time(src, dst, 256) == net_b.transfer_time(
+                src, dst, 256
+            )
+
+    def test_apply_perturbation_installs_and_identity_is_noop(self):
+        machine = Machine(4, 2)
+        original = machine.network
+        apply_perturbation(machine, PerturbationSpec())
+        assert machine.network is original
+        apply_perturbation(machine, PerturbationSpec(jitter_amp=0.1))
+        assert isinstance(machine.network, PerturbedNetwork)

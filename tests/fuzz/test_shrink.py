@@ -1,0 +1,138 @@
+"""Shrinker + repro files: the seeded disagreement fixture acceptance.
+
+The fixture is a deliberately noisy scenario that disagrees with the
+model (parity corruption behind a survivable node kill, wrapped in
+irrelevant extra events and perturbations). The shrinker must peel the
+noise away while preserving the exact classification, and the emitted
+repro file must re-trigger it deterministically through the same path
+``repro fuzz --replay`` uses.
+"""
+
+import pytest
+
+from repro.failures import FailureEvent, FailureScenario, ScheduledFailure
+from repro.fuzz import (
+    CorruptionSpec,
+    FuzzScenario,
+    FuzzShape,
+    PerturbationSpec,
+    execute_scenario,
+    load_repro,
+    save_repro,
+    scenario_from_dict,
+    scenario_to_dict,
+    shrink,
+)
+
+
+def seeded_disagreement_fixture() -> FuzzScenario:
+    """A known-bad scenario buried in noise (deterministic, no RNG)."""
+    schedule = FailureScenario(
+        (
+            ScheduledFailure(3, FailureEvent(kind="soft", process=9)),
+            ScheduledFailure(6, FailureEvent(kind="node", nodes=(1,))),
+            ScheduledFailure(8, FailureEvent(kind="soft", process=12)),
+        )
+    )
+    return FuzzScenario(
+        shape=FuzzShape(),
+        schedule=schedule,
+        perturbation=PerturbationSpec(
+            rank_factors=((4, 3.0),), jitter_amp=0.1
+        ),
+        corruption=CorruptionSpec(target="parity", n_shards=4),
+        actor_names=("corrupt", "soft", "slow-rank"),
+    )
+
+
+@pytest.fixture(scope="module")
+def shrunk():
+    fixture = seeded_disagreement_fixture()
+    baseline = execute_scenario(fixture)
+    assert baseline.classification == "model_optimistic"
+    return fixture, baseline, shrink(fixture, target="model_optimistic")
+
+
+class TestShrink:
+    def test_reduces_to_minimal_schedule(self, shrunk):
+        fixture, _, outcome = shrunk
+        assert outcome.classification == "model_optimistic"
+        assert outcome.result.classification == "model_optimistic"
+        # The noise is gone: one event, no perturbation, minimal shards.
+        assert outcome.scenario.schedule.n_failures == 1
+        assert outcome.scenario.perturbation.is_identity
+        assert outcome.scenario.corruption is not None
+        assert outcome.scenario.corruption.n_shards == 1
+        assert outcome.final_cost < outcome.original_cost
+
+    def test_surviving_event_is_the_trigger(self, shrunk):
+        _, _, outcome = shrunk
+        (event,) = outcome.scenario.schedule.failures
+        assert event.event.kind == "node"
+
+    def test_shrink_is_deterministic(self, shrunk):
+        fixture, _, outcome = shrunk
+        again = shrink(fixture, target="model_optimistic")
+        assert again.scenario == outcome.scenario
+        assert again.executions == outcome.executions
+
+    def test_agreeing_scenario_shrinks_toward_empty(self):
+        scenario = FuzzScenario(
+            shape=FuzzShape(),
+            schedule=FailureScenario.node_failure(6, 1).merge(
+                FailureScenario(
+                    (ScheduledFailure(4, FailureEvent(kind="soft", process=2)),)
+                )
+            ),
+        )
+        outcome = shrink(scenario, target="agree")
+        assert outcome.result.classification == "agree"
+        assert outcome.scenario.schedule.n_failures == 1
+
+
+class TestReproFiles:
+    def test_roundtrip_preserves_scenario(self, shrunk):
+        _, _, outcome = shrunk
+        data = scenario_to_dict(outcome.scenario, outcome.classification)
+        restored, classification = scenario_from_dict(data)
+        assert restored == outcome.scenario
+        assert classification == "model_optimistic"
+
+    def test_replay_retriggers_deterministically(self, shrunk, tmp_path):
+        """Acceptance criterion: the shrunken repro file re-triggers the
+        same failure class on replay."""
+        _, _, outcome = shrunk
+        path = save_repro(
+            tmp_path / "repro.json", outcome.scenario, outcome.classification
+        )
+        restored, expected = load_repro(path)
+        result = execute_scenario(restored)
+        assert result.classification == expected == "model_optimistic"
+
+    def test_replay_via_cli(self, shrunk, tmp_path, capsys):
+        from repro.cli import main
+
+        _, _, outcome = shrunk
+        path = save_repro(
+            tmp_path / "repro.json", outcome.scenario, outcome.classification
+        )
+        assert main(["fuzz", "--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "model_optimistic" in out
+
+    def test_replay_mismatch_fails_via_cli(self, shrunk, tmp_path):
+        """A repro recording a class the scenario no longer reproduces
+        must exit nonzero."""
+        import json
+
+        from repro.cli import main
+
+        _, _, outcome = shrunk
+        data = scenario_to_dict(outcome.scenario, "deadlock")
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(data))
+        assert main(["fuzz", "--replay", str(path)]) == 1
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="unsupported repro version"):
+            scenario_from_dict({"version": 99})

@@ -69,3 +69,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "failure campaign" in out
         assert "hierarchical-64-4" in out
+
+    def test_fuzz_campaign_writes_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "fuzz-out"
+        assert main(
+            ["fuzz", "--seed", "42", "--budget", "4", "--shrink", "1",
+             "--out-dir", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign: 4 scenarios (seed 42)" in out
+        assert "classifications:" in out
+        assert "disagreement rate" in out
+        assert (out_dir / "BENCH_fuzzer.json").exists()
+
+    def test_fuzz_actor_selection(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "1", "--budget", "2", "--shrink", "0",
+             "--actors", "soft", "burst"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "coverage: soft=" in out
+
+    def test_fuzz_replay_roundtrip(self, capsys, tmp_path):
+        from repro.failures import FailureScenario
+        from repro.fuzz import FuzzScenario, FuzzShape, save_repro
+
+        path = save_repro(
+            tmp_path / "repro.json",
+            FuzzScenario(
+                shape=FuzzShape(),
+                schedule=FailureScenario.node_failure(6, 1),
+            ),
+            "agree",
+        )
+        assert main(["fuzz", "--replay", str(path)]) == 0
+        assert "classification: agree" in capsys.readouterr().out
