@@ -171,6 +171,20 @@ def cmd_fuzz(args) -> int:
     )
 
     if args.replay is not None:
+        data = json.loads(Path(args.replay).read_text())
+        if data.get("kind") == "interleaving":
+            from repro.fuzz import replay_interleaving
+
+            observed, expected = replay_interleaving(data)
+            print(
+                f"replay {args.replay}: interleaving seed "
+                f"{data.get('seed')} ({data['spec']['workload']})"
+            )
+            print(f"classification: {observed or 'equivalent'}")
+            if observed != expected:
+                print(f"MISMATCH: repro file recorded {expected!r}")
+                return 1
+            return 0
         scenario, expected = load_repro(args.replay)
         result = execute_scenario(scenario)
         print(f"replay {args.replay}: {scenario.describe()}")
@@ -180,6 +194,35 @@ def cmd_fuzz(args) -> int:
         if expected is not None and result.classification != expected:
             print(f"MISMATCH: repro file recorded {expected!r}")
             return 1
+        return 0
+
+    if args.schedules is not None:
+        from repro.fuzz import InterleavingSpec, sweep
+        from repro.fuzz.interleave import finding_to_dict
+
+        spec = InterleavingSpec(workload=args.workload)
+        report = sweep(
+            spec,
+            n_schedules=args.schedules,
+            seed_start=args.seed_start,
+        )
+        print(report.summary())
+        if args.out_dir is not None:
+            out = Path(args.out_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / "BENCH_interleaving.json").write_text(
+                json.dumps(report.to_record(), indent=2) + "\n"
+            )
+            for finding in report.findings:
+                path = out / (
+                    f"schedule_repro_{finding.seed}_{finding.kind}.json"
+                )
+                path.write_text(
+                    json.dumps(finding_to_dict(spec, finding), indent=2)
+                    + "\n"
+                )
+            print(f"artifacts written to {out}")
+        # Report-only, like the campaign: divergences are findings.
         return 0
 
     config = FuzzCampaignConfig(
@@ -309,7 +352,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--replay", default=None, metavar="REPRO_FILE",
-        help="re-execute a saved repro file and check its classification",
+        help="re-execute a saved repro file (scenario or interleaving) "
+        "and check its classification",
+    )
+    p.add_argument(
+        "--schedules", type=int, default=None, metavar="N",
+        help="instead of a campaign, sweep N seeded schedule "
+        "interleavings of a fixed workload and report divergences",
+    )
+    p.add_argument(
+        "--workload", choices=["fti", "race-demo"], default="fti",
+        help="workload for --schedules (default fti: the fig5 control "
+        "traffic)",
+    )
+    p.add_argument(
+        "--seed-start", type=int, default=0,
+        help="first schedule seed of the --schedules sweep (the sweep "
+        "covers the contiguous range [seed-start, seed-start+N))",
     )
     p.set_defaults(func=cmd_fuzz)
 

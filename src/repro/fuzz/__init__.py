@@ -10,6 +10,9 @@ Four layers (see ``docs/architecture.md``, *Life of a fuzz run*):
   the model tables;
 * :mod:`~repro.fuzz.shrink` — reduces disagreeing scenarios to minimal
   replayable repros (:mod:`~repro.fuzz.reprofile`);
+* :mod:`~repro.fuzz.interleave` — seeded schedule sweeps over fixed
+  workloads (``repro fuzz --schedules N``), with schedule-shrinking and
+  replay-exact interleaving repro files;
 * :mod:`~repro.fuzz.autopilot` — the steered generate → execute →
   classify → shrink campaign loop behind ``repro fuzz``.
 """
@@ -34,6 +37,15 @@ from repro.fuzz.executor import (
     EventRecord,
     ScenarioResult,
     execute_scenario,
+)
+from repro.fuzz.interleave import (
+    InterleavingFinding,
+    InterleavingSpec,
+    InterleavingSweepReport,
+    replay_interleaving,
+    run_schedule,
+    shrink_trace,
+    sweep,
 )
 from repro.fuzz.perturb import (
     PerturbationSpec,
@@ -60,6 +72,9 @@ __all__ = [
     "FuzzCampaignConfig",
     "FuzzScenario",
     "FuzzShape",
+    "InterleavingFinding",
+    "InterleavingSpec",
+    "InterleavingSweepReport",
     "PerturbationSpec",
     "PerturbedNetwork",
     "ScenarioFragment",
@@ -70,9 +85,13 @@ __all__ = [
     "compose_scenario",
     "execute_scenario",
     "load_repro",
+    "replay_interleaving",
     "run_campaign",
+    "run_schedule",
     "save_repro",
     "scenario_from_dict",
     "scenario_to_dict",
     "shrink",
+    "shrink_trace",
+    "sweep",
 ]

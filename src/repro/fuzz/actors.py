@@ -59,11 +59,20 @@ class ScenarioFragment:
     schedule: FailureScenario = field(default_factory=FailureScenario)
     perturbation: PerturbationSpec = field(default_factory=PerturbationSpec)
     corruption: CorruptionSpec | None = None
+    schedule_seed: int | None = None
 
 
 @dataclass(frozen=True)
 class FuzzScenario:
-    """A fully composed, executable, picklable fuzz scenario."""
+    """A fully composed, executable, picklable fuzz scenario.
+
+    ``schedule_seed`` seeds the engine's interleaving exploration during
+    the phase-A differential; ``schedule_trace`` replays a recorded
+    permutation stream instead (raw ``(ordinal, permutation)`` tuples so
+    the scenario stays plainly picklable — the executor rehydrates them
+    into a :class:`~repro.simmpi.ScheduleTrace`). A trace takes
+    precedence over a seed, mirroring the engine.
+    """
 
     shape: FuzzShape
     schedule: FailureScenario
@@ -71,6 +80,8 @@ class FuzzScenario:
     corruption: CorruptionSpec | None = None
     actor_names: tuple[str, ...] = ()
     seed: int | None = None
+    schedule_seed: int | None = None
+    schedule_trace: tuple[tuple[int, tuple[int, ...]], ...] | None = None
 
     def describe(self) -> str:
         """One-line summary for logs and repro listings."""
@@ -79,6 +90,10 @@ class FuzzScenario:
             bits.append("perturbed-net")
         if self.corruption is not None:
             bits.append(f"corrupt-{self.corruption.target}")
+        if self.schedule_trace is not None:
+            bits.append(f"schedule-trace-{len(self.schedule_trace)}")
+        elif self.schedule_seed is not None:
+            bits.append(f"schedule-seed-{self.schedule_seed}")
         actors = ",".join(self.actor_names) or "manual"
         return f"[{actors}] " + " + ".join(bits)
 
@@ -261,6 +276,18 @@ class CheckpointCorruptionActor:
         )
 
 
+class InterleavingActor:
+    """Schedule explorer: contributes no failures, only a seed for the
+    engine's interleaving exploration, so the phase-A differential runs
+    the world under a permuted-but-legal drain order. Steering then pulls
+    the campaign toward schedules implicated in disagreements."""
+
+    name = "interleave"
+
+    def generate(self, ctx: ActorContext, rng: np.random.Generator) -> ScenarioFragment:
+        return ScenarioFragment(schedule_seed=int(rng.integers(1 << 31)))
+
+
 ALL_ACTORS = (
     CorrelatedBurstActor(),
     CascadeActor(),
@@ -268,6 +295,7 @@ ALL_ACTORS = (
     SlowRankActor(),
     DegradedLinkActor(),
     CheckpointCorruptionActor(),
+    InterleavingActor(),
 )
 
 ACTOR_NAMES = tuple(actor.name for actor in ALL_ACTORS)
@@ -303,6 +331,7 @@ def compose_scenario(
     schedule = FailureScenario()
     perturbation = PerturbationSpec()
     corruption: CorruptionSpec | None = None
+    schedule_seed: int | None = None
     kept: list[str] = []
     for name in actor_names:
         fragment = actor_by_name(name).generate(ctx, rng)
@@ -314,6 +343,8 @@ def compose_scenario(
         perturbation = perturbation.merge(fragment.perturbation)
         if corruption is None:
             corruption = fragment.corruption
+        if schedule_seed is None:
+            schedule_seed = fragment.schedule_seed
         kept.append(name)
     return FuzzScenario(
         shape=shape,
@@ -322,6 +353,7 @@ def compose_scenario(
         corruption=corruption,
         actor_names=tuple(kept),
         seed=seed,
+        schedule_seed=schedule_seed,
     )
 
 

@@ -27,9 +27,17 @@ event in isolation, so multi-event schedules are exactly where the
 executor can catch the model being optimistic — that gap is the point,
 not a bug.
 
+When the scenario carries a ``schedule_seed`` or ``schedule_trace``,
+phase A additionally runs the synthetic world under the explored
+interleaving and compares that outcome with the canonical schedule's.
+The world is wildcard-free, so any difference — result, clocks, or a
+deadlock — is a ``schedule_divergence`` finding; the permutations the
+engine actually applied come back on ``ScenarioResult.schedule_trace``
+for repro files and the schedule shrinker.
+
 Classification (most severe wins): ``crash`` > ``deadlock`` >
-``engine_divergence`` > ``model_optimistic`` > ``model_pessimistic`` >
-``agree``.
+``schedule_divergence`` > ``engine_divergence`` > ``model_optimistic`` >
+``model_pessimistic`` > ``agree``.
 """
 
 from __future__ import annotations
@@ -49,11 +57,12 @@ from repro.hydee.logging import ReplayMismatchError
 from repro.hydee.protocol import run_with_protocol
 from repro.hydee.recovery import ContainedRecoveryError, RecoveryManager
 from repro.models.recovery_cost import restart_set_for_nodes
-from repro.simmpi import DeadlockError, Engine, run_program
+from repro.simmpi import DeadlockError, Engine, ScheduleTrace, run_program
 
 CLASSIFICATIONS = (
     "crash",
     "deadlock",
+    "schedule_divergence",
     "engine_divergence",
     "model_optimistic",
     "model_pessimistic",
@@ -85,7 +94,9 @@ class ScenarioResult:
     classification: str
     events: tuple[EventRecord, ...] = ()
     engine_ok: bool = True
+    schedule_ok: bool = True
     kernel_deopts: tuple[tuple[str, int], ...] = ()
+    schedule_trace: tuple[tuple[int, tuple[int, ...]], ...] | None = None
     detail: str = ""
 
     @property
@@ -109,8 +120,67 @@ def _engine_outcome(engine: Engine, program) -> tuple:
     )
 
 
-def _engine_check(scenario: FuzzScenario) -> tuple[bool, dict, str]:
-    """Fast engine vs scalar reference under injection + perturbation."""
+def _schedule_check(
+    scenario: FuzzScenario, machine, sim, victims, fast_outcome
+) -> tuple[bool, tuple, str]:
+    """Explored interleaving vs the canonical schedule (same machine).
+
+    The synthetic world has no wildcard receives, so every legal
+    interleaving must reproduce the canonical outcome bit for bit; the
+    kernel fast path must stay off under a non-canonical schedule and
+    record ``non-canonical-schedule`` as the reason.
+    """
+    shape = scenario.shape
+    trace = (
+        None
+        if scenario.schedule_trace is None
+        else ScheduleTrace.from_entries(scenario.schedule_trace)
+    )
+    seeded = Engine(
+        shape.nranks,
+        network=machine.network,
+        schedule_seed=None if trace is not None else scenario.schedule_seed,
+        schedule_trace=trace,
+    )
+    seeded.failure_ranks.update(victims)
+    outcome = _engine_outcome(
+        seeded, sim.make_program(iterations=shape.iterations)
+    )
+    if seeded.kernel_runs != 0:
+        raise AssertionError(
+            f"kernel fast path ran {seeded.kernel_runs}x under a "
+            "non-canonical schedule"
+        )
+    deopts = dict(seeded.kernel_deopts)
+    if deopts and "non-canonical-schedule" not in deopts:
+        raise AssertionError(
+            "exploring engine recorded kernel deopts without naming "
+            f"the schedule: {deopts}"
+        )
+    applied = (
+        () if seeded.schedule_trace is None else seeded.schedule_trace.entries
+    )
+    if outcome != fast_outcome:
+        if outcome[0] == "deadlock":
+            detail = (
+                "explored schedule deadlocks: blocked "
+                f"{sorted(outcome[1])}"
+            )
+        elif outcome[0] != fast_outcome[0]:
+            detail = (
+                f"explored schedule {outcome[0]} != canonical "
+                f"{fast_outcome[0]}"
+            )
+        else:
+            detail = "explored schedule result/clock mismatch vs canonical"
+        return False, applied, detail
+    return True, applied, ""
+
+
+def _engine_check(scenario: FuzzScenario) -> tuple[bool, bool, dict, str, tuple | None]:
+    """Fast engine vs scalar reference under injection + perturbation,
+    plus the explored-interleaving differential when the scenario carries
+    a schedule seed or trace."""
     shape = scenario.shape
     machine = shape.machine()
     apply_perturbation(machine, scenario.perturbation)
@@ -151,12 +221,22 @@ def _engine_check(scenario: FuzzScenario) -> tuple[bool, dict, str]:
         reference, sim.make_program(iterations=shape.iterations)
     )
     if fast_outcome != ref_outcome:
-        return False, deopts, (
+        detail = (
             f"fast {fast_outcome[0]} != reference {ref_outcome[0]}"
             if fast_outcome[0] != ref_outcome[0]
             else "fast/reference outcome mismatch"
         )
-    return True, deopts, ""
+        return False, True, deopts, detail, None
+
+    schedule_ok, schedule_trace, schedule_detail = True, None, ""
+    if (
+        scenario.schedule_seed is not None
+        or scenario.schedule_trace is not None
+    ):
+        schedule_ok, schedule_trace, schedule_detail = _schedule_check(
+            scenario, machine, sim, victims, fast_outcome
+        )
+    return True, schedule_ok, deopts, schedule_detail, schedule_trace
 
 
 # -- phase B: protocol vs model ----------------------------------------------
@@ -330,12 +410,16 @@ def _protocol_check(scenario: FuzzScenario) -> list[EventRecord]:
 # -- classification -----------------------------------------------------------
 
 
-def classify(engine_ok: bool, records: list[EventRecord]) -> str:
+def classify(
+    engine_ok: bool, records: list[EventRecord], schedule_ok: bool = True
+) -> str:
     observed = [r.observed for r in records]
     if "crash" in observed:
         return "crash"
     if "deadlock" in observed:
         return "deadlock"
+    if not schedule_ok:
+        return "schedule_divergence"
     if not engine_ok:
         return "engine_divergence"
     for record in records:
@@ -353,9 +437,11 @@ def classify(engine_ok: bool, records: list[EventRecord]) -> str:
 def execute_scenario(scenario: FuzzScenario) -> ScenarioResult:
     """Run both phases and classify; never raises on scenario badness
     (crashes become a classification), only on executor-internal bugs."""
-    engine_ok, deopts, engine_detail = _engine_check(scenario)
+    engine_ok, schedule_ok, deopts, engine_detail, schedule_trace = (
+        _engine_check(scenario)
+    )
     records = _protocol_check(scenario)
-    classification = classify(engine_ok, records)
+    classification = classify(engine_ok, records, schedule_ok)
     detail = engine_detail
     if not detail:
         for record in records:
@@ -366,6 +452,8 @@ def execute_scenario(scenario: FuzzScenario) -> ScenarioResult:
         classification=classification,
         events=tuple(records),
         engine_ok=engine_ok,
+        schedule_ok=schedule_ok,
         kernel_deopts=tuple(sorted(deopts.items())),
+        schedule_trace=schedule_trace,
         detail=detail,
     )

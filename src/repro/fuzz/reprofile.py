@@ -18,7 +18,12 @@ from repro.fuzz.actors import CorruptionSpec, FuzzScenario
 from repro.fuzz.perturb import PerturbationSpec
 from repro.fuzz.shape import FuzzShape
 
-REPRO_VERSION = 1
+#: Version 2 added interleaving exploration: ``schedule_seed`` /
+#: ``schedule_trace`` on scenario files, and the standalone
+#: ``"kind": "interleaving"`` repro flavor written by the schedule sweep.
+#: Version-1 files (no schedule fields) still load.
+REPRO_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def scenario_to_dict(
@@ -53,6 +58,13 @@ def scenario_to_dict(
         },
         "actors": list(scenario.actor_names),
         "seed": scenario.seed,
+        "schedule_seed": scenario.schedule_seed,
+        "schedule_trace": None
+        if scenario.schedule_trace is None
+        else [
+            [ordinal, list(perm)]
+            for ordinal, perm in scenario.schedule_trace
+        ],
     }
 
 
@@ -60,7 +72,7 @@ def scenario_from_dict(data: dict) -> tuple[FuzzScenario, str | None]:
     """Inverse of :func:`scenario_to_dict`; returns the scenario and the
     recorded classification (``None`` for hand-written files)."""
     version = data.get("version")
-    if version != REPRO_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported repro version {version!r}")
     failures = []
     for entry in data["schedule"]:
@@ -92,6 +104,13 @@ def scenario_from_dict(data: dict) -> tuple[FuzzScenario, str | None]:
         ),
         actor_names=tuple(data.get("actors", [])),
         seed=data.get("seed"),
+        schedule_seed=data.get("schedule_seed"),
+        schedule_trace=None
+        if data.get("schedule_trace") is None
+        else tuple(
+            (int(ordinal), tuple(int(i) for i in perm))
+            for ordinal, perm in data["schedule_trace"]
+        ),
     )
     return scenario, data.get("classification")
 

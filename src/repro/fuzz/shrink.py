@@ -2,11 +2,19 @@
 
 Greedy delta-debugging over a strict cost measure: repeatedly try the
 cheapest simplifications — drop an event, shorten a node run, discard the
-network perturbation, weaken the corruption, cut the iteration horizon —
-and keep a candidate only if it still reproduces the *exact* original
-classification. Every accepted candidate strictly decreases the cost
-tuple, so the loop terminates; the result is locally minimal (no single
-remaining simplification preserves the failure class).
+network perturbation, weaken the corruption, revert the explored schedule
+(wholesale, or batch by batch once it is a concrete trace), cut the
+iteration horizon — and keep a candidate only if it still reproduces the
+*exact* original classification. Every accepted candidate strictly
+decreases the cost tuple, so the loop terminates; the result is locally
+minimal (no single remaining simplification preserves the failure class).
+
+Schedule shrinking has a materialization pre-pass: a scenario carrying
+only a ``schedule_seed`` is first re-executed to capture the engine's
+recorded :class:`~repro.simmpi.ScheduleTrace`, then (if the class
+survives replay-from-trace, which the engine guarantees) swapped to the
+explicit trace — a strict cost drop that unlocks the per-batch
+greedy reverts.
 """
 
 from __future__ import annotations
@@ -32,6 +40,17 @@ class ShrinkOutcome:
     final_cost: tuple
 
 
+def _schedule_cost(scenario: FuzzScenario) -> int:
+    """Explored-schedule complexity: canonical (0) < explicit trace
+    (1 + permuted batches) < seed-only (an opaque permutation stream —
+    priced above any realistic trace so materializing it always pays)."""
+    if scenario.schedule_trace is not None:
+        return 1 + len(scenario.schedule_trace)
+    if scenario.schedule_seed is not None:
+        return 1_000_000
+    return 0
+
+
 def _cost(scenario: FuzzScenario) -> tuple:
     """Strictly decreasing along every accepted shrink step."""
     schedule = scenario.schedule
@@ -45,6 +64,7 @@ def _cost(scenario: FuzzScenario) -> tuple:
         total_nodes,
         0 if scenario.perturbation.is_identity else 1,
         0 if scenario.corruption is None else scenario.corruption.n_shards,
+        _schedule_cost(scenario),
         scenario.shape.iterations,
     )
 
@@ -81,6 +101,24 @@ def _candidates(scenario: FuzzScenario):
     if not scenario.perturbation.is_identity:
         yield replace(scenario, perturbation=PerturbationSpec())
 
+    # Revert the explored schedule to canonical wholesale (kills the
+    # seed/trace in one step when the failure never needed it) ...
+    if (
+        scenario.schedule_seed is not None
+        or scenario.schedule_trace is not None
+    ):
+        yield replace(scenario, schedule_seed=None, schedule_trace=None)
+    # ... or batch by batch: revert one permuted batch to canonical
+    # order while preserving the rest of the interleaving.
+    if scenario.schedule_trace is not None and len(scenario.schedule_trace) > 1:
+        for skip in range(len(scenario.schedule_trace)):
+            kept_entries = tuple(
+                entry
+                for i, entry in enumerate(scenario.schedule_trace)
+                if i != skip
+            )
+            yield replace(scenario, schedule_trace=kept_entries)
+
     # Weaken, then drop, the corruption.
     if scenario.corruption is not None:
         if scenario.corruption.n_shards > 1:
@@ -114,11 +152,31 @@ def shrink(
     minimal the result gets, never changes what it reproduces.
     """
     executions = 0
-    if target is None:
+    original_cost = _cost(scenario)
+    if target is None or (
+        scenario.schedule_seed is not None and scenario.schedule_trace is None
+    ):
         baseline = execute_scenario(scenario)
         executions += 1
-        target = baseline.classification
-    original_cost = _cost(scenario)
+        if target is None:
+            target = baseline.classification
+        # Materialize a seed-only schedule into the trace the engine
+        # recorded, so the per-batch reverts below have entries to chew
+        # on. Kept only if the class survives replay-from-trace.
+        if (
+            scenario.schedule_seed is not None
+            and scenario.schedule_trace is None
+            and baseline.schedule_trace is not None
+        ):
+            candidate = replace(
+                scenario,
+                schedule_seed=None,
+                schedule_trace=baseline.schedule_trace,
+            )
+            result = execute_scenario(candidate)
+            executions += 1
+            if result.classification == target:
+                scenario = candidate
 
     current = scenario
     improved = True

@@ -11,6 +11,7 @@ message is byte-accurately recorded by
 
 from repro.simmpi.comm import Communicator
 from repro.simmpi.engine import Engine, KernelLoop, RankContext, run_program
+from repro.simmpi.schedule import ScheduleTrace
 from repro.simmpi.errors import (
     CommunicatorError,
     DeadlockError,
@@ -47,6 +48,7 @@ __all__ = [
     "PersistentSendRequest",
     "RankContext",
     "RankFailedError",
+    "ScheduleTrace",
     "SimMPIError",
     "Status",
     "TraceRecorder",

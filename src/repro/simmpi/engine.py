@@ -31,6 +31,19 @@ the same way, until no rank is runnable. The schedule is a pure function
 of the programs — no heap, no wall-clock, no iteration order over hash
 containers — so runs are exactly reproducible.
 
+``Engine(schedule_seed=...)`` turns on *interleaving exploration*: each
+batch is additionally permuted by a dedicated seeded Generator after its
+canonical sort. Ranks within a batch are causally unordered, so every
+permuted drain is a legal MPI schedule — per-rank program order and
+per-channel non-overtaking are untouched; only the global
+posting-sequence interleaving (and therefore wildcard arbitration and
+deadlock potential) varies. Applied permutations are recorded as a
+:class:`~repro.simmpi.schedule.ScheduleTrace` so any explored schedule
+replays exactly, from the seed or from the trace
+(``Engine(schedule_trace=...)``). The default path is byte-for-byte the
+canonical drain, and steady-state kernels deopt
+(``non-canonical-schedule``) while exploring.
+
 Dispatch of the yielded ops is a ``__class__``-identity chain over the
 six op types (send post, receive post, wait, wait-all, persistent start,
 collective), and message matching is per-channel: unexpected messages and
@@ -171,6 +184,7 @@ from repro.simmpi.request import (
     nbytes_of,
     static_wave_columns,
 )
+from repro.simmpi.schedule import ScheduleTrace
 from repro.simmpi.tracing import TraceRecorder
 
 # --------------------------------------------------------------------------
@@ -509,6 +523,29 @@ class Engine:
         Initial slot count of the engine's :class:`MessagePool`; the pool
         doubles on demand, so this only sizes the steady state (tests use
         tiny capacities to exercise growth).
+    schedule_seed:
+        Seeded interleaving exploration. When set, every scheduler batch
+        is permuted by a dedicated ``numpy`` Generator after its canonical
+        ascending sort — the ranks of a batch are causally unordered, so
+        every permuted drain is a legal MPI schedule; per-rank program
+        order and per-(sender, communicator) non-overtaking are
+        untouched. What changes is the *global* posting-sequence
+        interleaving, which is exactly what wildcard arbitration and
+        deadlock hunting need to see varied. The default ``None`` keeps
+        the canonical deterministic drain byte-for-byte (the permutation
+        machinery is bypassed entirely). Applied permutations are
+        recorded on :attr:`schedule_trace` after every run, so any
+        explored schedule replays exactly from the seed or from the
+        recorded trace. Steady-state kernels deopt under a non-canonical
+        schedule (``kernel_deopts["non-canonical-schedule"]``): their
+        closed-form execution assumes the canonical posting sequence.
+    schedule_trace:
+        Replay a recorded :class:`~repro.simmpi.schedule.ScheduleTrace`
+        instead of drawing permutations from a seed (repro files and the
+        schedule shrinker use this). Entries whose permutation length no
+        longer matches the batch are skipped — the batch drains
+        canonically — so partially-reverted traces stay legal. Takes
+        precedence over ``schedule_seed`` when both are given.
     failure_ranks:
         Ranks that should fail by raising :class:`RankFailedError` inside
         their program the next time they interact with the engine. Used by
@@ -525,6 +562,8 @@ class Engine:
         use_batched_p2p: bool = True,
         use_kernels: bool = True,
         pool_capacity: int = 512,
+        schedule_seed: int | None = None,
+        schedule_trace: "ScheduleTrace | None" = None,
     ):
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
@@ -535,6 +574,15 @@ class Engine:
         self.use_batched_p2p = use_batched_p2p
         self.use_kernels = use_kernels
         self.failure_ranks: set[int] = set()
+
+        # Interleaving exploration (see the schedule_seed parameter).
+        # ``schedule_trace`` publishes the permutations the last run
+        # applied (None after canonical runs); ``_replay_trace`` is the
+        # recorded trace a replay run applies instead of drawing.
+        self.schedule_seed = schedule_seed
+        self._replay_trace = schedule_trace
+        self.schedule_trace: ScheduleTrace | None = None
+        self._sched_exploring = False
 
         # Protocol hooks (used by repro.hydee): an optional message log that
         # captures payloads of selected messages at send time, and
@@ -671,6 +719,38 @@ class Engine:
             self._in_next.add(rank)
             self._next_runnable.append(rank)
 
+    def _permute_batch(
+        self,
+        batch: list[int],
+        ordinal: int,
+        rng,
+        recorder: list[tuple[int, tuple[int, ...]]],
+    ) -> list[int]:
+        """Permute one sorted batch under interleaving exploration.
+
+        Seed mode (``rng`` set) draws a permutation per multi-rank batch
+        and records the non-identity ones; replay mode applies the
+        recorded permutation for this ordinal, skipping entries whose
+        length no longer matches the batch (a shrunk trace shifted what
+        runs when — canonical order keeps the schedule legal). Ranks in
+        one batch are causally unordered, so any order is MPI-legal.
+        """
+        n = len(batch)
+        if n < 2:
+            return batch
+        if rng is not None:
+            perm = rng.permutation(n)
+            permuted = [batch[i] for i in perm]
+            if permuted != batch:
+                recorder.append((ordinal, tuple(int(i) for i in perm)))
+                return permuted
+            return batch
+        perm = self._replay_trace.permutation_for(ordinal)
+        if perm is None or len(perm) != n:
+            return batch
+        recorder.append((ordinal, perm))
+        return [batch[i] for i in perm]
+
     def run(
         self,
         program: RankProgram | Sequence[RankProgram],
@@ -750,6 +830,22 @@ class Engine:
         # batched p2p invariants. Failure injection is re-checked at every
         # trigger: tests arm it mid-run. Compiled kernels cannot outlive
         # the ops they were compiled from, so the cache resets per run.
+        # Interleaving exploration: a dedicated Generator (or a recorded
+        # trace) permutes each batch after its canonical sort. With
+        # ``schedule_seed=None`` and no replay trace, ``exploring`` is
+        # False and the scheduler below is byte-for-byte the canonical
+        # deterministic drain.
+        sched_rng = None
+        replay = self._replay_trace
+        if self.schedule_seed is not None and replay is None:
+            sched_rng = np.random.Generator(
+                np.random.PCG64(int(self.schedule_seed))
+            )
+        exploring = sched_rng is not None or replay is not None
+        self._sched_exploring = exploring
+        sched_recorder: list[tuple[int, tuple[int, ...]]] = []
+        self.schedule_trace = None
+
         self._kernel_cache = {}
         self._kernel_held = []
         self._kernel_fast_ok = (
@@ -757,12 +853,16 @@ class Engine:
             and self.use_batched_p2p
             and self.message_log is None
             and not self.track_recv_counts
+            and not exploring
         )
         self._unfinished = self.nranks
 
         states = self._states
         step = self._step
         batch = list(range(self.nranks))
+        if exploring:
+            batch = self._permute_batch(batch, 0, sched_rng, sched_recorder)
+        ordinal = 0
         self._next_runnable = []
         self._in_next = set()
         # Pause generational GC while the scheduler drains: the engine's
@@ -793,6 +893,11 @@ class Engine:
                     # release the held ranks through the interpreted
                     # expansion. Either way they form the next batch.
                     batch = self._release_held_kernels()
+                if exploring and batch:
+                    ordinal += 1
+                    batch = self._permute_batch(
+                        batch, ordinal, sched_rng, sched_recorder
+                    )
         finally:
             if resume_gc:
                 gc.enable()
@@ -800,6 +905,11 @@ class Engine:
             # draining: flushing keeps partial-run traces exact.
             if self._wave_slots or self._deferred_free:
                 self._price_pending_sends()
+            if exploring:
+                # Publish the applied permutations on every exit path —
+                # a deadlocked or crashed exploration must still yield a
+                # replay-exact trace for its repro file.
+                self.schedule_trace = ScheduleTrace(tuple(sched_recorder))
 
         unfinished = [s for s in self._states if not s.finished]
         if unfinished:
@@ -1338,7 +1448,13 @@ class Engine:
             state.blocked_on = Request(state.rank)
             return _KERNEL_PARKED
         if not self._kernel_fast_ok:
-            self._kernel_deopt("engine-gated")
+            # Interleaving exploration gets its own reason: the compiled
+            # kernel replays the *canonical* posting sequence, which is
+            # exactly what a non-canonical schedule must not assume.
+            if self._sched_exploring:
+                self._kernel_deopt("non-canonical-schedule")
+            else:
+                self._kernel_deopt("engine-gated")
         else:
             # Fast path is on but failure injection is active: the loop
             # must expand to micro-steps so the injection strikes at the
@@ -1925,6 +2041,8 @@ def run_program(
     tracer: TraceRecorder | None = None,
     use_fast_collectives: bool = True,
     use_batched_p2p: bool = True,
+    schedule_seed: int | None = None,
+    schedule_trace: "ScheduleTrace | None" = None,
 ) -> list[Any]:
     """One-shot convenience wrapper: build an engine, run, return results."""
     engine = Engine(
@@ -1933,6 +2051,8 @@ def run_program(
         tracer=tracer,
         use_fast_collectives=use_fast_collectives,
         use_batched_p2p=use_batched_p2p,
+        schedule_seed=schedule_seed,
+        schedule_trace=schedule_trace,
     )
     return engine.run(program)
 
@@ -1947,6 +2067,7 @@ __all__ = [
     "PostSend",
     "StartAll",
     "RankContext",
+    "ScheduleTrace",
     "Wait",
     "WaitAll",
     "run_program",

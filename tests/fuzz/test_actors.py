@@ -112,5 +112,6 @@ class TestComposition:
         assert dropped_some
 
     def test_all_actors_registered(self):
-        assert len(ALL_ACTORS) == 6
-        assert len(set(ACTOR_NAMES)) == 6
+        assert len(ALL_ACTORS) == 7
+        assert len(set(ACTOR_NAMES)) == 7
+        assert "interleave" in ACTOR_NAMES

@@ -90,6 +90,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "coverage: soft=" in out
 
+    def test_fuzz_schedule_sweep_writes_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "ilv-out"
+        assert main(
+            ["fuzz", "--schedules", "16", "--workload", "race-demo",
+             "--out-dir", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "interleaving sweep [race-demo]: 16 schedules" in out
+        assert "divergences:" in out
+        assert (out_dir / "BENCH_interleaving.json").exists()
+        repros = list(out_dir.glob("schedule_repro_*.json"))
+        assert repros, "race-demo sweep found no schedule repro"
+        assert main(["fuzz", "--replay", str(repros[0])]) == 0
+
     def test_fuzz_replay_roundtrip(self, capsys, tmp_path):
         from repro.failures import FailureScenario
         from repro.fuzz import FuzzScenario, FuzzShape, save_repro
