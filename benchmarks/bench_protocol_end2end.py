@@ -10,7 +10,7 @@ recovery-cost dimension, exercised for real rather than modeled.
 import numpy as np
 import pytest
 
-from repro.apps import TsunamiConfig, TsunamiSimulation
+from repro.apps import ExecutionMode, TsunamiConfig, TsunamiSimulation
 from repro.clustering import Clustering
 from repro.failures import FailureEvent
 from repro.hydee import RecoveryManager, run_with_protocol
@@ -19,8 +19,9 @@ from repro.simmpi import run_program
 
 
 def build_setup(iterations=16, use_waves=True):
+    mode = ExecutionMode.KERNELS if use_waves else ExecutionMode.PER_MESSAGE
     cfg = TsunamiConfig(px=4, py=4, nx=32, ny=32, iterations=iterations,
-                        allreduce_every=5, use_waves=use_waves)
+                        allreduce_every=5, mode=mode)
     sim = TsunamiSimulation(cfg)
     machine = Machine(8, 2)
     l1 = np.array([0] * 8 + [1] * 8)

@@ -84,6 +84,12 @@ MIN_FIG5_WAVE_SPEEDUP = 1.3
 #: Floor of the kernelized fig5 run against the last recorded pre-kernel
 #: wave baseline (applies exactly once: for the first kernel record).
 MIN_FIG5_KERNEL_SPEEDUP = 2.0
+#: Floor of the 4-shard fig5 run against the single-process engine.
+#: Parallel shards need parallel hardware, so — unlike the other floors —
+#: this one is additionally gated on ``os.cpu_count() >= 4``; hosts with
+#: fewer cores record honest (unscaled) numbers alongside their core
+#: count instead.
+MIN_SHARDED_SPEEDUP = 1.5
 
 
 def _floors_enforced() -> bool:
@@ -248,6 +254,7 @@ def _fig5_setup(
     (asserted by :func:`time_simmpi`).
     """
     from repro.apps.tsunami import TsunamiConfig, TsunamiSimulation
+    from repro.apps.workload import ExecutionMode
     from repro.ftilib.tracesim import FTITraceConfig, make_fti_world_programs
     from repro.machine.placement import FTIPlacement
     from repro.machine.tsubame2 import tsubame2_fti_machine
@@ -255,6 +262,12 @@ def _fig5_setup(
     n_app = nodes * app_per_node
     px = 32 if n_app == 1024 else int(np.sqrt(n_app))
     py = n_app // px
+    if use_kernels:
+        mode = ExecutionMode.KERNELS
+    elif use_waves:
+        mode = ExecutionMode.WAVES
+    else:
+        mode = ExecutionMode.PER_MESSAGE
     cfg = TsunamiConfig(
         px=px,
         py=py,
@@ -263,8 +276,7 @@ def _fig5_setup(
         iterations=iterations,
         synthetic=True,
         allreduce_every=0,
-        use_waves=use_waves,
-        use_kernels=use_kernels,
+        mode=mode,
     )
     sim = TsunamiSimulation(cfg)
     placement = FTIPlacement(nodes, app_per_node)
@@ -748,11 +760,176 @@ def _pr5_wave_baseline() -> int | None:
     return latest.get("ranks_per_s")
 
 
+# -- sharded multi-process engine (conservative-window parallel DES) --------
+
+
+def _run_sharded(workload, network, *, shards: int, workers: int):
+    from repro.simmpi.shard import ShardedEngine
+    from repro.simmpi.tracing import TraceRecorder
+
+    tracer = TraceRecorder(workload.nranks, by_kind=True)
+    engine = ShardedEngine(
+        shards, workers=workers, network=network, tracer=tracer
+    )
+    gc.collect()
+    t0 = time.perf_counter()
+    engine.run(workload)
+    elapsed = time.perf_counter() - t0
+    return tracer, engine.rank_times(), elapsed
+
+
+def time_sharded(
+    *, nodes: int = 64, app_per_node: int = 16, iterations: int = 10
+) -> dict:
+    """The §V fig5 run on the sharded engine; byte-identity asserted first.
+
+    Runs ``shards ∈ {1, 2, 4}`` with one worker process per shard and
+    asserts every run byte-identical (traces) and bit-identical (clocks)
+    to the single-process engine *before* recording any timing — a
+    sharded number that isn't exact is not a number worth recording.
+    ``ranks_per_s`` is the 4-shard rate; ``cores`` records the host's
+    parallelism so trajectory readers can tell scaling shortfalls on
+    narrow hosts from real regressions (the scaling floor in ``main``
+    is gated on ``cores >= 4``).
+    """
+    from repro.apps.workload import fig5_workload
+    from repro.machine.tsubame2 import tsubame2_fti_machine
+
+    workload = fig5_workload(
+        nodes=nodes,
+        app_per_node=app_per_node,
+        iterations=iterations,
+        checkpoint_every=25,
+    )
+    network = tsubame2_fti_machine(nodes, app_per_node).network
+
+    class _World:
+        nranks = workload.nranks
+
+    ref_tracer, ref_clocks, single_s = _run_traced(
+        _World, workload.build_programs(), network, fast=True
+    )
+    record: dict = {
+        "nranks": workload.nranks,
+        "iterations": iterations,
+        "cores": os.cpu_count(),
+        "single_s": round(single_s, 4),
+        "single_ranks_per_s": round(workload.nranks * iterations / single_s),
+        "scaling": {},
+    }
+    for shards in (1, 2, 4):
+        tracer, clocks, elapsed = _run_sharded(
+            workload, network, shards=shards, workers=shards
+        )
+        _assert_traced_equal(
+            (ref_tracer, ref_clocks),
+            (tracer, clocks),
+            f"{shards}-shard run vs the single-process engine",
+        )
+        record["scaling"][str(shards)] = {
+            "wall_s": round(elapsed, 4),
+            "ranks_per_s": round(workload.nranks * iterations / elapsed),
+        }
+    record["ranks_per_s"] = record["scaling"]["4"]["ranks_per_s"]
+    record["speedup_4shards"] = round(
+        single_s / record["scaling"]["4"]["wall_s"], 2
+    )
+    return record
+
+
+def time_sharded_10k(
+    *, px: int = 64, py: int = 160, iterations: int = 2
+) -> dict:
+    """A ≥10k-rank traced run: the world size dense recording can't hold.
+
+    10 240 heat-stencil ranks on 4 shards with a sparse (COO) recorder —
+    a dense 10240² byte matrix alone is ~840 MB, which is exactly the
+    regime the sharded engine plus :class:`SparseTraceRecorder` exist
+    for. Sanity-checks structure (message conservation, halo-neighbor
+    count) rather than re-running a single-process reference at this
+    scale; exactness is pinned by :func:`time_sharded` and the test
+    suite on smaller worlds.
+    """
+    from repro.apps.heat import HeatConfig
+    from repro.apps.workload import HeatWorkload
+    from repro.simmpi.shard import ShardedEngine
+    from repro.simmpi.tracing import SparseTraceRecorder
+
+    workload = HeatWorkload(
+        HeatConfig(
+            px=px,
+            py=py,
+            nx=2 * px,
+            ny=2 * py,
+            iterations=iterations,
+            synthetic=True,
+        )
+    )
+    nranks = workload.nranks
+    tracer = SparseTraceRecorder(nranks, by_kind=True)
+    engine = ShardedEngine(4, workers=4, tracer=tracer)
+    gc.collect()
+    t0 = time.perf_counter()
+    engine.run(workload)
+    elapsed = time.perf_counter() - t0
+    messages = int(tracer.total_messages)
+    if messages <= 0 or messages % iterations != 0:
+        raise RuntimeError(
+            f"10k-rank run traced {messages} messages "
+            f"(not a multiple of {iterations} iterations)"
+        )
+    return {
+        "nranks": nranks,
+        "iterations": iterations,
+        "shards": 4,
+        "workers": 4,
+        "recorder": "sparse",
+        "wall_s": round(elapsed, 4),
+        "ranks_per_s": round(nranks * iterations / elapsed),
+        "traced_messages": messages,
+        "traced_bytes": int(tracer.total_bytes),
+    }
+
+
+def _smoke_sharded() -> None:
+    """Sharded-vs-single byte-identity on tiny shapes (the CI smoke cut).
+
+    Sweeps the fig5 world over shard counts with in-process and
+    multi-process hosting — worker-count invariance is part of the
+    contract, so both paths run with the equivalence asserts live.
+    """
+    from repro.apps.workload import fig5_workload
+    from repro.machine.tsubame2 import tsubame2_fti_machine
+
+    workload = fig5_workload(
+        nodes=4, app_per_node=4, iterations=3, checkpoint_every=2
+    )
+    network = tsubame2_fti_machine(4, 4).network
+
+    class _World:
+        nranks = workload.nranks
+
+    ref_tracer, ref_clocks, _ = _run_traced(
+        _World, workload.build_programs(), network, fast=True
+    )
+    for shards in (1, 2, 4):
+        for workers in (0, 2):
+            tracer, clocks, _ = _run_sharded(
+                workload, network, shards=shards, workers=workers
+            )
+            _assert_traced_equal(
+                (ref_tracer, ref_clocks),
+                (tracer, clocks),
+                f"smoke sharded x{shards} (workers={workers})",
+            )
+
+
 # -- protocol end-to-end (sender-based logging + receive counting live) -----
 
 
 def _protocol_setup(*, use_waves: bool, iterations: int):
     from repro.apps.tsunami import TsunamiConfig, TsunamiSimulation
+    from repro.apps.workload import ExecutionMode
     from repro.clustering import naive_clustering
     from repro.machine.machine import Machine
 
@@ -763,7 +940,7 @@ def _protocol_setup(*, use_waves: bool, iterations: int):
         ny=32,
         iterations=iterations,
         allreduce_every=5,
-        use_waves=use_waves,
+        mode=ExecutionMode.KERNELS if use_waves else ExecutionMode.PER_MESSAGE,
     )
     return TsunamiSimulation(cfg), Machine(4, 4), naive_clustering(16, 4)
 
@@ -1074,6 +1251,7 @@ _BASELINE_RATES: dict[str, list[tuple[tuple[str, ...], str]]] = {
             ("simmpi", "interleaving", "schedules_per_s"),
             "interleaving schedules/s",
         ),
+        (("simmpi", "sharded", "ranks_per_s"), "sharded fig5 rank-iters/s"),
     ],
     "BENCH_fuzzer.json": [
         (("fuzzer", "scenarios_per_s"), "fuzz scenarios/s"),
@@ -1148,10 +1326,9 @@ def _smoke_wave_apps() -> None:
     fig5 run; this sweeps the other kernel-eligible steady-state loops
     on tiny shapes.
     """
-    from dataclasses import replace
-
     from repro.apps.heat import HeatConfig, HeatSimulation
     from repro.apps.spectral import SpectralConfig, SpectralSimulation
+    from repro.apps.workload import ExecutionMode, with_mode
     from repro.simmpi.engine import Engine
     from repro.simmpi.tracing import TraceRecorder
 
@@ -1169,16 +1346,15 @@ def _smoke_wave_apps() -> None:
         ),
     ):
         runs = {}
-        for shape in (("permsg", False, False), ("wave", True, False), ("kernel", True, True)):
-            label, use_waves, use_kernels = shape
+        for label, mode in (
+            ("permsg", ExecutionMode.PER_MESSAGE),
+            ("wave", ExecutionMode.WAVES),
+            ("kernel", ExecutionMode.KERNELS),
+        ):
             nranks = 4
             tracer = TraceRecorder(nranks, by_kind=True)
             engine = Engine(nranks, network=_bench_network(), tracer=tracer)
-            engine.run(
-                sim_cls(
-                    replace(cfg, use_waves=use_waves, use_kernels=use_kernels)
-                ).make_program()
-            )
+            engine.run(sim_cls(with_mode(cfg, mode)).make_program())
             runs[label] = (tracer, engine.rank_times())
         _assert_traced_equal(
             runs["permsg"], runs["wave"], f"{name} wave vs per-message"
@@ -1223,6 +1399,11 @@ def run_smoke() -> None:
     )
     _smoke_wave_apps()
     print("smoke wave apps: heat/spectral wave and kernel paths identical")
+    _smoke_sharded()
+    print(
+        "smoke sharded: fig5 over 1/2/4 shards, in-process and "
+        "multi-process, byte-identical to the single engine"
+    )
     protocol = time_protocol_end2end(iterations=8, checkpoint_every=3)
     print(
         f"smoke protocol: {protocol['logged_messages']} logged messages, "
@@ -1369,6 +1550,8 @@ def main() -> None:
         simmpi["p2p"] = time_simmpi_p2p()
         simmpi["protocol"] = time_protocol_end2end()
         simmpi["interleaving"] = time_interleaving()
+        simmpi["sharded"] = time_sharded(iterations=args.simmpi_iterations)
+        simmpi["sharded"]["world10k"] = time_sharded_10k()
         simmpi["gate"]["split_ranks_per_s"] = round(measure_simmpi_split())
         simmpi["gate"]["p2p_wave_msgs_per_s"] = round(measure_p2p_wave())
         if enforce and simmpi["speedup"] < MIN_SIMMPI_SPEEDUP:
@@ -1380,6 +1563,17 @@ def main() -> None:
             raise RuntimeError(
                 f"split-communicator fast path at {simmpi['split']['speedup']}x "
                 f"(floor {MIN_SPLIT_SPEEDUP}x) — not recording"
+            )
+        sharded = simmpi["sharded"]
+        if (
+            enforce
+            and (sharded["cores"] or 0) >= 4
+            and sharded["speedup_4shards"] < MIN_SHARDED_SPEEDUP
+        ):
+            raise RuntimeError(
+                f"4-shard fig5 run at {sharded['speedup_4shards']}x over "
+                f"the single-process engine on {sharded['cores']} cores "
+                f"(floor {MIN_SHARDED_SPEEDUP}x) — not recording"
             )
         if pr4_baseline is not None:
             # The honest before/after of the wave-native port: PR 4's
@@ -1462,6 +1656,21 @@ def main() -> None:
             f"simmpi interleaving: {ilv['schedules']} seeded schedules of "
             f"the fig5 control traffic — {ilv['permuted_batches']} permuted "
             f"batches, 0 divergences ({ilv['schedules_per_s']}/s)"
+        )
+        sharded = simmpi["sharded"]
+        print(
+            f"simmpi sharded: {sharded['nranks']} ranks on 1/2/4 shards — "
+            f"single {sharded['single_s']}s, 4-shard "
+            f"{sharded['scaling']['4']['wall_s']}s "
+            f"({sharded['speedup_4shards']}x on {sharded['cores']} core(s), "
+            f"byte-identical)"
+        )
+        w10k = sharded["world10k"]
+        print(
+            f"simmpi sharded 10k: {w10k['nranks']} ranks x "
+            f"{w10k['iterations']} iters in {w10k['wall_s']}s "
+            f"({w10k['ranks_per_s']} rank-iters/s, sparse trace, "
+            f"{w10k['traced_messages']} messages)"
         )
         print(f"recorded -> {simmpi_artifact}")
 

@@ -32,27 +32,49 @@ from repro.apps.tsunami import (
     paper_tsunami_config,
     swe_step,
 )
+from repro.apps.workload import (
+    ExecutionMode,
+    FTIWorkload,
+    HeatWorkload,
+    ProgramsWorkload,
+    SpectralWorkload,
+    TsunamiWorkload,
+    Workload,
+    fig5_workload,
+    resolve_execution,
+    with_mode,
+)
 
 __all__ = [
     "EAST",
+    "ExecutionMode",
+    "FTIWorkload",
     "GRAVITY",
     "HALO_TAG_BASE",
     "HeatConfig",
     "HeatSimulation",
+    "HeatWorkload",
     "NORTH",
     "ProcessGrid",
+    "ProgramsWorkload",
     "SOUTH",
     "SpectralConfig",
     "SpectralSimulation",
+    "SpectralWorkload",
     "TsunamiConfig",
     "TsunamiSimulation",
+    "TsunamiWorkload",
     "WEST",
+    "Workload",
+    "fig5_workload",
     "fill_physical_ghosts",
     "halo_exchange",
     "heat_step",
     "initial_eta",
     "initial_field",
     "paper_tsunami_config",
+    "resolve_execution",
     "swe_step",
     "synthetic_halo_exchange",
+    "with_mode",
 ]

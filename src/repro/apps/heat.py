@@ -19,6 +19,7 @@ from repro.apps.stencil import (
     halo_exchange,
     synthetic_halo_exchange,
 )
+from repro.apps.workload import ExecutionMode, resolve_execution
 from repro.util.validation import check_in_range, check_positive
 
 
@@ -33,19 +34,24 @@ class HeatConfig:
     iterations: int = 100
     alpha: float = 0.2  # diffusion number dt*k/dx^2, stable for < 0.25
     synthetic: bool = False
-    # Persistent-request halo waves (identical messages/traces/clocks;
-    # ``use_waves=False`` pins the per-message reference).
-    use_waves: bool = True
-    # Emit the synthetic steady loop as one KernelLoop op so the engine
-    # can vectorize whole iterations (falls back to the wave loop under
-    # hooks, real payloads, or non-wave communicators).
-    use_kernels: bool = True
+    # Execution mode (None resolves to ExecutionMode.KERNELS); the
+    # boolean pair below is the deprecated one-release shim, rewritten to
+    # concrete booleans by resolve_execution so existing readers work.
+    mode: ExecutionMode | None = None
+    use_waves: bool | None = None
+    use_kernels: bool | None = None
     hot_spot_temp: float = 100.0
 
     def __post_init__(self) -> None:
         check_positive("iterations", self.iterations, strict=False)
         check_in_range("alpha", self.alpha, 0.0, 0.25)
         ProcessGrid(self.px, self.py, self.nx, self.ny)
+        mode, waves, kernels = resolve_execution(
+            self.mode, self.use_waves, self.use_kernels, owner="HeatConfig"
+        )
+        object.__setattr__(self, "mode", mode)
+        object.__setattr__(self, "use_waves", waves)
+        object.__setattr__(self, "use_kernels", kernels)
 
     @property
     def grid(self) -> ProcessGrid:

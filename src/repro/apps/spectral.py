@@ -21,6 +21,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.apps.workload import ExecutionMode, resolve_execution
 from repro.util.validation import check_positive
 
 
@@ -39,14 +40,12 @@ class SpectralConfig:
     iterations: int = 4
     damping: float = 0.99
     synthetic: bool = False
-    # Synthetic transposes post as persistent-request waves (one start_all
-    # + one waitall per round); ``use_waves=False`` pins the per-message
-    # reference, which shares the same post-all-then-drain structure so
-    # stamps, traces and clocks are identical between the two.
-    use_waves: bool = True
-    # Emit the synthetic loop as one KernelLoop (two transpose rounds
-    # per iteration) so the engine can vectorize whole iterations.
-    use_kernels: bool = True
+    # Execution mode (None resolves to ExecutionMode.KERNELS); the
+    # boolean pair below is the deprecated one-release shim, rewritten to
+    # concrete booleans by resolve_execution so existing readers work.
+    mode: ExecutionMode | None = None
+    use_waves: bool | None = None
+    use_kernels: bool | None = None
 
     def __post_init__(self) -> None:
         check_positive("nranks", self.nranks)
@@ -55,6 +54,12 @@ class SpectralConfig:
             raise ValueError(
                 f"grid side {self.n} not divisible by {self.nranks} ranks"
             )
+        mode, waves, kernels = resolve_execution(
+            self.mode, self.use_waves, self.use_kernels, owner="SpectralConfig"
+        )
+        object.__setattr__(self, "mode", mode)
+        object.__setattr__(self, "use_waves", waves)
+        object.__setattr__(self, "use_kernels", kernels)
 
     @property
     def rows_per_rank(self) -> int:

@@ -35,6 +35,7 @@ from repro.apps.stencil import (
     halo_exchange,
     synthetic_halo_exchange,
 )
+from repro.apps.workload import ExecutionMode, resolve_execution
 from repro.util.validation import check_positive
 
 #: Gravitational acceleration used by the solver (m/s^2).
@@ -59,15 +60,17 @@ class TsunamiConfig:
     depth: float = 100.0  # resting water depth (m)
     dt: float | None = None  # None: 0.4 * CFL limit
     synthetic: bool = False
-    # Post the steady-state halo loop as a persistent-request wave (one
-    # start_all + one waitall per iteration) instead of per-message
-    # isend/irecv/wait. Messages, traces and clocks are identical either
-    # way; ``use_waves=False`` pins the per-message reference.
-    use_waves: bool = True
-    # Emit the synthetic steady loop as KernelLoop ops (one per
-    # allreduce window) so the engine can vectorize whole iterations;
-    # identical messages/traces/clocks, hooks/real payloads fall back.
-    use_kernels: bool = True
+    # How the steady-state loop drives the engine; the canonical knob.
+    # None resolves to ExecutionMode.KERNELS (waves + kernel loops) unless
+    # the deprecated boolean flags below say otherwise. Messages, traces
+    # and clocks are identical across modes; PER_MESSAGE pins the
+    # bit-exact isend/irecv/wait reference.
+    mode: ExecutionMode | None = None
+    # Deprecated flag pair (one release): resolved against ``mode`` by
+    # resolve_execution, which rewrites both to concrete booleans so
+    # existing ``cfg.use_waves`` readers keep working.
+    use_waves: bool | None = None
+    use_kernels: bool | None = None
     allreduce_every: int = 25
     # Initial condition: Gaussian hump (amplitude in m, width in cells).
     hump_amplitude: float = 2.0
@@ -80,6 +83,12 @@ class TsunamiConfig:
         check_positive("dx", self.dx)
         check_positive("depth", self.depth)
         ProcessGrid(self.px, self.py, self.nx, self.ny)  # validates divisibility
+        mode, waves, kernels = resolve_execution(
+            self.mode, self.use_waves, self.use_kernels, owner="TsunamiConfig"
+        )
+        object.__setattr__(self, "mode", mode)
+        object.__setattr__(self, "use_waves", waves)
+        object.__setattr__(self, "use_kernels", kernels)
 
     @property
     def grid(self) -> ProcessGrid:

@@ -157,6 +157,120 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def cmd_sim(args) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.apps.workload import fig5_workload
+    from repro.simmpi import (
+        Engine,
+        ShardedEngine,
+        SparseTraceRecorder,
+        TraceRecorder,
+    )
+
+    if args.workload == "fig5":
+        workload = fig5_workload(
+            nodes=args.nodes,
+            app_per_node=args.app_per_node,
+            iterations=args.iterations,
+            checkpoint_every=args.checkpoint_every,
+        )
+    elif args.workload == "heat":
+        from repro.apps import HeatConfig
+        from repro.apps.workload import HeatWorkload
+
+        workload = HeatWorkload(
+            HeatConfig(
+                px=args.px,
+                py=args.py,
+                nx=8 * args.px,
+                ny=8 * args.py,
+                iterations=args.iterations,
+            )
+        )
+    elif args.workload == "tsunami":
+        from repro.apps import TsunamiConfig
+        from repro.apps.workload import TsunamiWorkload
+
+        workload = TsunamiWorkload(
+            TsunamiConfig(
+                px=args.px,
+                py=args.py,
+                nx=8 * args.px,
+                ny=8 * args.py,
+                iterations=args.iterations,
+                synthetic=True,
+                allreduce_every=4,
+            )
+        )
+    else:  # spectral
+        from repro.apps import SpectralConfig
+        from repro.apps.workload import SpectralWorkload
+
+        workload = SpectralWorkload(
+            SpectralConfig(
+                nranks=args.nranks,
+                n=2 * args.nranks,
+                iterations=args.iterations,
+                synthetic=True,
+            )
+        )
+
+    nranks = workload.nranks
+    recorder_cls = SparseTraceRecorder if args.sparse else TraceRecorder
+    tracer = None if args.no_trace else recorder_cls(nranks, by_kind=True)
+    engine = ShardedEngine(
+        args.shards, workers=args.workers, tracer=tracer
+    )
+    t0 = time.perf_counter()
+    engine.run(workload)
+    elapsed = time.perf_counter() - t0
+    clocks = engine.rank_times()
+
+    rank_iters = nranks * args.iterations
+    print(f"workload: {args.workload} ({nranks} ranks)")
+    hosts = min(args.workers, args.shards)
+    print(
+        f"shards: {args.shards} on "
+        f"{f'{hosts} worker process(es)' if hosts else 'the coordinator'}, "
+        f"{engine.windows_run} sync window(s), "
+        f"{engine.fast_collectives_run} fast collective(s)"
+    )
+    print(
+        f"elapsed: {elapsed:.2f} s wall "
+        f"({rank_iters / elapsed:,.0f} rank-iterations/s), "
+        f"virtual time {max(clocks):.6f} s"
+    )
+    if tracer is not None:
+        print(
+            f"traced: {int(tracer.total_messages):,} messages, "
+            f"{int(tracer.total_bytes):,} bytes"
+        )
+
+    if args.verify:
+        ref_tracer = None if args.no_trace else recorder_cls(
+            nranks, by_kind=True
+        )
+        ref_engine = Engine(nranks, tracer=ref_tracer)
+        ref_engine.run(workload.build_programs())
+        ok = clocks == ref_engine.rank_times()
+        if tracer is not None:
+            dense, ref_dense = tracer, ref_tracer
+            if args.sparse:
+                dense, ref_dense = tracer.to_dense(), ref_tracer.to_dense()
+            ok = ok and bool(
+                np.array_equal(dense.bytes_matrix, ref_dense.bytes_matrix)
+                and np.array_equal(dense.count_matrix, ref_dense.count_matrix)
+            )
+        if not ok:
+            print("VERIFY FAILED: sharded run diverged from single-process")
+            return 1
+        print("verified: traces byte-identical, clocks bit-identical")
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     import json
     from pathlib import Path
@@ -319,6 +433,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--node-mtbf-years", type=float, default=0.25)
     p.add_argument("--seed", type=int, default=2012)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "sim",
+        help="run a workload on the sharded multi-process trace engine",
+    )
+    p.add_argument(
+        "--workload", choices=["fig5", "heat", "tsunami", "spectral"],
+        default="fig5",
+        help="workload to simulate (default fig5: the §V control traffic)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="subworlds to partition the rank set into (default 1)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes hosting the shards (0 = in-process; "
+        "results are invariant to this knob)",
+    )
+    p.add_argument("--iterations", type=int, default=24)
+    p.add_argument("--nodes", type=int, default=16, help="fig5: node count")
+    p.add_argument(
+        "--app-per-node", type=int, default=4,
+        help="fig5: application ranks per node",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=8,
+        help="fig5: iterations between checkpoints",
+    )
+    p.add_argument("--px", type=int, default=4, help="heat/tsunami: grid px")
+    p.add_argument("--py", type=int, default=4, help="heat/tsunami: grid py")
+    p.add_argument(
+        "--nranks", type=int, default=8, help="spectral: world size"
+    )
+    p.add_argument(
+        "--sparse", action="store_true",
+        help="record the trace sparsely (COO) — for 10k-rank worlds where "
+        "a dense nranks² matrix would dominate memory",
+    )
+    p.add_argument(
+        "--no-trace", action="store_true",
+        help="skip trace recording entirely (timing-only run)",
+    )
+    p.add_argument(
+        "--verify", action="store_true",
+        help="also run the single-process engine and assert byte-identical "
+        "traces and bit-identical clocks",
+    )
+    p.set_defaults(func=cmd_sim)
 
     p = sub.add_parser(
         "fuzz",

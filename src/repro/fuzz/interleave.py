@@ -99,6 +99,7 @@ def build_world(spec: InterleavingSpec):
     import numpy as np
 
     from repro.apps.tsunami import TsunamiConfig, TsunamiSimulation
+    from repro.apps.workload import ExecutionMode
     from repro.ftilib.tracesim import FTITraceConfig, make_fti_world_programs
     from repro.machine.placement import FTIPlacement
     from repro.machine.tsubame2 import tsubame2_fti_machine
@@ -114,8 +115,7 @@ def build_world(spec: InterleavingSpec):
         iterations=spec.iterations,
         synthetic=True,
         allreduce_every=0,
-        use_waves=True,
-        use_kernels=False,
+        mode=ExecutionMode.WAVES,
     )
     sim = TsunamiSimulation(cfg)
     placement = FTIPlacement(spec.nodes, spec.app_per_node)

@@ -10,8 +10,10 @@ message is byte-accurately recorded by
 """
 
 from repro.simmpi.comm import Communicator
+from repro.simmpi.config import EngineConfig
 from repro.simmpi.engine import Engine, KernelLoop, RankContext, run_program
 from repro.simmpi.schedule import ScheduleTrace
+from repro.simmpi.shard import ShardedEngine, partition_workload
 from repro.simmpi.errors import (
     CommunicatorError,
     DeadlockError,
@@ -29,7 +31,7 @@ from repro.simmpi.request import (
     Status,
     nbytes_of,
 )
-from repro.simmpi.tracing import TraceRecorder
+from repro.simmpi.tracing import SparseTraceRecorder, TraceRecorder
 from repro.simmpi import collectives
 
 __all__ = [
@@ -39,6 +41,7 @@ __all__ = [
     "CommunicatorError",
     "DeadlockError",
     "Engine",
+    "EngineConfig",
     "KernelLoop",
     "LinkParameters",
     "MessagePool",
@@ -49,11 +52,14 @@ __all__ = [
     "RankContext",
     "RankFailedError",
     "ScheduleTrace",
+    "ShardedEngine",
     "SimMPIError",
+    "SparseTraceRecorder",
     "Status",
     "TraceRecorder",
     "collectives",
     "nbytes_of",
+    "partition_workload",
     "run_program",
     "zero_latency_network",
 ]

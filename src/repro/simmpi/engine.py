@@ -162,6 +162,7 @@ from typing import Any, Callable, Generator, Sequence
 import numpy as np
 
 from repro.simmpi import collectives as _coll
+from repro.simmpi.config import EngineConfig
 from repro.simmpi.errors import DeadlockError, MatchingError, RankFailedError
 from repro.simmpi.network import NetworkModel, zero_latency_network
 from repro.simmpi.request import (
@@ -550,37 +551,70 @@ class Engine:
         Ranks that should fail by raising :class:`RankFailedError` inside
         their program the next time they interact with the engine. Used by
         the failure-injection layers; normal runs leave it empty.
+
+    The primary constructor is ``Engine(nranks, config=EngineConfig(...))``:
+    one frozen, picklable object carries every knob above (plus the
+    failure/observer gates), which is what the sharded engine's workers and
+    the fuzz executor replicate across process boundaries. The loose
+    keyword arguments keep working as a shim that builds the equivalent
+    config; passing ``config=`` *and* a legacy keyword raises — merging
+    them silently would make the winning flag ambiguous.
     """
+
+    _UNSET = object()  # legacy-kwarg sentinel for the config shim
 
     def __init__(
         self,
         nranks: int,
         *,
+        config: EngineConfig | None = None,
         network: NetworkModel | None = None,
         tracer: TraceRecorder | None = None,
-        use_fast_collectives: bool = True,
-        use_batched_p2p: bool = True,
-        use_kernels: bool = True,
-        pool_capacity: int = 512,
-        schedule_seed: int | None = None,
-        schedule_trace: "ScheduleTrace | None" = None,
+        use_fast_collectives: bool | object = _UNSET,
+        use_batched_p2p: bool | object = _UNSET,
+        use_kernels: bool | object = _UNSET,
+        pool_capacity: int | object = _UNSET,
+        schedule_seed: "int | None | object" = _UNSET,
+        schedule_trace: "ScheduleTrace | None | object" = _UNSET,
     ):
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
+        unset = Engine._UNSET
+        legacy = {
+            name: value
+            for name, value in (
+                ("use_fast_collectives", use_fast_collectives),
+                ("use_batched_p2p", use_batched_p2p),
+                ("use_kernels", use_kernels),
+                ("pool_capacity", pool_capacity),
+                ("schedule_seed", schedule_seed),
+                ("schedule_trace", schedule_trace),
+            )
+            if value is not unset
+        }
+        if config is None:
+            config = EngineConfig(**legacy)
+        elif legacy:
+            raise TypeError(
+                "Engine() got both config= and legacy keyword(s) "
+                f"{sorted(legacy)} — put every flag on the EngineConfig"
+            )
+        self.config = config
         self.nranks = nranks
         self.network = network or zero_latency_network()
         self.tracer = tracer
-        self.use_fast_collectives = use_fast_collectives
-        self.use_batched_p2p = use_batched_p2p
-        self.use_kernels = use_kernels
-        self.failure_ranks: set[int] = set()
+        self.use_fast_collectives = config.use_fast_collectives
+        self.use_batched_p2p = config.use_batched_p2p
+        self.use_kernels = config.use_kernels
+        # Mutable working copy: the failure layers arm ranks mid-run.
+        self.failure_ranks: set[int] = set(config.failure_ranks)
 
         # Interleaving exploration (see the schedule_seed parameter).
         # ``schedule_trace`` publishes the permutations the last run
         # applied (None after canonical runs); ``_replay_trace`` is the
         # recorded trace a replay run applies instead of drawing.
-        self.schedule_seed = schedule_seed
-        self._replay_trace = schedule_trace
+        self.schedule_seed = config.schedule_seed
+        self._replay_trace = config.schedule_trace
         self.schedule_trace: ScheduleTrace | None = None
         self._sched_exploring = False
 
@@ -594,11 +628,11 @@ class Engine:
         # per-message slow path so the observers see every message. Both
         # observers consume scalars / MessageViews — never pool slots.
         self.message_log = None  # object with .wants(src, dst) and .record(...)
-        self.track_recv_counts = False
+        self.track_recv_counts = config.track_recv_counts
         self.recv_counts: dict[tuple[int, int], int] = {}
 
         # The struct-of-arrays message store; see repro.simmpi.request.
-        self.pool = MessagePool(pool_capacity)
+        self.pool = MessagePool(config.pool_capacity)
 
         # Matching state: one _Mailbox per (comm_id, receiver world rank),
         # each holding per-(source, tag) channels. Pending-receive channels
@@ -641,7 +675,7 @@ class Engine:
             0: {r: r for r in world}
         }
 
-        self._states: list[_RankState] = []
+        self._states: list[_RankState | None] = []
         self._next_runnable: list[int] = []
         self._in_next: set[int] = set()
 
@@ -765,7 +799,57 @@ class Engine:
 
         Raises :class:`DeadlockError` if no rank can make progress while
         some are unfinished.
+
+        The run is three seams — :meth:`_setup_run` (fresh matching/split
+        state and rank instantiation), :meth:`_drain` (the batched
+        run-until-blocked scheduler loop) and :meth:`_finalize_run`
+        (deadlock attribution and result collection) — composed here
+        byte-identically to the historical monolithic loop. The sharded
+        engine re-enters :meth:`_drain` once per conservative window
+        between boundary-message exchanges.
         """
+        self._setup_run(program, comm_factory=comm_factory)
+        batch = self._initial_batch()
+        # Pause generational GC while the scheduler drains: the engine's
+        # steady state barely allocates (messages live in pool slots, send
+        # handles are shared), but the collector would still rescan the
+        # long-lived generator/deque graph every few hundred allocations.
+        # Restored (and never force-enabled) on every exit path.
+        resume_gc = gc.isenabled()
+        if resume_gc:
+            gc.disable()
+        try:
+            self._drain(batch)
+        finally:
+            if resume_gc:
+                gc.enable()
+            # A program exception must not swallow the wave that was
+            # draining: flushing keeps partial-run traces exact.
+            if self._wave_slots or self._deferred_free:
+                self._price_pending_sends()
+            if self._sched_exploring:
+                # Publish the applied permutations on every exit path —
+                # a deadlocked or crashed exploration must still yield a
+                # replay-exact trace for its repro file.
+                self.schedule_trace = ScheduleTrace(tuple(self._sched_recorder))
+        return self._finalize_run()
+
+    def _ranks_to_run(self) -> Sequence[int]:
+        """The ranks this engine instantiates and schedules.
+
+        The plain engine runs the whole world; a shard overrides this with
+        its owned subset (external ranks' programs run in other shards and
+        their ``_states`` entries stay ``None``).
+        """
+        return range(self.nranks)
+
+    def _setup_run(
+        self,
+        program: RankProgram | Sequence[RankProgram],
+        *,
+        comm_factory: Callable[[RankContext], Any] | None = None,
+    ) -> None:
+        """Reset per-run state and instantiate the rank programs."""
         from repro.simmpi.comm import Communicator  # local import, no cycle at module load
 
         # Reset the split bookkeeping before anything (including a
@@ -799,8 +883,9 @@ class Engine:
                     f"got {len(programs)} programs for {self.nranks} ranks"
                 )
 
-        self._states = []
-        for rank in range(self.nranks):
+        self._states = [None] * self.nranks
+        local = 0
+        for rank in self._ranks_to_run():
             ctx = RankContext(rank, self.nranks, self)
             if comm_factory is not None:
                 ctx.comm = comm_factory(ctx)
@@ -812,7 +897,8 @@ class Engine:
                     f"rank program for rank {rank} must return a generator; "
                     f"did you forget `yield` in the program body?"
                 )
-            self._states.append(_RankState(rank, gen, ctx))
+            self._states[rank] = _RankState(rank, gen, ctx)
+            local += 1
 
         self._pending_colls = {}
         # Eligibility is fixed per run: every rank must take the same path
@@ -843,7 +929,9 @@ class Engine:
             )
         exploring = sched_rng is not None or replay is not None
         self._sched_exploring = exploring
-        sched_recorder: list[tuple[int, tuple[int, ...]]] = []
+        self._sched_rng = sched_rng
+        self._sched_recorder: list[tuple[int, tuple[int, ...]]] = []
+        self._sched_ordinal = 0
         self.schedule_trace = None
 
         self._kernel_cache = {}
@@ -855,67 +943,68 @@ class Engine:
             and not self.track_recv_counts
             and not exploring
         )
-        self._unfinished = self.nranks
-
-        states = self._states
-        step = self._step
-        batch = list(range(self.nranks))
-        if exploring:
-            batch = self._permute_batch(batch, 0, sched_rng, sched_recorder)
-        ordinal = 0
+        self._unfinished = local
         self._next_runnable = []
         self._in_next = set()
-        # Pause generational GC while the scheduler drains: the engine's
-        # steady state barely allocates (messages live in pool slots, send
-        # handles are shared), but the collector would still rescan the
-        # long-lived generator/deque graph every few hundred allocations.
-        # Restored (and never force-enabled) on every exit path.
-        resume_gc = gc.isenabled()
-        if resume_gc:
-            gc.disable()
-        try:
-            while batch:
-                for rank in batch:
-                    step(states[rank])
-                if self._wave_slots or self._deferred_free:
-                    # Price and trace the batch's whole send wave in one
-                    # vectorized pass (waits in later batches then find
-                    # arrival times ready) and recycle consumed slots.
-                    self._price_pending_sends()
-                batch = self._next_runnable
-                batch.sort()
-                self._next_runnable = []
-                self._in_next = set()
-                if not batch and self._kernel_held:
-                    # Scheduler quiescent with ranks held at KernelLoop
-                    # yields: execute the steady state in closed form if the
-                    # whole unfinished world is held and compiles, else
-                    # release the held ranks through the interpreted
-                    # expansion. Either way they form the next batch.
-                    batch = self._release_held_kernels()
-                if exploring and batch:
-                    ordinal += 1
-                    batch = self._permute_batch(
-                        batch, ordinal, sched_rng, sched_recorder
-                    )
-        finally:
-            if resume_gc:
-                gc.enable()
-            # A program exception must not swallow the wave that was
-            # draining: flushing keeps partial-run traces exact.
-            if self._wave_slots or self._deferred_free:
-                self._price_pending_sends()
-            if exploring:
-                # Publish the applied permutations on every exit path —
-                # a deadlocked or crashed exploration must still yield a
-                # replay-exact trace for its repro file.
-                self.schedule_trace = ScheduleTrace(tuple(sched_recorder))
 
-        unfinished = [s for s in self._states if not s.finished]
+    def _initial_batch(self) -> list[int]:
+        """The first scheduler batch: every instantiated rank, permuted
+        when interleaving exploration is on."""
+        batch = list(self._ranks_to_run())
+        if self._sched_exploring:
+            batch = self._permute_batch(
+                batch, 0, self._sched_rng, self._sched_recorder
+            )
+        return batch
+
+    def _drain(self, batch: list[int]) -> None:
+        """Drain the scheduler until no rank is runnable.
+
+        Starting from ``batch``, resume each rank until it blocks or
+        finishes, price/trace the accumulated send wave once per batch,
+        and roll unblocked ranks into the next sorted batch. Quiescence
+        with ranks held at :class:`KernelLoop` yields triggers the
+        steady-state kernel machinery. This is the engine's inner loop —
+        one call per run for the plain engine, one call per conservative
+        window for a shard.
+        """
+        states = self._states
+        step = self._step
+        exploring = self._sched_exploring
+        while batch:
+            for rank in batch:
+                step(states[rank])
+            if self._wave_slots or self._deferred_free:
+                # Price and trace the batch's whole send wave in one
+                # vectorized pass (waits in later batches then find
+                # arrival times ready) and recycle consumed slots.
+                self._price_pending_sends()
+            batch = self._next_runnable
+            batch.sort()
+            self._next_runnable = []
+            self._in_next = set()
+            if not batch and self._kernel_held:
+                # Scheduler quiescent with ranks held at KernelLoop
+                # yields: execute the steady state in closed form if the
+                # whole unfinished world is held and compiles, else
+                # release the held ranks through the interpreted
+                # expansion. Either way they form the next batch.
+                batch = self._release_held_kernels()
+            if exploring and batch:
+                self._sched_ordinal += 1
+                batch = self._permute_batch(
+                    batch, self._sched_ordinal, self._sched_rng, self._sched_recorder
+                )
+
+    def _finalize_run(self) -> list[Any]:
+        """Deadlock attribution and result collection after a drain."""
+        unfinished = [
+            s for s in self._states if s is not None and not s.finished
+        ]
         if unfinished:
             blocked = {s.rank: self._describe_blocked(s) for s in unfinished}
             raise DeadlockError(blocked)
-        return [s.result for s in self._states]
+        return [s.result for s in self._states if s is not None]
 
     def _describe_blocked(self, state: _RankState) -> str:
         """Deadlock attribution for one blocked rank.
@@ -1108,7 +1197,19 @@ class Engine:
         pool.kind[slot] = kind
         if self.message_log is not None and self.message_log.wants(src, dst):
             self.message_log.record(src, dst, tag, payload, nbytes, kind)
+        self._deliver_slot(src, dst, tag, comm_id, slot)
 
+    def _deliver_slot(
+        self, src: int, dst: int, tag: int, comm_id: int, slot: int
+    ) -> None:
+        """Enter a posted message slot into matching at its receiver.
+
+        The match-or-park tail shared by every way a message reaches a
+        receiver: a local send post, a persistent-wave start, and a
+        boundary message injected by the sharded engine — identical
+        matching, wildcard arbitration and wake-up semantics for all
+        three.
+        """
         if comm_id == 0:
             mailbox = self._world_mail[dst]
             if mailbox is None:
@@ -2024,19 +2125,21 @@ class Engine:
     @property
     def max_time(self) -> float:
         """Largest rank clock seen so far (the run's virtual makespan)."""
-        if not self._states:
+        clocks = [s.ctx.clock for s in self._states if s is not None]
+        if not clocks:
             return 0.0
-        return max(s.ctx.clock for s in self._states)
+        return max(clocks)
 
     def rank_times(self) -> list[float]:
         """Per-rank final virtual clocks (after :meth:`run`)."""
-        return [s.ctx.clock for s in self._states]
+        return [s.ctx.clock for s in self._states if s is not None]
 
 
 def run_program(
     program: RankProgram | Sequence[RankProgram],
     nranks: int,
     *,
+    config: EngineConfig | None = None,
     network: NetworkModel | None = None,
     tracer: TraceRecorder | None = None,
     use_fast_collectives: bool = True,
@@ -2045,15 +2148,14 @@ def run_program(
     schedule_trace: "ScheduleTrace | None" = None,
 ) -> list[Any]:
     """One-shot convenience wrapper: build an engine, run, return results."""
-    engine = Engine(
-        nranks,
-        network=network,
-        tracer=tracer,
-        use_fast_collectives=use_fast_collectives,
-        use_batched_p2p=use_batched_p2p,
-        schedule_seed=schedule_seed,
-        schedule_trace=schedule_trace,
-    )
+    if config is None:
+        config = EngineConfig(
+            use_fast_collectives=use_fast_collectives,
+            use_batched_p2p=use_batched_p2p,
+            schedule_seed=schedule_seed,
+            schedule_trace=schedule_trace,
+        )
+    engine = Engine(nranks, config=config, network=network, tracer=tracer)
     return engine.run(program)
 
 
@@ -2062,6 +2164,7 @@ __all__ = [
     "ANY_TAG",
     "CollectiveOp",
     "Engine",
+    "EngineConfig",
     "KernelLoop",
     "PostRecv",
     "PostSend",

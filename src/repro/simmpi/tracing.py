@@ -92,6 +92,50 @@ class TraceRecorder:
                 )
             np.add.at(mat, (dsts, srcs), nb)
 
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "TraceRecorder | SparseTraceRecorder") -> None:
+        """Accumulate another recorder's traffic into this one.
+
+        The sharded engine's trace story: every message is recorded by
+        exactly one shard recorder (the sender's, for boundary p2p), so
+        summing the per-shard recorders reproduces the single-process
+        matrices byte-for-byte — entries are order-independent integer
+        byte sums. Accepts dense or sparse recorders of the same world
+        size.
+        """
+        if other.nranks != self.nranks:
+            raise ValueError(
+                f"cannot merge tracer of {other.nranks} ranks into {self.nranks}"
+            )
+        if isinstance(other, TraceRecorder):
+            self.bytes_matrix += other.bytes_matrix
+            self.count_matrix += other.count_matrix
+            kind_items = other.kind_matrices.items()
+            if self.by_kind:
+                for kind, mat in kind_items:
+                    mine = self.kind_matrices.get(kind)
+                    if mine is None:
+                        self.kind_matrices[kind] = mat.copy()
+                    else:
+                        mine += mat
+        else:
+            dsts, srcs, nb, counts = other.coo_entries()
+            np.add.at(self.bytes_matrix, (dsts, srcs), nb)
+            np.add.at(self.count_matrix, (dsts, srcs), counts)
+            if self.by_kind:
+                for kind in other.kind_entries:
+                    kdsts, ksrcs, knb = other.coo_kind(kind)
+                    mine = self.kind_matrices.get(kind)
+                    if mine is None:
+                        mine = self.kind_matrices.setdefault(
+                            kind,
+                            np.zeros((self.nranks, self.nranks), dtype=np.float64),
+                        )
+                    np.add.at(mine, (kdsts, ksrcs), knb)
+        self.total_messages += other.total_messages
+        self.total_bytes += other.total_bytes
+
     # -- views ------------------------------------------------------------
 
     def symmetric_bytes(self) -> np.ndarray:
@@ -139,3 +183,122 @@ class TraceRecorder:
         tracer.total_messages = int(tracer.count_matrix.sum())
         tracer.total_bytes = float(tracer.bytes_matrix.sum())
         return tracer
+
+
+class SparseTraceRecorder:
+    """Dict-backed recorder for worlds too large for dense matrices.
+
+    A traced 10k-rank world would need an 800 MB dense float matrix (and
+    another for counts); actual stencil/FTI traffic touches a few
+    neighbors per rank, so the populated (dst, src) pairs number in the
+    tens of thousands. This recorder keeps only those, behind the same
+    ``record`` / ``record_many`` / ``merge`` surface the engine drives,
+    and converts to a dense :class:`TraceRecorder` on demand for small
+    worlds.
+
+    Accumulation is byte-identical to the dense recorder: entries are
+    order-independent integer byte sums keyed by exact (dst, src) pairs.
+    """
+
+    def __init__(self, nranks: int, *, by_kind: bool = False):
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self.by_kind = by_kind
+        # (dst, src) -> [bytes, count]
+        self._entries: dict[tuple[int, int], list] = {}
+        # kind -> {(dst, src) -> bytes}
+        self.kind_entries: dict[str, dict[tuple[int, int], float]] = {}
+        self.total_messages = 0
+        self.total_bytes = 0.0
+
+    def record(self, src: int, dst: int, nbytes: int, kind: str = "p2p") -> None:
+        """Record one message (same contract as the dense recorder)."""
+        entry = self._entries.get((dst, src))
+        if entry is None:
+            entry = self._entries.setdefault((dst, src), [0.0, 0])
+        entry[0] += nbytes
+        entry[1] += 1
+        self.total_messages += 1
+        self.total_bytes += nbytes
+        if self.by_kind:
+            kmap = self.kind_entries.get(kind)
+            if kmap is None:
+                kmap = self.kind_entries.setdefault(kind, {})
+            kmap[(dst, src)] = kmap.get((dst, src), 0.0) + nbytes
+
+    def record_many(self, srcs, dsts, nbytes, kind: str = "p2p", *, repeats: int = 1) -> None:
+        """Record a batch; equivalent to repeated :meth:`record` calls."""
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        nb = np.asarray(nbytes, dtype=np.float64)
+        if nb.ndim == 0:
+            nb = np.broadcast_to(nb, srcs.shape)
+        if repeats != 1:
+            nb = nb * repeats
+        entries = self._entries
+        kmap = None
+        if self.by_kind:
+            kmap = self.kind_entries.get(kind)
+            if kmap is None:
+                kmap = self.kind_entries.setdefault(kind, {})
+        for src, dst, b in zip(srcs.tolist(), dsts.tolist(), nb.tolist()):
+            entry = entries.get((dst, src))
+            if entry is None:
+                entry = entries.setdefault((dst, src), [0.0, 0])
+            entry[0] += b
+            entry[1] += repeats
+            if kmap is not None:
+                kmap[(dst, src)] = kmap.get((dst, src), 0.0) + b
+        self.total_messages += int(srcs.size) * repeats
+        self.total_bytes += float(nb.sum())
+
+    def merge(self, other: "SparseTraceRecorder") -> None:
+        """Accumulate another sparse recorder's traffic into this one."""
+        if other.nranks != self.nranks:
+            raise ValueError(
+                f"cannot merge tracer of {other.nranks} ranks into {self.nranks}"
+            )
+        for key, (b, c) in other._entries.items():
+            entry = self._entries.get(key)
+            if entry is None:
+                self._entries[key] = [b, c]
+            else:
+                entry[0] += b
+                entry[1] += c
+        for kind, kmap in other.kind_entries.items():
+            mine = self.kind_entries.setdefault(kind, {})
+            for key, b in kmap.items():
+                mine[key] = mine.get(key, 0.0) + b
+        self.total_messages += other.total_messages
+        self.total_bytes += other.total_bytes
+
+    # -- views ------------------------------------------------------------
+
+    def coo_entries(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Populated cells as ``(dsts, srcs, bytes, counts)`` arrays."""
+        n = len(self._entries)
+        dsts = np.empty(n, dtype=np.int64)
+        srcs = np.empty(n, dtype=np.int64)
+        nb = np.empty(n, dtype=np.float64)
+        counts = np.empty(n, dtype=np.int64)
+        for i, ((dst, src), (b, c)) in enumerate(self._entries.items()):
+            dsts[i], srcs[i], nb[i], counts[i] = dst, src, b, c
+        return dsts, srcs, nb, counts
+
+    def coo_kind(self, kind: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One kind's populated cells as ``(dsts, srcs, bytes)`` arrays."""
+        kmap = self.kind_entries.get(kind, {})
+        n = len(kmap)
+        dsts = np.empty(n, dtype=np.int64)
+        srcs = np.empty(n, dtype=np.int64)
+        nb = np.empty(n, dtype=np.float64)
+        for i, ((dst, src), b) in enumerate(kmap.items()):
+            dsts[i], srcs[i], nb[i] = dst, src, b
+        return dsts, srcs, nb
+
+    def to_dense(self) -> TraceRecorder:
+        """Materialize as a dense :class:`TraceRecorder` (small worlds only)."""
+        dense = TraceRecorder(self.nranks, by_kind=self.by_kind)
+        dense.merge(self)
+        return dense

@@ -81,16 +81,16 @@ class TestParallelEquivalence:
 class TestWaveEquivalence:
     @pytest.mark.parametrize("synthetic", [False, True])
     def test_wave_matches_per_message(self, synthetic):
-        from dataclasses import replace
-
+        from repro.apps.workload import ExecutionMode, with_mode
         from repro.simmpi import Engine, TraceRecorder
 
         cfg = HeatConfig(
             px=2, py=2, nx=8, ny=8, iterations=6, synthetic=synthetic
         )
+        modes = {False: ExecutionMode.PER_MESSAGE, True: ExecutionMode.KERNELS}
         runs = {}
         for use_waves in (False, True):
-            sim = HeatSimulation(replace(cfg, use_waves=use_waves))
+            sim = HeatSimulation(with_mode(cfg, modes[use_waves]))
             tracer = TraceRecorder(4, by_kind=True)
             engine = Engine(4, tracer=tracer)
             states = engine.run(sim.make_program())

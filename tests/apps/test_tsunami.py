@@ -155,7 +155,7 @@ class TestWaveEquivalence:
 
     @pytest.mark.parametrize("synthetic", [False, True])
     def test_wave_matches_per_message(self, synthetic):
-        from dataclasses import replace
+        from repro.apps.workload import ExecutionMode, with_mode
 
         cfg = TsunamiConfig(
             px=4, py=4, nx=16, ny=16, iterations=8, synthetic=synthetic,
@@ -163,7 +163,7 @@ class TestWaveEquivalence:
         )
         wave_states, wave_clocks, wave_tracer = self._run(cfg)
         ref_states, ref_clocks, ref_tracer = self._run(
-            replace(cfg, use_waves=False)
+            with_mode(cfg, ExecutionMode.PER_MESSAGE)
         )
         assert wave_clocks == ref_clocks
         np.testing.assert_array_equal(

@@ -1,0 +1,149 @@
+"""Workload protocol, ExecutionMode resolution and the deprecation shim."""
+
+import pickle
+
+import pytest
+
+from repro.apps import (
+    HeatConfig,
+    SpectralConfig,
+    TsunamiConfig,
+)
+from repro.apps.workload import (
+    ExecutionMode,
+    FTIWorkload,
+    HeatWorkload,
+    ProgramsWorkload,
+    SpectralWorkload,
+    TsunamiWorkload,
+    fig5_workload,
+    resolve_execution,
+    with_mode,
+)
+
+
+class TestExecutionMode:
+    def test_flag_properties(self):
+        assert not ExecutionMode.PER_MESSAGE.use_waves
+        assert not ExecutionMode.PER_MESSAGE.use_kernels
+        assert ExecutionMode.WAVES.use_waves
+        assert not ExecutionMode.WAVES.use_kernels
+        assert ExecutionMode.KERNELS.use_waves
+        assert ExecutionMode.KERNELS.use_kernels
+
+
+class TestResolveExecution:
+    def test_nothing_defaults_to_kernels(self):
+        mode, waves, kernels = resolve_execution(None, None, None, owner="X")
+        assert mode is ExecutionMode.KERNELS
+        assert waves and kernels
+
+    def test_mode_alone_derives_booleans(self):
+        mode, waves, kernels = resolve_execution(
+            ExecutionMode.WAVES, None, None, owner="X"
+        )
+        assert mode is ExecutionMode.WAVES
+        assert waves and not kernels
+
+    def test_legacy_flags_warn_and_derive(self):
+        with pytest.warns(DeprecationWarning, match="mode=ExecutionMode.WAVES"):
+            mode, waves, kernels = resolve_execution(
+                None, True, False, owner="X"
+            )
+        assert mode is ExecutionMode.WAVES
+
+    def test_legacy_missing_flag_defaults_true(self):
+        with pytest.warns(DeprecationWarning):
+            mode, _, _ = resolve_execution(None, None, False, owner="X")
+        assert mode is ExecutionMode.WAVES  # waves defaulted to True
+        with pytest.warns(DeprecationWarning):
+            mode, _, _ = resolve_execution(None, True, None, owner="X")
+        assert mode is ExecutionMode.KERNELS  # kernels defaulted to True
+
+    def test_agreeing_mode_and_flags_round_trip(self):
+        mode, waves, kernels = resolve_execution(
+            ExecutionMode.KERNELS, True, True, owner="X"
+        )
+        assert mode is ExecutionMode.KERNELS
+
+    def test_contradiction_raises(self):
+        with pytest.raises(ValueError, match="contradicts"):
+            resolve_execution(ExecutionMode.KERNELS, False, False, owner="X")
+
+
+class TestWithMode:
+    def test_clears_stale_booleans(self):
+        cfg = HeatConfig(px=2, py=2, mode=ExecutionMode.KERNELS)
+        switched = with_mode(cfg, ExecutionMode.PER_MESSAGE)
+        assert switched.mode is ExecutionMode.PER_MESSAGE
+        assert not switched.use_waves
+        assert not switched.use_kernels
+
+    def test_config_flags_accept_legacy_spelling(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = TsunamiConfig(px=2, py=2, use_waves=False, use_kernels=False)
+        assert cfg.mode is ExecutionMode.PER_MESSAGE
+
+
+class TestWorkloadProtocol:
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            HeatWorkload(HeatConfig(px=2, py=2, nx=8, ny=8, iterations=2)),
+            TsunamiWorkload(
+                TsunamiConfig(px=2, py=2, nx=8, ny=8, iterations=2)
+            ),
+            SpectralWorkload(SpectralConfig(nranks=4, n=8, iterations=1)),
+            fig5_workload(nodes=2, app_per_node=2, iterations=2),
+        ],
+        ids=["heat", "tsunami", "spectral", "fig5"],
+    )
+    def test_pickle_round_trip(self, workload):
+        workload.build_programs()  # populate the lazy cache
+        clone = pickle.loads(pickle.dumps(workload))
+        assert clone == workload
+        assert clone.nranks == workload.nranks
+        assert "_program_cache" not in clone.__dict__  # cache dropped
+        assert len(clone.build_programs()) == clone.nranks
+
+    def test_build_program_validates_rank(self):
+        workload = HeatWorkload(HeatConfig(px=2, py=2))
+        with pytest.raises(ValueError, match="outside world"):
+            workload.build_program(4)
+
+    def test_default_atoms_are_single_ranks(self):
+        workload = SpectralWorkload(SpectralConfig(nranks=3, n=9))
+        assert workload.shard_atoms() == [(0,), (1,), (2,)]
+
+    def test_fti_atoms_are_node_blocks(self):
+        workload = fig5_workload(nodes=2, app_per_node=3, iterations=1)
+        assert workload.shard_atoms() == [(0, 1, 2, 3), (4, 5, 6, 7)]
+
+    def test_programs_workload_custom_atoms(self):
+        def idle(ctx):
+            if False:
+                yield
+
+        workload = ProgramsWorkload([idle] * 4, atoms=[(0, 1), (2, 3)])
+        assert workload.nranks == 4
+        assert workload.shard_atoms() == [(0, 1), (2, 3)]
+        assert workload.build_program(2) is idle
+
+
+class TestFig5Workload:
+    def test_world_shape(self):
+        workload = fig5_workload(nodes=4, app_per_node=4, iterations=2)
+        assert workload.nranks == 4 * (4 + 1)
+        assert workload.sim_cfg.px * workload.sim_cfg.py == 16
+        assert workload.sim_cfg.synthetic
+
+    def test_paper_scale_keeps_32x32_grid(self):
+        workload = fig5_workload()  # nodes=64, app_per_node=16 → 1024 app
+        assert workload.sim_cfg.px == 32
+        assert workload.sim_cfg.py == 32
+        assert workload.nranks == 64 * 17
+
+    def test_non_square_counts_factor_most_square(self):
+        workload = fig5_workload(nodes=8, app_per_node=4, iterations=1)
+        assert workload.sim_cfg.px * workload.sim_cfg.py == 32
+        assert workload.sim_cfg.px in (4, 8)  # 4×8, the most-square split

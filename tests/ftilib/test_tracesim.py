@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.apps import TsunamiConfig, TsunamiSimulation
+from repro.apps import ExecutionMode, TsunamiConfig, TsunamiSimulation
 from repro.ftilib import FTITraceConfig, make_fti_world_programs
 from repro.machine import FTIPlacement
 from repro.simmpi import Engine, TraceRecorder
@@ -116,7 +116,12 @@ class TestWaveEquivalence:
         for use_waves in (False, True):
             cfg = TsunamiConfig(
                 px=4, py=4, nx=16, ny=16, iterations=8, synthetic=True,
-                allreduce_every=0, use_waves=use_waves,
+                allreduce_every=0,
+                mode=(
+                    ExecutionMode.KERNELS
+                    if use_waves
+                    else ExecutionMode.PER_MESSAGE
+                ),
             )
             sim = TsunamiSimulation(cfg)
             placement = FTIPlacement(4, 4)

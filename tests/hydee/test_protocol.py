@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.apps import TsunamiConfig, TsunamiSimulation
+from repro.apps import ExecutionMode, TsunamiConfig, TsunamiSimulation
 from repro.clustering import naive_clustering
 from repro.hydee import run_with_protocol
 from repro.machine import Machine
@@ -123,9 +123,12 @@ class TestWaveEquivalence:
     def _pair(self, iterations=12, checkpoint_every=5, **cfg_kw):
         runs = {}
         for use_waves in (False, True):
-            sim, machine, clustering = small_setup(
-                use_waves=use_waves, **cfg_kw
+            mode = (
+                ExecutionMode.KERNELS
+                if use_waves
+                else ExecutionMode.PER_MESSAGE
             )
+            sim, machine, clustering = small_setup(mode=mode, **cfg_kw)
             runs[use_waves] = run_with_protocol(
                 sim, machine, clustering,
                 iterations=iterations, checkpoint_every=checkpoint_every,

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.simmpi import TraceRecorder
+from repro.simmpi import SparseTraceRecorder, TraceRecorder
 
 
 class TestRecord:
@@ -80,6 +80,82 @@ class TestPersistence:
         )
         assert loaded.total_messages == 2
         assert loaded.total_bytes == 150
+
+
+class TestMerge:
+    def test_dense_merge_sums_everything(self):
+        a = TraceRecorder(3, by_kind=True)
+        b = TraceRecorder(3, by_kind=True)
+        a.record(0, 1, 10, kind="p2p")
+        b.record(0, 1, 5, kind="p2p")
+        b.record(2, 0, 7, kind="bcast")
+        a.merge(b)
+        assert a.bytes_matrix[1, 0] == 15
+        assert a.count_matrix[1, 0] == 2
+        assert a.kind_bytes("p2p")[1, 0] == 15
+        assert a.kind_bytes("bcast")[0, 2] == 7
+        assert a.total_messages == 3
+        assert a.total_bytes == 22
+
+    def test_merge_rejects_size_mismatch(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(3).merge(TraceRecorder(4))
+
+    def test_dense_absorbs_sparse(self):
+        dense = TraceRecorder(4, by_kind=True)
+        sparse = SparseTraceRecorder(4, by_kind=True)
+        sparse.record(1, 2, 30, kind="p2p")
+        sparse.record(1, 2, 10, kind="p2p")
+        dense.merge(sparse)
+        assert dense.bytes_matrix[2, 1] == 40
+        assert dense.count_matrix[2, 1] == 2
+        assert dense.kind_bytes("p2p")[2, 1] == 40
+
+
+class TestSparseRecorder:
+    def test_records_without_dense_allocation(self):
+        t = SparseTraceRecorder(1_000_000)  # dense would be 8 TB
+        t.record(0, 999_999, 64)
+        t.record(0, 999_999, 64)
+        assert t.total_messages == 2
+        assert t.total_bytes == 128
+
+    def test_to_dense_matches_dense_recording(self):
+        events = [(0, 1, 10, "p2p"), (2, 3, 5, "bcast"), (0, 1, 3, "p2p")]
+        dense = TraceRecorder(4, by_kind=True)
+        sparse = SparseTraceRecorder(4, by_kind=True)
+        for src, dst, n, kind in events:
+            dense.record(src, dst, n, kind=kind)
+            sparse.record(src, dst, n, kind=kind)
+        out = sparse.to_dense()
+        np.testing.assert_array_equal(out.bytes_matrix, dense.bytes_matrix)
+        np.testing.assert_array_equal(out.count_matrix, dense.count_matrix)
+        np.testing.assert_array_equal(
+            out.kind_bytes("p2p"), dense.kind_bytes("p2p")
+        )
+
+    def test_sparse_merge_sparse(self):
+        a = SparseTraceRecorder(8)
+        b = SparseTraceRecorder(8)
+        a.record(0, 1, 10)
+        b.record(0, 1, 1)
+        b.record(5, 6, 2)
+        a.merge(b)
+        assert a.total_bytes == 13
+        assert a.total_messages == 3
+        assert a.to_dense().bytes_matrix[1, 0] == 11
+
+    def test_record_many(self):
+        sparse = SparseTraceRecorder(4)
+        dense = TraceRecorder(4)
+        srcs = np.array([0, 1, 1])
+        dsts = np.array([2, 3, 3])
+        nbytes = np.array([4.0, 8.0, 8.0])
+        sparse.record_many(srcs, dsts, nbytes)
+        dense.record_many(srcs, dsts, nbytes)
+        np.testing.assert_array_equal(
+            sparse.to_dense().bytes_matrix, dense.bytes_matrix
+        )
 
 
 class TestProperties:

@@ -104,6 +104,37 @@ class TestCommands:
         assert repros, "race-demo sweep found no schedule repro"
         assert main(["fuzz", "--replay", str(repros[0])]) == 0
 
+    def test_sim_heat_sharded_verifies(self, capsys):
+        assert main(
+            ["sim", "--workload", "heat", "--px", "2", "--py", "2",
+             "--iterations", "4", "--shards", "2", "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "workload: heat (4 ranks)" in out
+        assert "shards: 2 on the coordinator" in out
+        assert "verified: traces byte-identical, clocks bit-identical" in out
+
+    def test_sim_fig5_worker_processes(self, capsys):
+        assert main(
+            ["sim", "--workload", "fig5", "--nodes", "2",
+             "--app-per-node", "2", "--iterations", "3",
+             "--checkpoint-every", "2", "--shards", "2", "--workers", "2",
+             "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 worker process(es)" in out
+        assert "verified" in out
+
+    def test_sim_spectral_sparse_recorder(self, capsys):
+        assert main(
+            ["sim", "--workload", "spectral", "--nranks", "4",
+             "--iterations", "2", "--shards", "2", "--sparse", "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fast collective(s)" in out
+        assert "traced:" in out
+        assert "verified" in out
+
     def test_fuzz_replay_roundtrip(self, capsys, tmp_path):
         from repro.failures import FailureScenario
         from repro.fuzz import FuzzScenario, FuzzShape, save_repro
