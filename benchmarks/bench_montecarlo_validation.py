@@ -12,7 +12,7 @@ from repro.clustering import (
     naive_clustering,
     size_guided_clustering,
 )
-from repro.core import montecarlo_scores, validate_against_analytic
+from repro.core import query_for, run_query, validate_against_analytic
 from repro.failures import CatastrophicModel
 from repro.models import expected_restart_fraction
 from repro.util.tables import AsciiTable
@@ -29,11 +29,13 @@ def bench_montecarlo_table2(benchmark, scenario):
         distributed_clustering(scenario.placement, 16),
     ]
 
+    queries = [
+        query_for(scenario, c, n_samples=N_SAMPLES, seed=99 + i)
+        for i, c in enumerate(strategies)
+    ]
+
     def run():
-        return [
-            montecarlo_scores(scenario, c, n_samples=N_SAMPLES, rng=99 + i)
-            for i, c in enumerate(strategies)
-        ]
+        return [run_query(q) for q in queries]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     model = CatastrophicModel(scenario.placement, taxonomy=scenario.taxonomy)
@@ -52,16 +54,17 @@ def bench_montecarlo_table2(benchmark, scenario):
             clustering, scenario.placement
         )
         analytic_cat = model.probability(clustering)
+        cat_rate = mc.value("catastrophic_rate")
         table.add_row(
             [
                 clustering.name,
                 f"{100 * analytic_restart:.2f}%",
-                f"{100 * mc.restart_fraction_mean:.2f}%",
+                f"{100 * mc.value('restart_fraction_mean'):.2f}%",
                 format_probability(analytic_cat),
-                format_probability(mc.catastrophic_rate),
+                format_probability(cat_rate),
             ]
         )
-        assert abs(mc.catastrophic_rate - analytic_cat) < 0.05
+        assert abs(cat_rate - analytic_cat) < 0.05
     print("\n" + table.render())
 
 

@@ -64,9 +64,10 @@ from repro.clustering import (
     size_guided_clustering,
 )
 from repro.core import (
-    montecarlo_scores,
     montecarlo_scores_scalar,
     paper_scenario,
+    query_for,
+    run_query,
 )
 from repro.models import CampaignConfig, CampaignSimulator
 
@@ -74,6 +75,7 @@ ROOT = Path(__file__).resolve().parent.parent
 ARTIFACT = ROOT / "BENCH_montecarlo.json"
 SIMMPI_ARTIFACT = ROOT / "BENCH_simmpi.json"
 FUZZER_ARTIFACT = ROOT / "BENCH_fuzzer.json"
+SERVICE_ARTIFACT = ROOT / "BENCH_service.json"
 MIN_SPEEDUP = 10.0
 MIN_SIMMPI_SPEEDUP = 5.0
 MIN_SPLIT_SPEEDUP = 3.0
@@ -130,36 +132,40 @@ def _strategies(scenario):
 
 
 def time_montecarlo(scenario, strategies, n_samples: int, seed: int = 42):
-    """Time scalar vs batched sampling; assert statistical equivalence."""
+    """Time scalar vs batched sampling; assert statistical equivalence.
+
+    The batched path goes through the :class:`ReliabilityQuery` API
+    (``query_for`` + ``run_query``) — seed-for-seed identical to the old
+    ``montecarlo_scores(..., rng=seed)`` call it replaced.
+    """
     per_strategy = []
     scalar_total = batched_total = 0.0
     for clustering in strategies:
         # Warm the lookup-table caches outside the timed region so both
         # paths are measured on identical footing.
-        montecarlo_scores(scenario, clustering, n_samples=2, rng=0)
+        run_query(query_for(scenario, clustering, n_samples=2, seed=0))
 
         t0 = time.perf_counter()
         scalar = montecarlo_scores_scalar(
             scenario, clustering, n_samples=n_samples, rng=seed
         )
         t1 = time.perf_counter()
-        batched = montecarlo_scores(
-            scenario, clustering, n_samples=n_samples, rng=seed
+        batched = run_query(
+            query_for(scenario, clustering, n_samples=n_samples, seed=seed)
         )
         t2 = time.perf_counter()
 
+        restart_mean = batched.value("restart_fraction_mean")
+        cat_rate = batched.value("catastrophic_rate")
         if (
-            abs(batched.restart_fraction_mean - scalar.restart_fraction_mean)
-            >= 0.01
-            or abs(batched.catastrophic_rate - scalar.catastrophic_rate)
-            >= 0.03
+            abs(restart_mean - scalar.restart_fraction_mean) >= 0.01
+            or abs(cat_rate - scalar.catastrophic_rate) >= 0.03
         ):
             raise RuntimeError(
                 f"{clustering.name}: batched and scalar paths disagree — "
-                f"restart {batched.restart_fraction_mean:.4f} vs "
+                f"restart {restart_mean:.4f} vs "
                 f"{scalar.restart_fraction_mean:.4f}, cat rate "
-                f"{batched.catastrophic_rate:.4f} vs "
-                f"{scalar.catastrophic_rate:.4f}"
+                f"{cat_rate:.4f} vs {scalar.catastrophic_rate:.4f}"
             )
 
         scalar_s, batched_s = t1 - t0, t2 - t1
@@ -171,10 +177,8 @@ def time_montecarlo(scenario, strategies, n_samples: int, seed: int = 42):
                 "scalar_s": round(scalar_s, 6),
                 "batched_s": round(batched_s, 6),
                 "speedup": round(scalar_s / batched_s, 1),
-                "restart_fraction_mean": round(
-                    batched.restart_fraction_mean, 6
-                ),
-                "catastrophic_rate": round(batched.catastrophic_rate, 6),
+                "restart_fraction_mean": round(restart_mean, 6),
+                "catastrophic_rate": round(cat_rate, 6),
             }
         )
     return {
@@ -220,13 +224,17 @@ def measure_batched_montecarlo(
     """Batched-path samples/sec (best of ``repeats``) — the CI gate probe."""
     scenario = scenario or paper_scenario(iterations=5)
     strategies = strategies or _strategies(scenario)
-    for clustering in strategies:  # warm the lookup-table caches
-        montecarlo_scores(scenario, clustering, n_samples=2, rng=0)
+    queries = [
+        query_for(scenario, clustering, n_samples=n_samples, seed=42)
+        for clustering in strategies
+    ]
+    for query in queries:  # warm the lookup-table caches
+        run_query(query)
     best = 0.0
     for _ in range(repeats):
         t0 = time.perf_counter()
-        for clustering in strategies:
-            montecarlo_scores(scenario, clustering, n_samples=n_samples, rng=42)
+        for query in queries:
+            run_query(query)
         elapsed = time.perf_counter() - t0
         best = max(best, n_samples * len(strategies) / elapsed)
     return best
@@ -1222,6 +1230,71 @@ def _smoke_fuzzer() -> None:
             )
 
 
+# -- reliability-planning service (campaign-as-a-service) -------------------
+
+
+def time_service(
+    *,
+    workers: int = 0,
+    n_samples: int = 2000,
+    concurrency: int = 8,
+    repeat: int = 3,
+) -> dict:
+    """Benchmark the HTTP reliability service; equivalence gated first.
+
+    Starts a private server, asserts every query of the standing mix —
+    plus one streamed sweep — bit-equal to direct in-process calls
+    (:func:`repro.service.loadgen.verify_equivalence`: service ==
+    ``run_query`` == the deprecated ``montecarlo_scores`` /
+    ``expected_waste`` paths), and only then records the concurrent load
+    numbers. The equivalence pass doubles as the warm-up: it touches
+    every table the load run needs, so the recorded rate is the warm,
+    cache-hitting rate a long-lived server would serve at.
+    """
+    from repro.service import ServiceClient, ServiceThread
+    from repro.service.loadgen import (
+        default_query_mix,
+        run_load,
+        sweep_query,
+        verify_equivalence,
+    )
+
+    mix = default_query_mix(n_samples=n_samples)
+    stream = sweep_query()
+    with ServiceThread(workers=workers) as running:
+        client = ServiceClient(running.host, running.port)
+        checks = verify_equivalence(client, mix, stream=stream)
+        report = run_load(
+            running.host,
+            running.port,
+            mix,
+            concurrency=concurrency,
+            repeat=repeat,
+        )
+        if report.errors:
+            raise RuntimeError(
+                f"{report.errors} queries failed under load — not recording"
+            )
+        stats = client.stats()
+    return {
+        "equivalence_checks": checks,
+        "mix_size": len(mix),
+        "n_samples": n_samples,
+        **report.to_dict(),
+        "dispatcher_batches": stats["dispatcher"]["batches"],
+        "largest_batch": stats["dispatcher"]["largest_batch"],
+    }
+
+
+def _smoke_service() -> None:
+    """The service self-test (equivalence + load + stream) at smoke scale,
+    in-process and against a two-worker shard pool."""
+    from repro.service.loadgen import run_self_test
+
+    run_self_test(workers=0, verbose=False)
+    run_self_test(workers=2, verbose=False)
+
+
 def _append(path: Path, record: dict) -> None:
     trajectory = json.loads(path.read_text()) if path.exists() else []
     trajectory.append(record)
@@ -1255,6 +1328,9 @@ _BASELINE_RATES: dict[str, list[tuple[tuple[str, ...], str]]] = {
     ],
     "BENCH_fuzzer.json": [
         (("fuzzer", "scenarios_per_s"), "fuzz scenarios/s"),
+    ],
+    "BENCH_service.json": [
+        (("service", "queries_per_s"), "service queries/s"),
     ],
 }
 
@@ -1420,6 +1496,12 @@ def run_smoke() -> None:
         f"smoke fuzzer: one scenario per actor classified "
         f"({time.perf_counter() - t_fuzz:.1f}s)"
     )
+    t_service = time.perf_counter()
+    _smoke_service()
+    print(
+        f"smoke service: self-test equivalent at workers=0 and workers=2 "
+        f"({time.perf_counter() - t_service:.1f}s)"
+    )
     print(f"smoke ok in {time.perf_counter() - t_start:.1f}s")
 
 
@@ -1452,6 +1534,18 @@ def main() -> None:
         "--skip-fuzzer",
         action="store_true",
         help="skip the adversarial fuzz-campaign section",
+    )
+    parser.add_argument(
+        "--skip-service",
+        action="store_true",
+        help="skip the reliability-service load benchmark",
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=0,
+        help="worker processes of the recorded service run (0 = in-process; "
+        "single-core record hosts should keep 0)",
     )
     parser.add_argument(
         "--fuzz-budget",
@@ -1687,6 +1781,23 @@ def main() -> None:
             f"{len(fuzzer['shrunken'])} shrunken repros"
         )
         print(f"recorded -> {fuzzer_artifact}")
+
+    if not args.skip_service:
+        service = time_service(workers=args.service_workers)
+        service_record = {**stamp, "service": service}
+        fresh[SERVICE_ARTIFACT.name] = service_record
+        service_artifact = out_root / SERVICE_ARTIFACT.name
+        _append(service_artifact, service_record)
+        print(
+            f"service: {service['equivalence_checks']} equivalence checks, "
+            f"then {service['queries']} queries at "
+            f"{service['queries_per_s']}/s (p50 {service['p50_ms']}ms, "
+            f"p99 {service['p99_ms']}ms, hit rate "
+            f"{100 * service['cache_hit_rate']:.0f}%, "
+            f"{service['coalesced']} coalesced into "
+            f"{service['scoring_passes']} passes)"
+        )
+        print(f"recorded -> {service_artifact}")
 
     if args.diff_baseline:
         ok = diff_against_baseline(fresh, committed_baselines)

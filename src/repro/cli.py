@@ -116,17 +116,15 @@ def cmd_campaign(args) -> int:
         naive_clustering,
         size_guided_clustering,
     )
-    from repro.models import CampaignConfig, CampaignSimulator
+    from repro.core.query import query_for, run_query
+    from repro.models import CampaignConfig
     from repro.util import AsciiTable
 
     scenario = _scenario(args)
-    simulator = CampaignSimulator(
-        scenario.machine,
-        CampaignConfig(
-            horizon_s=args.days * 24 * 3600.0,
-            checkpoint_interval_s=args.checkpoint_minutes * 60.0,
-            node_mtbf_s=args.node_mtbf_years * 365 * 24 * 3600.0,
-        ),
+    campaign = CampaignConfig(
+        horizon_s=args.days * 24 * 3600.0,
+        checkpoint_interval_s=args.checkpoint_minutes * 60.0,
+        node_mtbf_s=args.node_mtbf_years * 365 * 24 * 3600.0,
     )
     strategies = [
         naive_clustering(scenario.placement.nranks, 32),
@@ -143,17 +141,57 @@ def cmd_campaign(args) -> int:
         title=f"{args.days}-day failure campaign",
     )
     for i, clustering in enumerate(strategies):
-        result = simulator.run(clustering, rng=args.seed + i)
+        query = query_for(
+            scenario,
+            clustering,
+            metric="campaign",
+            campaign=campaign,
+            seed=args.seed + i,
+        )
+        result = run_query(query)
         table.add_row(
             [
                 clustering.name,
-                result.n_failures,
-                result.n_catastrophic,
-                f"{100 * result.waste_fraction:.2f}",
-                f"{100 * result.efficiency:.2f}",
+                int(result.value("n_failures")),
+                int(result.value("n_catastrophic")),
+                f"{100 * result.value('waste_fraction'):.2f}",
+                f"{100 * result.value('efficiency'):.2f}",
             ]
         )
     print(table.render())
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service import ReliabilityService, run_self_test
+
+    if args.self_test:
+        return run_self_test(workers=args.workers)
+
+    import asyncio
+
+    async def _serve() -> None:
+        service = ReliabilityService(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_bytes=args.cache_mb << 20,
+        )
+        await service.start()
+        print(
+            f"reliability service on http://{service.host}:{service.port} "
+            f"({args.workers} worker(s), {args.cache_mb} MiB cache/shard)"
+        )
+        print("POST ReliabilityQuery JSON to /query (Ctrl-C to stop)")
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -433,6 +471,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--node-mtbf-years", type=float, default=0.25)
     p.add_argument("--seed", type=int, default=2012)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="reliability-planning HTTP service (ReliabilityQuery JSON)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 picks a free one; default 8642)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes holding table-cache shards (0 = answer "
+        "in-process; results are invariant to this knob)",
+    )
+    p.add_argument(
+        "--cache-mb", type=int, default=256,
+        help="table-cache byte budget per shard in MiB (default 256)",
+    )
+    p.add_argument(
+        "--self-test", action="store_true",
+        help="start a private server, run the equivalence + load smoke "
+        "against it, shut down, and exit (the CI service check)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "sim",

@@ -22,6 +22,17 @@ from repro.core.montecarlo import (
     montecarlo_scores_scalar,
     validate_against_analytic,
 )
+from repro.core.query import (
+    ClusteringSpec,
+    MachineSpec,
+    QueryResult,
+    QueryTables,
+    ReliabilityQuery,
+    query_for,
+    resolve_query,
+    run_query,
+    run_query_batch,
+)
 from repro.core.tables import (
     CatastrophicTables,
     RestartTables,
@@ -43,10 +54,15 @@ __all__ = [
     "CatastrophicTables",
     "ClusterSizeStudy",
     "ClusteringEvaluator",
+    "ClusteringSpec",
     "DistributionStudy",
     "EvaluationReport",
+    "MachineSpec",
     "MonteCarloScores",
     "PAPER_PARTITION_COST",
+    "QueryResult",
+    "QueryTables",
+    "ReliabilityQuery",
     "RestartTables",
     "Scenario",
     "TraceStudy",
@@ -66,8 +82,12 @@ __all__ = [
     "montecarlo_scores",
     "montecarlo_scores_scalar",
     "paper_scenario",
+    "query_for",
     "radar_table",
     "reliability_scenario",
+    "resolve_query",
     "restart_tables",
+    "run_query",
+    "run_query_batch",
     "validate_against_analytic",
 ]

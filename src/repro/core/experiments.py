@@ -294,8 +294,10 @@ def experiment_montecarlo(
     per-event equivalence tests (``tests/core/test_eval_tables.py``) pin
     the tables themselves to independent scalar predicates.
     """
-    from repro.core.montecarlo import analytic_restart_mixture, montecarlo_scores
-    from repro.util.rng import spawn_rngs
+    import numpy as np
+
+    from repro.core.montecarlo import analytic_restart_mixture
+    from repro.core.query import query_for, run_query
 
     scenario = scenario or paper_scenario()
     evaluator = ClusteringEvaluator(scenario)
@@ -311,21 +313,28 @@ def experiment_montecarlo(
         ],
         title=f"Monte-Carlo validation ({n_samples} failures per strategy)",
     )
-    for clustering, gen in zip(strategies, spawn_rngs(rng, len(strategies))):
-        mc = montecarlo_scores(
+    # Queries carry integer seeds on the wire, so derive one independent
+    # child seed per strategy from the caller's master seed.
+    seeds = [
+        int(child.generate_state(1, dtype=np.uint64)[0] >> 1)
+        for child in np.random.SeedSequence(rng).spawn(len(strategies))
+    ]
+    for clustering, seed in zip(strategies, seeds):
+        query = query_for(
             scenario,
             clustering,
             n_samples=n_samples,
-            rng=gen,
+            seed=seed,
             tolerance=evaluator.tolerance,
         )
+        mc = run_query(query)
         table.add_row(
             [
                 clustering.name,
                 f"{100 * analytic_restart_mixture(scenario, clustering):.2f}%",
-                f"{100 * mc.restart_fraction_mean:.2f}%",
+                f"{100 * mc.value('restart_fraction_mean'):.2f}%",
                 format_probability(model.probability(clustering)),
-                format_probability(mc.catastrophic_rate),
+                format_probability(mc.value("catastrophic_rate")),
             ]
         )
     return table.render()

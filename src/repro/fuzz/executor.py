@@ -47,6 +47,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.query import QueryTables
 from repro.failures.catastrophic import CatastrophicModel
 from repro.failures.events import FailureEvent
 from repro.ftilib.checkpointer import RestoreError
@@ -56,7 +57,6 @@ from repro.fuzz.shape import FuzzShape
 from repro.hydee.logging import ReplayMismatchError
 from repro.hydee.protocol import run_with_protocol
 from repro.hydee.recovery import ContainedRecoveryError, RecoveryManager
-from repro.models.recovery_cost import restart_set_for_nodes
 from repro.simmpi import DeadlockError, Engine, ScheduleTrace, run_program
 
 CLASSIFICATIONS = (
@@ -307,14 +307,6 @@ def apply_corruption(
     return corrupted
 
 
-def _predicted_restart_fraction(clustering, placement, event) -> float:
-    if event.kind == "soft":
-        members = clustering.l1_members(clustering.l1_of(event.process))
-        return members.size / clustering.n
-    restart = restart_set_for_nodes(clustering, placement, event.nodes)
-    return restart.size / clustering.n
-
-
 def _observe_event(
     manager: RecoveryManager,
     shape: FuzzShape,
@@ -367,16 +359,20 @@ def _protocol_check(scenario: FuzzScenario) -> list[EventRecord]:
         keep_versions=shape.keep_versions,
     )
     manager = RecoveryManager(sim, machine, run)
-    model = CatastrophicModel(machine.placement)
+    # The same per-event oracle the query layer serves: tables built once,
+    # predictions read per scheduled event.
+    tables = QueryTables(
+        machine=machine,
+        clustering=clustering,
+        model=CatastrophicModel(machine.placement),
+    )
 
     records: list[EventRecord] = []
     corruption_pending = scenario.corruption is not None
     for scheduled in scenario.schedule.failures:
         event = scheduled.event
-        predicted = bool(model.event_is_catastrophic(clustering, event))
-        predicted_fraction = _predicted_restart_fraction(
-            clustering, machine.placement, event
-        )
+        predicted = tables.predicted_catastrophic(event)
+        predicted_fraction = tables.predicted_restart_fraction(event)
         if corruption_pending and event.kind == "node":
             versions = [
                 v

@@ -24,6 +24,8 @@ already-tested model.
 
 from __future__ import annotations
 
+import math
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -37,7 +39,7 @@ from repro.machine.machine import Machine
 from repro.models.encoding_time import EncodingTimeModel
 from repro.util.rng import resolve_rng, spawn_rngs
 from repro.util.units import GiB
-from repro.util.validation import check_positive
+from repro.util.validation import check_finite, check_positive
 
 
 def _run_campaign_task(args) -> "CampaignResult":
@@ -58,12 +60,19 @@ class CampaignConfig:
     node_mtbf_s: float = 5 * 365 * 24 * 3600.0  # five node-years
 
     def __post_init__(self) -> None:
-        check_positive("horizon_s", self.horizon_s)
-        check_positive("checkpoint_interval_s", self.checkpoint_interval_s)
-        check_positive("checkpoint_gb_per_node", self.checkpoint_gb_per_node)
-        check_positive("node_mtbf_s", self.node_mtbf_s)
-        if self.pfs_flush_every < 1:
-            raise ValueError("pfs_flush_every must be >= 1")
+        for name in (
+            "horizon_s",
+            "checkpoint_interval_s",
+            "checkpoint_gb_per_node",
+            "node_mtbf_s",
+        ):
+            value = getattr(self, name)
+            check_finite(name, value)
+            check_positive(name, value)
+        if not math.isfinite(self.pfs_flush_every) or self.pfs_flush_every < 1:
+            raise ValueError(
+                f"pfs_flush_every must be >= 1, got {self.pfs_flush_every!r}"
+            )
 
 
 @dataclass
@@ -282,12 +291,27 @@ class CampaignSimulator:
     ) -> float:
         """Mean waste fraction over several sampled campaigns.
 
+        .. deprecated::
+            Construct a :class:`repro.core.query.ReliabilityQuery` with
+            ``metric="expected_waste"`` and call
+            :func:`repro.core.query.run_query` instead; the query path is
+            seed-for-seed identical to ``workers=1`` here. This loose-kwarg
+            form survives one release as a shim. Parallel multi-campaign
+            sweeps stay on :meth:`sweep` (not deprecated).
+
         ``workers=1`` keeps the historical serial path (campaigns drawn
         sequentially from one shared generator, seed-for-seed identical to
         earlier releases); ``workers > 1`` delegates to :meth:`sweep`,
         which spawns one child stream per campaign and scores them in a
         process pool (statistically equivalent, different draws).
         """
+        warnings.warn(
+            "CampaignSimulator.expected_waste(...) is deprecated; build a "
+            "ReliabilityQuery(metric='expected_waste') and call "
+            "repro.core.query.run_query (seed-for-seed identical)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if n_campaigns < 1:
             raise ValueError("n_campaigns must be >= 1")
         if workers > 1:

@@ -1,0 +1,118 @@
+"""Blocking HTTP client for the reliability service (stdlib only).
+
+One short-lived connection per request — the service closes connections
+after each response, which keeps both ends trivially correct; on
+localhost the setup cost is well under the scoring cost of any real
+query. The streaming endpoint is consumed line by line
+(:mod:`http.client` de-chunks transparently).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.core.query import QueryResult, ReliabilityQuery
+
+
+class ServiceError(RuntimeError):
+    """Non-200 response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talks :class:`ReliabilityQuery` JSON to a running service."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _get(self, path: str) -> dict:
+        conn = self._connect()
+        try:
+            conn.request("GET", path)
+            resp = conn.getresponse()
+            payload = json.loads(resp.read() or b"{}")
+            if resp.status != 200:
+                raise ServiceError(resp.status, payload.get("error", "?"))
+            return payload
+        finally:
+            conn.close()
+
+    def healthz(self) -> dict:
+        return self._get("/healthz")
+
+    def stats(self) -> dict:
+        return self._get("/stats")
+
+    def query(self, query: ReliabilityQuery) -> QueryResult:
+        """POST one query, return its result (raises :class:`ServiceError`
+        with the server's message on rejection)."""
+        conn = self._connect()
+        try:
+            conn.request(
+                "POST",
+                "/query",
+                body=query.to_json(),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            payload = json.loads(resp.read() or b"{}")
+            if resp.status != 200:
+                raise ServiceError(resp.status, payload.get("error", "?"))
+            return QueryResult.from_dict(payload)
+        finally:
+            conn.close()
+
+    def query_stream(self, query: ReliabilityQuery):
+        """POST to ``/query/stream``; yield each JSON line as a dict.
+
+        Partials arrive as ``{"curve": [...]}``, the final message as
+        ``{"result": {...}}`` (or ``{"error": ...}``, raised here).
+        """
+        conn = self._connect()
+        try:
+            conn.request(
+                "POST",
+                "/query/stream",
+                body=query.to_json(),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            if resp.status != 200:
+                payload = json.loads(resp.read() or b"{}")
+                raise ServiceError(resp.status, payload.get("error", "?"))
+            while True:
+                line = resp.readline()
+                if not line:
+                    break
+                message = json.loads(line)
+                if "error" in message:
+                    raise ServiceError(500, message["error"])
+                yield message
+        finally:
+            conn.close()
+
+    def query_streamed(
+        self, query: ReliabilityQuery
+    ) -> tuple[list[list], QueryResult]:
+        """Consume a stream fully: (partial curve chunks, final result)."""
+        partials: list[list] = []
+        final: QueryResult | None = None
+        for message in self.query_stream(query):
+            if "curve" in message:
+                partials.append(message["curve"])
+            if "result" in message:
+                final = QueryResult.from_dict(message["result"])
+        if final is None:
+            raise ServiceError(500, "stream ended without a final result")
+        return partials, final

@@ -1,0 +1,103 @@
+"""Micro-batching dispatcher: concurrent requests share scoring passes.
+
+Requests enqueue ``(query, future)`` pairs; a single drain task pulls
+everything queued, hands it to the engine as one batch (off the event
+loop, in an executor thread), and resolves the futures. While a batch is
+scoring, new arrivals pile up in the queue — so under concurrency the
+next batch is automatically larger, and same-table Monte-Carlo queries
+inside it coalesce into one vectorized pass
+(:func:`repro.core.query.run_query_batch`). Under light load a query
+simply rides alone: micro-batching adds no artificial delay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from functools import partial
+
+from repro.service.engine import QueryEngine
+
+#: Upper bound on one micro-batch (keeps worst-case latency of a single
+#: drain bounded under a flood; the remainder goes to the next batch).
+DEFAULT_MAX_BATCH = 256
+
+
+class Dispatcher:
+    """Funnels concurrent ``submit`` calls into engine micro-batches."""
+
+    def __init__(self, engine: QueryEngine, *, max_batch: int = DEFAULT_MAX_BATCH):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.engine = engine
+        self.max_batch = max_batch
+        self._pending: deque = deque()
+        self._wakeup = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self.batches = 0
+        self.largest_batch = 0
+
+    async def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        for _, future in self._pending:
+            if not future.done():
+                future.cancel()
+        self._pending.clear()
+
+    async def submit(self, query):
+        """Queue one query; resolves to its :class:`QueryResult` (or
+        raises the query's error)."""
+        if self._task is None:
+            raise RuntimeError("dispatcher is not running")
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append((query, future))
+        self._wakeup.set()
+        return await future
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            while self._pending:
+                items = []
+                while self._pending and len(items) < self.max_batch:
+                    items.append(self._pending.popleft())
+                self.batches += 1
+                self.largest_batch = max(self.largest_batch, len(items))
+                queries = [query for query, _ in items]
+                try:
+                    results = await loop.run_in_executor(
+                        None,
+                        partial(
+                            self.engine.execute,
+                            queries,
+                            return_exceptions=True,
+                        ),
+                    )
+                except Exception as err:  # noqa: BLE001 - engine-wide failure
+                    results = [err] * len(items)
+                for (_, future), result in zip(items, results):
+                    if future.cancelled():
+                        continue
+                    if isinstance(result, Exception):
+                        future.set_exception(result)
+                    else:
+                        future.set_result(result)
+
+    def stats(self) -> dict:
+        return {
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "pending": len(self._pending),
+        }

@@ -1,0 +1,215 @@
+"""Query execution engine: sharded table cache across a worker pool.
+
+``workers=0`` answers queries on the calling thread against one
+:class:`~repro.service.cache.TableCache`. ``workers=N`` spawns ``N``
+long-lived worker processes (same duplex-pipe idiom as the sharded trace
+engine, :mod:`repro.simmpi.shard`), each owning one cache shard. A query
+is routed to shard ``crc32(table_key) % N`` — a *cross-process-stable*
+hash (Python's ``hash()`` is salted per process), so every query against
+one table configuration lands on the same worker and the table is built
+exactly once pool-wide.
+
+Results are invariant to the worker count by construction: workers run
+the very same :func:`repro.core.query.run_query_batch` the in-process
+path runs, queries carry their own integer seeds, and coalescing is
+bit-exact — so ``workers=0/1/4`` return identical results (asserted by
+the service tests).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import zlib
+from threading import Lock
+
+from repro.core.query import BatchStats, ReliabilityQuery, run_query_batch
+from repro.service.cache import DEFAULT_CACHE_BYTES, TableCache
+
+
+def _shard_of(query: ReliabilityQuery, shards: int) -> int:
+    """Deterministic, process-stable shard routing by table identity."""
+    return zlib.crc32(query.table_key().encode()) % shards
+
+
+def _worker_main(conn, cache_bytes: int) -> None:
+    """Worker-process loop: one cache shard behind one pipe."""
+    cache = TableCache(max_bytes=cache_bytes)
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "batch":
+                indices, queries = zip(*msg[1])
+                results, stats = run_query_batch(
+                    list(queries), resolver=cache.get, return_exceptions=True
+                )
+                # Exceptions travel as markers: tracebacks of arbitrary
+                # model errors may not pickle, their messages always do.
+                payload = [
+                    (i, ("error", f"{type(r).__name__}: {r}"))
+                    if isinstance(r, Exception)
+                    else (i, ("ok", r))
+                    for i, r in zip(indices, results)
+                ]
+                conn.send(("ok", (payload, stats, cache.stats())))
+            elif op == "stats":
+                conn.send(("ok", cache.stats()))
+            elif op == "stop":
+                return
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
+        pass
+
+
+class QueryError(RuntimeError):
+    """A query failed inside a worker (message-only; workers survive)."""
+
+
+class QueryEngine:
+    """Executes query batches against the sharded table cache."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 0,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.cache_bytes = cache_bytes
+        self._lock = Lock()
+        self._closed = False
+        self.batches = 0
+        self.queries = 0
+        self.scoring_passes = 0
+        self.coalesced = 0
+        self._cache = None
+        self._conns: list = []
+        self._procs: list = []
+        self._worker_cache_stats: list[dict] = []
+        if workers == 0:
+            self._cache = TableCache(max_bytes=cache_bytes)
+        else:
+            ctx = mp.get_context()
+            for _ in range(workers):
+                parent, child = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main, args=(child, cache_bytes), daemon=True
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+            self._worker_cache_stats = [
+                {"entries": 0, "bytes": 0, "hits": 0, "misses": 0,
+                 "evictions": 0, "max_bytes": cache_bytes}
+                for _ in range(workers)
+            ]
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, queries, *, return_exceptions: bool = False) -> list:
+        """Answer ``queries`` (one micro-batch), preserving input order.
+
+        With ``return_exceptions`` a failed query yields an exception
+        object in its slot instead of aborting the batch — the dispatcher
+        maps those onto per-request HTTP errors.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            self.batches += 1
+            if self.workers == 0:
+                results, stats = run_query_batch(
+                    queries,
+                    resolver=self._cache.get,
+                    return_exceptions=return_exceptions,
+                )
+                self._account(stats)
+            else:
+                results = self._execute_sharded(queries)
+            if not return_exceptions:
+                for result in results:
+                    if isinstance(result, Exception):
+                        raise result
+            return results
+
+    def _execute_sharded(self, queries) -> list:
+        by_shard: dict[int, list[int]] = {}
+        for i, query in enumerate(queries):
+            by_shard.setdefault(_shard_of(query, self.workers), []).append(i)
+        # Fan the shard batches out before gathering any reply: shards
+        # score their slices concurrently.
+        for shard, indices in by_shard.items():
+            self._conns[shard].send(
+                ("batch", [(i, queries[i]) for i in indices])
+            )
+        results: list = [None] * len(queries)
+        for shard in by_shard:
+            status, payload = self._conns[shard].recv()
+            if status != "ok":  # pragma: no cover - worker-internal bug
+                raise RuntimeError(f"worker {shard} failed: {payload}")
+            entries, stats, cache_stats = payload
+            self._account(stats)
+            self._worker_cache_stats[shard] = cache_stats
+            for i, (kind, value) in entries:
+                results[i] = QueryError(value) if kind == "error" else value
+        return results
+
+    def _account(self, stats: BatchStats) -> None:
+        self.queries += stats.queries
+        self.scoring_passes += stats.scoring_passes
+        self.coalesced += stats.coalesced
+
+    # -- stats / lifecycle -------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Aggregated cache counters across all shards."""
+        if self.workers == 0:
+            shards = [self._cache.stats()]
+        else:
+            shards = list(self._worker_cache_stats)
+        total = {
+            key: sum(s[key] for s in shards)
+            for key in ("entries", "bytes", "hits", "misses", "evictions")
+        }
+        total["shards"] = max(1, self.workers)
+        return total
+
+    def stats(self) -> dict:
+        cache = self.cache_stats()
+        lookups = cache["hits"] + cache["misses"]
+        return {
+            "workers": self.workers,
+            "batches": self.batches,
+            "queries": self.queries,
+            "scoring_passes": self.scoring_passes,
+            "coalesced": self.coalesced,
+            "cache": cache,
+            "cache_hit_rate": cache["hits"] / lookups if lookups else 0.0,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for conn in self._conns:
+                try:
+                    conn.send(("stop",))
+                    conn.close()
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -2,6 +2,20 @@
 
 from __future__ import annotations
 
+import math
+
+
+def check_finite(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite number (no NaN, no infinities).
+
+    NaN compares false against everything, so range checks alone let it
+    slip through and poison downstream aggregates; call this first for
+    quantities that feed means or fractions.
+    """
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
 
 def check_positive(name: str, value: float, *, strict: bool = True) -> float:
     """Validate that ``value`` is positive (or non-negative if not strict)."""

@@ -48,6 +48,14 @@ class TestConfig:
         with pytest.raises(ValueError):
             CampaignConfig(checkpoint_gb_per_node=-1)
 
+    def test_nonfinite_rejected_naming_field(self):
+        with pytest.raises(ValueError, match="horizon_s must be finite"):
+            CampaignConfig(horizon_s=float("nan"))
+        with pytest.raises(ValueError, match="checkpoint_interval_s must be finite"):
+            CampaignConfig(checkpoint_interval_s=float("inf"))
+        with pytest.raises(ValueError, match="pfs_flush_every"):
+            CampaignConfig(pfs_flush_every=float("nan"))
+
 
 class TestCosts:
     def test_checkpoint_cost_tracks_l2_size(self, machine, hierarchical):

@@ -70,6 +70,12 @@ class TestCommands:
         assert "failure campaign" in out
         assert "hierarchical-64-4" in out
 
+    def test_serve_self_test(self, capsys):
+        assert main(["serve", "--self-test"]) == 0
+        out = capsys.readouterr().out
+        assert "self-test ok" in out
+        assert "equivalence checks" in out
+
     def test_fuzz_campaign_writes_artifacts(self, capsys, tmp_path):
         out_dir = tmp_path / "fuzz-out"
         assert main(
